@@ -1,0 +1,110 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    render_breakpoint_ablation,
+    render_pricing_ablation,
+    render_safety_ablation,
+    run_breakpoint_ablation,
+    run_pricing_ablation,
+    run_safety_ablation,
+)
+
+
+def test_ablation_pricing_locality(benchmark, archive):
+    ablation = benchmark.pedantic(
+        run_pricing_ablation,
+        kwargs={"slots": 500, "groups": (1, 5, 15)},
+        rounds=1,
+        iterations=1,
+    )
+    archive("ablation_pricing", render_pricing_ablation(ablation))
+    per_pdu = np.array(ablation.profit_per_pdu)
+    uniform = np.array(ablation.profit_uniform)
+    # At the testbed scale the two modes are comparable...
+    assert abs(per_pdu[0] - uniform[0]) < 0.05
+    # ...but the single facility-wide price decays with scale while the
+    # locational price holds (the Fig. 18 stability finding).
+    assert uniform[-1] < 0.6 * per_pdu[-1]
+    assert per_pdu[-1] > 0.8 * per_pdu[0]
+
+
+def test_ablation_predictor_conservatism(benchmark, archive):
+    ablation = benchmark.pedantic(
+        run_safety_ablation, kwargs={"slots": 3000}, rounds=1, iterations=1
+    )
+    archive("ablation_safety", render_safety_ablation(ablation))
+    by_label = dict(zip(ablation.labels, ablation.emergencies))
+    default = by_label["margin + rolling refs (default)"]
+    neither = by_label["neither"]
+    # The conservative predictor keeps "no additional emergencies" true;
+    # stripping both protections produces measurably more excursions.
+    assert default <= ablation.baseline_emergencies + 1
+    assert neither >= default
+    # Conservatism costs only a modest slice of profit.
+    profits = dict(zip(ablation.labels, ablation.profit_increase))
+    assert profits["margin + rolling refs (default)"] > 0.6 * profits["neither"]
+
+
+def test_ablation_breakpoint_augmentation(benchmark, archive):
+    ablation = benchmark.pedantic(
+        run_breakpoint_ablation,
+        kwargs={"racks": 150, "trials": 8},
+        rounds=1,
+        iterations=1,
+    )
+    archive("ablation_breakpoints", render_breakpoint_ablation(ablation))
+    plain = np.array(ablation.revenue_plain)
+    augmented = np.array(ablation.revenue_breakpoints)
+    # Augmentation never loses revenue, and recovers the most on the
+    # coarsest grids (where kinks fall between grid points).
+    assert np.all(augmented >= plain - 1e-12)
+    coarse_gain = augmented[0] - plain[0]
+    fine_gain = augmented[-1] - plain[-1]
+    assert coarse_gain >= fine_gain - 1e-9
+
+
+def test_ablation_reserve_price(benchmark, archive):
+    from repro.experiments.ablations import (
+        render_reserve_price_sweep,
+        run_reserve_price_sweep,
+    )
+
+    sweep = benchmark.pedantic(
+        run_reserve_price_sweep,
+        kwargs={"slots": 1200, "reserve_prices": (0.0, 0.05, 0.1, 0.15)},
+        rounds=1,
+        iterations=1,
+    )
+    archive("ablation_reserve_price", render_reserve_price_sweep(sweep))
+    # A modest floor is harmless (the profit-maximising price already
+    # clears above it); a high floor prices out opportunistic demand.
+    assert sweep.profit_increase[1] == pytest.approx(
+        sweep.profit_increase[0], abs=0.02
+    )
+    assert sweep.perf_improvement[-1] <= sweep.perf_improvement[0] + 1e-9
+    assert sweep.mean_price[-1] >= sweep.mean_price[0]
+
+
+def test_ablation_slot_length(benchmark, archive):
+    from repro.experiments.ablations import (
+        render_slot_length_sweep,
+        run_slot_length_sweep,
+    )
+
+    sweep = benchmark.pedantic(
+        run_slot_length_sweep,
+        kwargs={"duration_hours": 80.0, "slot_lengths": (60.0, 120.0, 300.0)},
+        rounds=1,
+        iterations=1,
+    )
+    archive("ablation_slot_length", render_slot_length_sweep(sweep))
+    profit = np.array(sweep.profit_increase)
+    perf = np.array(sweep.perf_improvement)
+    # The paper's 1-5 minute range all works: outcomes stay in the
+    # headline bands and no slot length piles up emergencies.
+    assert np.all(profit > 0.04)
+    assert np.all((perf > 1.1) & (perf < 1.8))
+    assert np.all(np.array(sweep.emergencies) < 3.0)

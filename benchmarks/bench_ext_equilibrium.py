@@ -1,0 +1,18 @@
+"""Extension benchmark: equilibrium of the bidding game (future work)."""
+
+from repro.experiments.ext_equilibrium import (
+    render_equilibrium_study,
+    run_equilibrium_study,
+)
+
+
+def test_ext_equilibrium(benchmark, archive):
+    study = benchmark.pedantic(run_equilibrium_study, rounds=1, iterations=1)
+    archive("ext_equilibrium", render_equilibrium_study(study))
+    # Dynamics converge quickly on the Table I-like stage game.
+    assert study.converged
+    assert study.rounds <= 15
+    # Strategic play never leaves tenants worse off than guideline bids,
+    # and the market does not unravel (capacity keeps trading).
+    assert study.equilibrium_surplus >= study.guideline_surplus - 1e-9
+    assert study.equilibrium_sold_w > 0.3 * study.guideline_sold_w

@@ -1,0 +1,20 @@
+"""Fig. 2(b): power CDFs and the oversubscription / spot-capacity areas."""
+
+from repro.experiments import render_fig02, run_fig02
+
+
+def test_fig02_spot_opportunity(benchmark, archive):
+    result = benchmark.pedantic(
+        run_fig02, kwargs={"slots": 60_000}, rounds=1, iterations=1
+    )
+    archive("fig02_spot_opportunity", render_fig02(result))
+    # Shape: oversubscription gains utilization (area A), emergencies
+    # stay occasional (area B), and spot capacity remains (area C).
+    assert result.utilization_gain > 0.05
+    assert 0.0 < result.emergency_fraction < 0.25
+    assert result.spot_fraction > 0.1
+    # The oversubscribed CDF sits right of the original everywhere.
+    for x in (0.5, 0.7, 0.9):
+        assert result.oversubscribed_cdf.evaluate(x) <= (
+            result.base_cdf.evaluate(x) + 1e-9
+        )

@@ -1,0 +1,25 @@
+"""Fig. 8: power-performance relations at different workload levels."""
+
+from repro.experiments import render_fig08, run_fig08
+
+
+def test_fig08_power_performance(benchmark, archive):
+    result = benchmark.pedantic(
+        run_fig08, kwargs={"samples": 60}, rounds=3, iterations=1
+    )
+    archive("fig08_power_performance", render_fig08(result))
+    # Latency falls with power and rises with load; throughput rises.
+    assert result.search.is_monotone()
+    assert result.web.is_monotone()
+    assert result.count.is_monotone()
+    for profile in (result.search, result.web):
+        low, mid, high = profile.curves
+        peak = low.power_w[-1]
+        assert low.performance_at(peak) < mid.performance_at(peak)
+        assert mid.performance_at(peak) < high.performance_at(peak)
+    # Throughput roughly doubles over the upper half of the power range.
+    count = result.count.curves[0]
+    mid_power = 0.5 * (count.power_w[0] + count.power_w[-1])
+    assert count.performance_at(count.power_w[-1]) > 1.5 * count.performance_at(
+        mid_power
+    )

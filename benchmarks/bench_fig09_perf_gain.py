@@ -1,0 +1,20 @@
+"""Fig. 9: performance gain ($/h) from spot capacity."""
+
+from repro.experiments import render_fig09, run_fig09
+
+
+def test_fig09_perf_gain(benchmark, archive):
+    result = benchmark.pedantic(run_fig09, rounds=3, iterations=1)
+    archive("fig09_perf_gain", render_fig09(result))
+    # Concave, increasing, saturating value curves for all three tenants;
+    # Search (highest willingness) values spot capacity the most.
+    search = result.curves["Search-1"]
+    web = result.curves["Web"]
+    count = result.curves["Count-1"]
+    for curve in (search, web, count):
+        full = curve.gain_per_hour(curve.max_spot_w)
+        half = curve.gain_per_hour(curve.max_spot_w / 2)
+        assert full > 0
+        assert half >= 0.5 * full - 1e-9  # concavity
+    probe = min(c.max_spot_w for c in result.curves.values())
+    assert search.gain_per_hour(probe) > count.gain_per_hour(probe)

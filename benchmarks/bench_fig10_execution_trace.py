@@ -1,0 +1,22 @@
+"""Fig. 10: the 20-minute SpotDC execution trace (allocation + price)."""
+
+import numpy as np
+
+from repro.experiments import render_fig10, run_fig10
+
+
+def test_fig10_execution_trace(benchmark, archive):
+    trace = benchmark.pedantic(
+        run_fig10, kwargs={"search_slots": 600}, rounds=1, iterations=1
+    )
+    archive("fig10_execution_trace", render_fig10(trace))
+    total_alloc = trace.sprint_alloc_w + trace.opportunistic_alloc_w
+    # Market activity exists in the selected window.
+    assert total_alloc.max() > 0
+    assert (trace.price > 0).any()
+    # Allocation never exceeds availability (multi-level constraints).
+    assert np.all(total_alloc <= trace.available_spot_w + 1e-6)
+    # Price moves against availability: correlate across the window.
+    if np.std(trace.available_spot_w) > 0 and np.std(trace.price) > 0:
+        corr = np.corrcoef(trace.available_spot_w, trace.price)[0, 1]
+        assert corr < 0.5  # more supply should not mean much higher price

@@ -1,0 +1,35 @@
+"""Fig. 12: extended-run cost / performance / spot usage + the +9.7%
+operator-profit headline."""
+
+import numpy as np
+
+from repro.experiments import render_fig12, run_fig12
+
+
+def test_fig12_cost_performance(benchmark, archive):
+    result = benchmark.pedantic(
+        run_fig12, kwargs={"slots": 2500}, rounds=1, iterations=1
+    )
+    archive("fig12_cost_performance", render_fig12(result))
+
+    # Operator headline: paper reports +9.7%; we assert the band.
+    assert 0.05 < result.profit_increase < 0.15
+
+    perf = [row.perf_ratio for row in result.rows]
+    cost = [row.cost_ratio for row in result.rows]
+    # Tenants improve 1.2-1.8x on average at marginal cost.
+    assert 1.15 < float(np.mean(perf)) < 1.8
+    assert all(c < 1.05 for c in cost)
+    # SpotDC close to MaxPerf.
+    for row in result.rows:
+        assert row.maxperf_ratio >= row.perf_ratio - 0.05
+    # Sprinting cheaper and using proportionally less spot than
+    # opportunistic (Fig. 12a / 12c orderings).
+    sprint = [r for r in result.rows if r.kind == "sprinting"]
+    opp = [r for r in result.rows if r.kind == "opportunistic"]
+    assert np.mean([r.cost_ratio for r in sprint]) < np.mean(
+        [r.cost_ratio for r in opp]
+    )
+    assert np.mean([r.spot_use_max for r in sprint]) < np.mean(
+        [r.spot_use_max for r in opp]
+    )

@@ -1,0 +1,25 @@
+"""Fig. 13: CDFs of market price (by tenant class) and UPS utilization."""
+
+import numpy as np
+
+from repro.experiments import render_fig13, run_fig13
+
+
+def test_fig13_price_power_cdf(benchmark, archive):
+    result = benchmark.pedantic(
+        run_fig13, kwargs={"slots": 5000}, rounds=1, iterations=1
+    )
+    archive("fig13_price_power_cdf", render_fig13(result))
+    # (a) Sprinting tenants bid and pay higher prices; opportunistic
+    # tenants never above the amortised guaranteed rate (~$0.2/kW/h).
+    assert result.sprint_price_cdf.quantile(0.5) > (
+        result.opportunistic_price_cdf.quantile(0.5)
+    )
+    assert result.opportunistic_price_cdf.max <= 0.205 + 1e-9
+    # (b) SpotDC improves infrastructure utilization at the top of the
+    # distribution: more mass at high utilization than PowerCapped.
+    tail = 0.95
+    assert result.ups_cdf_spotdc.exceedance_fraction(tail) >= (
+        result.ups_cdf_powercapped.exceedance_fraction(tail)
+    )
+    assert result.mean_utilization_gain >= 0.0

@@ -1,0 +1,31 @@
+"""Fig. 14: LinearBid vs StepBid vs FullBid across spot availability."""
+
+import numpy as np
+
+from repro.experiments import render_fig14, run_fig14
+
+
+def test_fig14_demand_functions(benchmark, archive):
+    sweep = benchmark.pedantic(
+        run_fig14,
+        kwargs={
+            "slots": 1500,
+            "oversubscription_ratios": (1.10, 1.05, 1.0),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    archive("fig14_demand_functions", render_fig14(sweep))
+    linear = np.array(sweep.profit_increase["LinearBid"])
+    step = np.array(sweep.profit_increase["StepBid"])
+    full = np.array(sweep.profit_increase["FullBid"])
+    # LinearBid beats StepBid on average, and by the most when spot
+    # capacity is scarce (first sweep point).
+    assert linear.mean() > step.mean()
+    assert linear[0] > step[0]
+    # LinearBid is close to FullBid (within a third of FullBid's level).
+    assert linear.mean() > 0.66 * full.mean()
+    # Tenants also do better with elastic bids than all-or-nothing.
+    assert np.mean(sweep.perf_improvement["LinearBid"]) >= (
+        np.mean(sweep.perf_improvement["StepBid"]) - 0.02
+    )

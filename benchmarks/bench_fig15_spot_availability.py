@@ -1,0 +1,28 @@
+"""Fig. 15: impact of available spot capacity."""
+
+import numpy as np
+
+from repro.experiments import render_fig15, run_fig15
+
+
+def test_fig15_spot_availability(benchmark, archive):
+    sweep = benchmark.pedantic(
+        run_fig15,
+        kwargs={
+            "slots": 1500,
+            "oversubscription_ratios": (1.10, 1.05, 1.02, 1.0),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    archive("fig15_spot_availability", render_fig15(sweep))
+    spot = np.array(sweep.spot_fractions)
+    profit = np.array(sweep.profit_increase)
+    perf = np.array(sweep.perf_improvement)
+    price = np.array(sweep.mean_price)
+    # The sweep actually varies availability, ascending.
+    assert np.all(np.diff(spot) > 0)
+    # Profit and performance rise with availability; price falls.
+    assert profit[-1] > profit[0]
+    assert perf[-1] > perf[0]
+    assert price[-1] < price[0]

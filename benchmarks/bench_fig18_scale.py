@@ -1,0 +1,25 @@
+"""Fig. 18: scaling to a hyper-scale facility (up to 1,000 tenants)."""
+
+import numpy as np
+
+from repro.experiments import render_fig18, run_fig18
+
+
+def test_fig18_scale(benchmark, archive):
+    sweep = benchmark.pedantic(
+        run_fig18,
+        kwargs={"slots": 600, "groups": (1, 3, 10, 25)},
+        rounds=1,
+        iterations=1,
+    )
+    archive("fig18_scale", render_fig18(sweep))
+    profit = np.array(sweep.profit_increase)
+    perf = np.array(sweep.perf_improvement)
+    cost = np.array(sweep.cost_increase)
+    # Results stay consistent as the facility grows: profit in the same
+    # band as the testbed, performance ~1.2-1.8x, marginal cost.
+    assert np.all(profit > 0.03)
+    assert np.all((perf > 1.1) & (perf < 1.9))
+    assert np.all(cost < 0.06)
+    # Stability at scale: the largest two points agree within 40%.
+    assert abs(profit[-1] - profit[-2]) < 0.4 * max(profit[-1], profit[-2])

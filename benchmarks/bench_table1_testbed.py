@@ -1,0 +1,15 @@
+"""Table I: testbed configuration (consistency benchmark)."""
+
+import pytest
+
+from repro.experiments import render_table1, run_table1
+
+
+def test_table1_testbed(benchmark, archive):
+    summary = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    archive("table1_testbed", render_table1(summary))
+    assert summary.leased_w["pdu:0"] == pytest.approx(750.0)
+    assert summary.leased_w["pdu:1"] == pytest.approx(760.0)
+    assert summary.pdu_capacities_w["pdu:0"] == pytest.approx(715.0, abs=1.0)
+    assert summary.pdu_capacities_w["pdu:1"] == pytest.approx(724.0, abs=1.0)
+    assert summary.ups_capacity_w == pytest.approx(1370.0, abs=1.0)

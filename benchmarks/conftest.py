@@ -1,0 +1,24 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures, prints
+the paper-style rows, and archives them under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference the latest reproduction output.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def archive():
+    """Persist a figure's rendered text and echo it to stdout."""
+
+    def _archive(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _archive

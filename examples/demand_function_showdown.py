@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Demand-function showdown: LinearBid vs StepBid vs FullBid.
+
+Reproduces the design study behind the paper's Fig. 14 at a single
+operating point, with full visibility into the mechanics: the same
+tenant value curve expressed as the three bid families, cleared against
+the same shared-PDU supply at three scarcity levels.
+
+Run:
+    python examples/demand_function_showdown.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import LinearBid, RackBid, StepBid, clear_market
+from repro.core.demand import FullBid
+
+#: A strongly concave tenant value curve: $/h gain from spot watts.
+A, D0 = 0.00205, 5.0
+
+
+def value(d: float) -> float:
+    return A * np.log1p(d / D0)
+
+
+def optimal_demand(price_per_kw_hour: float) -> float:
+    """Closed-form rational demand: marginal A/(D0+d) = price/1000."""
+    per_watt = price_per_kw_hour / 1000.0
+    if per_watt >= A / D0:
+        return 0.0
+    return min(MAX_DEMAND, A / per_watt - D0)
+
+
+MAX_DEMAND = 40.0
+Q_LOW, Q_HIGH = 0.05, 0.205
+
+
+def make_bid(style: str):
+    d_max = optimal_demand(Q_LOW)
+    d_min = optimal_demand(Q_HIGH)
+    if style == "LinearBid":
+        return LinearBid(d_max, Q_LOW, d_min, Q_HIGH)
+    if style == "StepBid":
+        return StepBid(d_max, Q_HIGH)
+    return FullBid.from_value_curve(value, MAX_DEMAND, price_cap=Q_HIGH)
+
+
+def main() -> None:
+    print("One tenant value curve, three ways to bid it:")
+    print(
+        f"  optimal demand: {optimal_demand(Q_LOW):.1f} W at ${Q_LOW}/kW/h, "
+        f"{optimal_demand(Q_HIGH):.1f} W at ${Q_HIGH}/kW/h"
+    )
+    print()
+    rows = []
+    revenue: dict[tuple[float, str], float] = {}
+    for supply_w in (25.0, 50.0, 100.0):
+        for style in ("LinearBid", "StepBid", "FullBid"):
+            bids = [
+                RackBid(
+                    rack_id=f"r{i}",
+                    pdu_id="pdu",
+                    tenant_id=f"t{i}",
+                    demand=make_bid(style),
+                    rack_cap_w=MAX_DEMAND,
+                )
+                for i in range(2)  # two identical racks sharing the PDU
+            ]
+            result = clear_market(bids, {"pdu": supply_w}, supply_w)
+            revenue[(supply_w, style)] = result.revenue_rate
+            rows.append(
+                [
+                    f"{supply_w:.0f} W",
+                    style,
+                    f"{result.price:.3f}",
+                    f"{result.total_granted_w:.1f} W",
+                    f"{1000 * result.revenue_rate:.3f} m$/h",
+                ]
+            )
+    print(
+        format_table(
+            ["PDU spot supply", "demand function", "price", "sold", "revenue"],
+            rows,
+            title="Uniform-price clearing outcomes",
+        )
+    )
+    print()
+    scarce = 25.0
+    if revenue[(scarce, "LinearBid")] > revenue[(scarce, "StepBid")]:
+        print(
+            "Under scarcity the all-or-nothing StepBid pair cannot be"
+            " partially satisfied — the shared-PDU constraint makes both"
+            " bids jointly infeasible at every acceptable price, so the"
+            " operator sells nothing.  The elastic LinearBid (and the"
+            " complete FullBid curve) let the price ration the shortage"
+            " and keep the market trading — exactly the gap the paper's"
+            " Fig. 14 shows widening as spot capacity becomes scarce."
+        )
+
+
+if __name__ == "__main__":
+    main()

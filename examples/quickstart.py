@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: run SpotDC on the paper's Table I testbed.
+
+Builds the two-PDU testbed (Table I of the paper), simulates about a
+day of two-minute market slots under three policies — the SpotDC market,
+the PowerCapped status quo, and the MaxPerf owner-operated upper bound —
+and prints the headline comparison: operator profit, tenant performance,
+and tenant cost.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    MaxPerfAllocator,
+    PowerCappedAllocator,
+    run_simulation,
+    testbed_scenario,
+)
+from repro.analysis import format_kv, format_table
+
+SLOTS = 720  # one simulated day at 120 s slots
+SEED = 1
+
+
+def main() -> None:
+    print("Simulating the Table I testbed under three policies...")
+    spotdc = run_simulation(testbed_scenario(seed=SEED), SLOTS)
+    capped = run_simulation(
+        testbed_scenario(seed=SEED), SLOTS, allocator=PowerCappedAllocator()
+    )
+    maxperf = run_simulation(
+        testbed_scenario(seed=SEED), SLOTS, allocator=MaxPerfAllocator()
+    )
+
+    rows = []
+    for tenant_id in spotdc.participating_tenant_ids():
+        rows.append(
+            [
+                tenant_id,
+                spotdc.tenants[tenant_id].kind,
+                spotdc.tenant_performance_improvement_vs(capped, tenant_id),
+                maxperf.tenant_performance_improvement_vs(capped, tenant_id),
+                100 * spotdc.tenant_cost_increase_vs(capped, tenant_id),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["tenant", "type", "perf x (SpotDC)", "perf x (MaxPerf)", "cost +%"],
+            rows,
+            title="Tenant outcomes vs the PowerCapped status quo",
+        )
+    )
+    print()
+    print(
+        format_kv(
+            {
+                "operator profit increase": (
+                    f"{100 * spotdc.operator_profit_increase_vs(capped):.2f}%"
+                ),
+                "spot revenue": f"${spotdc.total_spot_revenue():.4f}",
+                "mean spot capacity sold": (
+                    f"{spotdc.collector.spot_granted_array().mean():.1f} W"
+                ),
+                "power emergencies (SpotDC / PowerCapped)": (
+                    f"{spotdc.emergencies.count()} / {capped.emergencies.count()}"
+                ),
+            },
+            title="Operator outcomes",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Tenant bidding clinic: from power-performance profile to bid.
+
+Walks the tenant-side pipeline the paper describes in Sections III-B3
+and IV-C, for a single search rack:
+
+1. profile tail latency against the power budget (Fig. 8);
+2. convert performance into dollars with the SLO cost model and derive
+   the spot-capacity value curve (Fig. 9);
+3. read the optimal demand curve off the value curve (Fig. 3a's
+   "Reference") and fit the 4-parameter LinearBid to it;
+4. compare simple, elastic, and price-predicting strategies for one
+   high-traffic slot.
+
+Run:
+    python examples/tenant_bidding_clinic.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_series, format_table
+from repro.economics.valuation import sprinting_value_curve
+from repro.power.server import ServerPowerModel
+from repro.tenants.bidding import (
+    LinearElasticStrategy,
+    PricePredictionStrategy,
+    SimpleNeededPowerStrategy,
+)
+from repro.tenants.calibration import calibrate_sprinting_cost
+from repro.tenants.portfolio import RackBidContext, TenantRack
+from repro.workloads.search import make_search_latency_model
+
+SUBSCRIPTION_W = 145.0
+Q_LOW, Q_HIGH = 0.20, 0.30
+
+
+def main() -> None:
+    power = ServerPowerModel(idle_w=0.45 * SUBSCRIPTION_W,
+                             peak_w=1.25 * SUBSCRIPTION_W)
+    latency = make_search_latency_model(power)
+    high_traffic_rps = 0.62 * latency.mu_max_rps
+
+    # 1. Power-performance profile at the high-traffic intensity.
+    budgets = np.linspace(SUBSCRIPTION_W * 0.9, power.peak_w, 8)
+    print(
+        format_series(
+            "budget [W]",
+            budgets.round(0),
+            {
+                "p99 latency [ms]": [
+                    round(latency.latency_ms(float(b), high_traffic_rps), 1)
+                    for b in budgets
+                ]
+            },
+            title="1. Profile: p99 latency vs power at high traffic",
+        )
+    )
+    print()
+
+    # 2. Dollars: calibrate the SLO cost model and build the value curve.
+    headroom = power.peak_w - SUBSCRIPTION_W
+    cost = calibrate_sprinting_cost(
+        latency,
+        guaranteed_w=SUBSCRIPTION_W,
+        reference_rps=high_traffic_rps,
+        max_spot_w=headroom,
+        target_marginal_per_kw_hour=0.27,
+    )
+    curve = sprinting_value_curve(
+        latency, cost, SUBSCRIPTION_W, high_traffic_rps, headroom
+    )
+    spots = np.linspace(0, headroom, 7)
+    print(
+        format_series(
+            "spot [W]",
+            spots.round(1),
+            {"gain [$/h]": [round(curve.gain_per_hour(float(s)), 4) for s in spots]},
+            title="2. Value curve: performance gain from spot capacity",
+        )
+    )
+    print()
+
+    # 3. The reference demand curve and its LinearBid fit.
+    prices = np.linspace(0.05, 0.35, 7)
+    print(
+        format_series(
+            "price [$/kW/h]",
+            prices.round(3),
+            {
+                "optimal demand [W]": [
+                    round(curve.optimal_demand_w(float(q)), 1) for q in prices
+                ]
+            },
+            title='3. The "Reference" demand curve (Fig. 3a)',
+        )
+    )
+    print()
+
+    # 4. Strategies side by side for this slot.
+    needed = latency.power_for_latency(90.0, high_traffic_rps) - SUBSCRIPTION_W
+    rack = TenantRack(
+        rack_id="rack:clinic",
+        pdu_id="pdu:0",
+        guaranteed_w=SUBSCRIPTION_W,
+        max_spot_w=headroom,
+        power_model=power,
+        workload=None,  # not needed for bidding
+    )
+    ctx = RackBidContext(
+        rack=rack, needed_w=max(needed, 0.0), value_curve=curve,
+        q_low=Q_LOW, q_high=Q_HIGH, predicted_price=0.24,
+    )
+    rows = []
+    for name, strategy in (
+        ("simple (needed power)", SimpleNeededPowerStrategy()),
+        ("SpotDC linear fit", LinearElasticStrategy()),
+        ("price-predicting", PricePredictionStrategy()),
+    ):
+        demand = strategy.make_rack_bid(ctx)
+        rows.append(
+            [
+                name,
+                f"{demand.demand_at(Q_LOW):.1f} W",
+                f"{demand.demand_at(0.24):.1f} W",
+                f"{demand.demand_at(Q_HIGH):.1f} W",
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "demand @ 0.20", "demand @ 0.24 (forecast)", "demand @ 0.30"],
+            rows,
+            title="4. Three bidding strategies for the same slot",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

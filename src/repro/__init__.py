@@ -1,0 +1,69 @@
+"""SpotDC: a spot power-capacity market for multi-tenant data centers.
+
+A from-scratch reproduction of Islam, Ren, Ren & Wierman, "A Spot
+Capacity Market to Increase Power Infrastructure Utilization in
+Multi-Tenant Data Centers" (HPCA 2018): the power-delivery substrate,
+workload and tenant models, the SpotDC demand-function market, the
+paper's baselines, and experiment harnesses regenerating every table
+and figure of the evaluation.
+
+Quickstart::
+
+    from repro import testbed_scenario, run_simulation, PowerCappedAllocator
+
+    spotdc = run_simulation(testbed_scenario(seed=1), slots=2000)
+    base = run_simulation(
+        testbed_scenario(seed=1), slots=2000, allocator=PowerCappedAllocator()
+    )
+    print(spotdc.operator_profit_increase_vs(base))
+"""
+
+from repro.config import MarketParameters, make_rng
+from repro.core import (
+    AllocationResult,
+    FullBid,
+    LinearBid,
+    MarketClearing,
+    MaxPerfAllocator,
+    PowerCappedAllocator,
+    RackBid,
+    SpotDCAllocator,
+    StepBid,
+    TenantBid,
+    clear_market,
+)
+from repro.errors import ReproError
+from repro.sim import (
+    ScenarioBuilder,
+    SimulationEngine,
+    SimulationResult,
+    run_simulation,
+    scaled_scenario,
+    testbed_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationResult",
+    "FullBid",
+    "LinearBid",
+    "MarketClearing",
+    "MarketParameters",
+    "MaxPerfAllocator",
+    "PowerCappedAllocator",
+    "RackBid",
+    "ReproError",
+    "ScenarioBuilder",
+    "SimulationEngine",
+    "SimulationResult",
+    "SpotDCAllocator",
+    "StepBid",
+    "TenantBid",
+    "clear_market",
+    "make_rng",
+    "run_simulation",
+    "scaled_scenario",
+    "testbed_scenario",
+    "__version__",
+]

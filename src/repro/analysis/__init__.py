@@ -1,0 +1,39 @@
+"""Analysis helpers: empirical CDFs, summary statistics, and plain-text
+rendering of the paper's tables and figure series.
+"""
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.reporting import format_kv, format_series, format_table
+from repro.analysis.timeseries import (
+    DiurnalDecomposition,
+    autocorrelation,
+    decompose_diurnal,
+    dominant_period,
+    duty_cycle,
+    slot_variation_quantile,
+)
+from repro.analysis.stats import (
+    fraction_true,
+    geometric_mean,
+    normalize_to,
+    relative_change,
+    summarize,
+)
+
+__all__ = [
+    "DiurnalDecomposition",
+    "EmpiricalCdf",
+    "autocorrelation",
+    "decompose_diurnal",
+    "dominant_period",
+    "duty_cycle",
+    "slot_variation_quantile",
+    "format_kv",
+    "format_series",
+    "format_table",
+    "fraction_true",
+    "geometric_mean",
+    "normalize_to",
+    "relative_change",
+    "summarize",
+]

@@ -1,0 +1,102 @@
+"""Empirical CDF utilities for the paper's distribution figures.
+
+Figures 2(b) and 13 of the paper are CDFs: of tenants' aggregate power,
+of market prices, and of UPS-level utilization.  :class:`EmpiricalCdf`
+wraps a sample set with the evaluations those figures need, plus the
+area-between-CDFs computation that quantifies the paper's "A" / "B" /
+"C" regions (utilization gained by oversubscription, emergency mass,
+and spot capacity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["EmpiricalCdf"]
+
+
+class EmpiricalCdf:
+    """An empirical cumulative distribution over a 1-D sample.
+
+    Args:
+        samples: Observations; NaNs are rejected.
+    """
+
+    def __init__(self, samples) -> None:
+        data = np.asarray(samples, dtype=float).ravel()
+        if data.size == 0:
+            raise ConfigurationError("CDF needs at least one sample")
+        if np.any(np.isnan(data)):
+            raise ConfigurationError("CDF samples must not contain NaN")
+        self._sorted = np.sort(data)
+
+    @property
+    def n(self) -> int:
+        """Sample count."""
+        return self._sorted.size
+
+    @property
+    def min(self) -> float:
+        """Smallest sample."""
+        return float(self._sorted[0])
+
+    @property
+    def max(self) -> float:
+        """Largest sample."""
+        return float(self._sorted[-1])
+
+    def evaluate(self, x: float) -> float:
+        """P(X <= x)."""
+        return float(np.searchsorted(self._sorted, x, side="right") / self.n)
+
+    def evaluate_many(self, xs) -> np.ndarray:
+        """Vectorised :meth:`evaluate`."""
+        xs = np.asarray(xs, dtype=float)
+        return np.searchsorted(self._sorted, xs, side="right") / self.n
+
+    def quantile(self, p: float) -> float:
+        """Inverse CDF at probability ``p`` (linear interpolation)."""
+        if not 0 <= p <= 1:
+            raise ConfigurationError(f"p must be in [0, 1], got {p}")
+        return float(np.quantile(self._sorted, p))
+
+    def normalized(self, denominator: float | None = None) -> "EmpiricalCdf":
+        """A CDF of samples divided by ``denominator`` (default: max).
+
+        The paper normalises power CDFs to the maximum observed power
+        (Fig. 2b) or to the designed capacity (Fig. 13b).
+        """
+        denom = self.max if denominator is None else denominator
+        if denom <= 0:
+            raise ConfigurationError("denominator must be positive")
+        return EmpiricalCdf(self._sorted / denom)
+
+    def exceedance_fraction(self, threshold: float) -> float:
+        """P(X > threshold) — e.g. the emergency mass above capacity."""
+        return 1.0 - self.evaluate(threshold)
+
+    def curve(self, points: int = 200) -> tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) arrays for plotting/printing the CDF."""
+        if points < 2:
+            raise ConfigurationError("points must be >= 2")
+        xs = np.linspace(self.min, self.max, points)
+        return xs, self.evaluate_many(xs)
+
+    def area_gap_to_ideal(self, capacity: float) -> float:
+        """Mean unused capacity fraction below ``capacity``.
+
+        For a power CDF, the area between the measured CDF and the
+        "ideal" (always-at-capacity) vertical line equals the average
+        headroom — the paper's spot-capacity region "C" in Fig. 2(b),
+        expressed as a fraction of capacity.
+        """
+        if capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+        clipped = np.minimum(self._sorted, capacity)
+        return float(np.mean(capacity - clipped) / capacity)
+
+    def mean(self) -> float:
+        """Sample mean."""
+        return float(self._sorted.mean())

@@ -1,0 +1,87 @@
+"""Plain-text rendering of experiment outputs.
+
+Every experiment runner returns structured data; these helpers render it
+as the rows/series the paper's tables and figures report, so benchmark
+runs produce human-readable reproductions on stdout.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: Column names.
+        rows: Row cells; floats are formatted to 4 significant digits.
+        title: Optional heading line.
+    """
+    if not headers:
+        raise ConfigurationError("table needs headers")
+    rendered_rows = [[_cell(c) for c in row] for row in rows]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered_rows))
+        if rendered_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render one or more y-series against a shared x-axis as a table."""
+    headers = [x_label, *series.keys()]
+    length = len(xs)
+    for name, ys in series.items():
+        if len(ys) != length:
+            raise ConfigurationError(
+                f"series {name!r} has {len(ys)} points, expected {length}"
+            )
+    rows = [
+        [x, *(series[name][i] for name in series)] for i, x in enumerate(xs)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def format_kv(pairs: Mapping[str, object], title: str | None = None) -> str:
+    """Render key/value summary lines."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        lines.append(f"{key.ljust(width)} : {_cell(value)}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

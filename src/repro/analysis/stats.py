@@ -1,0 +1,71 @@
+"""Summary-statistics helpers shared by the experiment runners."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "geometric_mean",
+    "normalize_to",
+    "summarize",
+    "relative_change",
+]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (ratio aggregation).
+
+    Performance *ratios* (e.g. speed-ups over a baseline) aggregate
+    multiplicatively; the geometric mean is the right average.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("geometric_mean needs at least one value")
+    if np.any(arr <= 0):
+        raise ConfigurationError("geometric_mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def normalize_to(values: Sequence[float], reference: float) -> np.ndarray:
+    """Divide a series by a reference value (paper-style normalisation)."""
+    if reference == 0:
+        raise ConfigurationError("reference must be non-zero")
+    return np.asarray(values, dtype=float) / reference
+
+
+def relative_change(new: float, old: float) -> float:
+    """(new - old) / old, guarding the degenerate baseline."""
+    if old == 0:
+        raise ConfigurationError("old value must be non-zero")
+    return (new - old) / old
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """Mean / std / min / p50 / p90 / p99 / max of a series."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("summarize needs at least one value")
+    if np.any(np.isnan(arr)):
+        raise ConfigurationError("summarize requires NaN-free input")
+    return {
+        "mean": float(arr.mean()),
+        "std": float(arr.std()),
+        "min": float(arr.min()),
+        "p50": float(np.percentile(arr, 50)),
+        "p90": float(np.percentile(arr, 90)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+    }
+
+
+def fraction_true(flags: Sequence[bool]) -> float:
+    """Fraction of truthy entries (duty cycles, violation rates)."""
+    arr = np.asarray(flags, dtype=bool)
+    if arr.size == 0:
+        return math.nan
+    return float(arr.mean())

@@ -1,0 +1,221 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table1
+    python -m repro run fig12 --slots 2500 --seed 7
+    python -m repro run all
+    python -m repro compare --slots 2000     # SpotDC vs baselines summary
+
+Each ``run`` target prints the paper-style rows for that table/figure
+(the same output the benchmarks archive under ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable, Sequence
+
+from repro import experiments as E
+
+__all__ = ["main", "EXPERIMENT_REGISTRY"]
+
+#: name -> (description, runner) where runner(args) returns printable text.
+EXPERIMENT_REGISTRY: dict[str, tuple[str, Callable]] = {
+    "table1": (
+        "Testbed configuration (Table I)",
+        lambda a: E.render_table1(E.run_table1(seed=a.seed)),
+    ),
+    "fig02": (
+        "Power CDFs and the spot-capacity opportunity (Fig. 2b)",
+        lambda a: E.render_fig02(E.run_fig02(seed=a.seed)),
+    ),
+    "fig07": (
+        "PDU power variation and clearing time at scale (Fig. 7)",
+        lambda a: E.render_fig07(
+            E.run_fig07a(seed=a.seed), E.run_fig07b(seed=a.seed)
+        ),
+    ),
+    "fig08": (
+        "Power-performance relations (Fig. 8)",
+        lambda a: E.render_fig08(E.run_fig08()),
+    ),
+    "fig09": (
+        "Performance gain in dollars (Fig. 9)",
+        lambda a: E.render_fig09(E.run_fig09(seed=a.seed)),
+    ),
+    "fig10": (
+        "20-minute execution trace (Fig. 10)",
+        lambda a: E.render_fig10(E.run_fig10(seed=a.seed)),
+    ),
+    "fig11": (
+        "Tenant performance during the execution (Fig. 11)",
+        lambda a: E.render_fig11(E.run_fig11(seed=a.seed)),
+    ),
+    "fig12": (
+        "Extended-run cost / performance / usage (Fig. 12)",
+        lambda a: E.render_fig12(E.run_fig12(seed=a.seed, slots=a.slots)),
+    ),
+    "fig13": (
+        "Price and utilization CDFs (Fig. 13)",
+        lambda a: E.render_fig13(E.run_fig13(seed=a.seed, slots=a.slots)),
+    ),
+    "fig14": (
+        "Demand-function comparison (Fig. 14)",
+        lambda a: E.render_fig14(E.run_fig14(seed=a.seed, slots=a.slots)),
+    ),
+    "fig15": (
+        "Impact of available spot capacity (Fig. 15)",
+        lambda a: E.render_fig15(E.run_fig15(seed=a.seed, slots=a.slots)),
+    ),
+    "fig16": (
+        "Strategic (price-predicting) bidding (Fig. 16)",
+        lambda a: E.render_fig16(E.run_fig16(seed=a.seed, slots=a.slots)),
+    ),
+    "fig17": (
+        "Spot-capacity under-prediction (Fig. 17)",
+        lambda a: E.render_fig17(E.run_fig17(seed=a.seed, slots=a.slots)),
+    ),
+    "fig18": (
+        "Scaling to 1,000 tenants (Fig. 18)",
+        lambda a: E.render_fig18(E.run_fig18(seed=a.seed)),
+    ),
+    "ablations": (
+        "Design-choice ablations (pricing / conservatism / breakpoints / reserve)",
+        lambda a: "\n\n".join(
+            [
+                E.ablations.render_pricing_ablation(
+                    E.ablations.run_pricing_ablation(seed=a.seed)
+                ),
+                E.ablations.render_safety_ablation(
+                    E.ablations.run_safety_ablation(seed=a.seed)
+                ),
+                E.ablations.render_breakpoint_ablation(
+                    E.ablations.run_breakpoint_ablation(seed=a.seed)
+                ),
+                E.ablations.render_reserve_price_sweep(
+                    E.ablations.run_reserve_price_sweep(seed=a.seed)
+                ),
+                E.ablations.render_slot_length_sweep(
+                    E.ablations.run_slot_length_sweep(seed=a.seed)
+                ),
+            ]
+        ),
+    ),
+    "equilibrium": (
+        "Extension: bidding-game equilibrium study",
+        lambda a: E.ext_equilibrium.render_equilibrium_study(
+            E.ext_equilibrium.run_equilibrium_study(seed=a.seed)
+        ),
+    ),
+}
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    width = max(len(name) for name in EXPERIMENT_REGISTRY)
+    for name, (description, _) in EXPERIMENT_REGISTRY.items():
+        print(f"{name.ljust(width)}  {description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    targets = (
+        list(EXPERIMENT_REGISTRY) if args.target == "all" else [args.target]
+    )
+    unknown = [t for t in targets if t not in EXPERIMENT_REGISTRY]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(see `python -m repro list`)",
+            file=sys.stderr,
+        )
+        return 2
+    for i, target in enumerate(targets):
+        if i:
+            print()
+        _, runner = EXPERIMENT_REGISTRY[target]
+        print(runner(args))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.experiments.common import run_comparison
+
+    runs = run_comparison(slots=args.slots, seed=args.seed, include_maxperf=True)
+    rows = []
+    for tenant_id in runs.spotdc.participating_tenant_ids():
+        rows.append(
+            [
+                tenant_id,
+                runs.spotdc.tenants[tenant_id].kind,
+                runs.spotdc.tenant_performance_improvement_vs(
+                    runs.powercapped, tenant_id
+                ),
+                runs.maxperf.tenant_performance_improvement_vs(
+                    runs.powercapped, tenant_id
+                ),
+                100 * runs.spotdc.tenant_cost_increase_vs(
+                    runs.powercapped, tenant_id
+                ),
+            ]
+        )
+    print(
+        format_table(
+            ["tenant", "type", "SpotDC perf x", "MaxPerf perf x", "cost +%"],
+            rows,
+            title="SpotDC vs baselines (normalised to PowerCapped)",
+        )
+    )
+    print(
+        f"\noperator profit increase: "
+        f"+{100 * runs.profit_increase():.2f}%"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SpotDC reproduction: regenerate the paper's evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("target", help="experiment name or 'all'")
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument(
+        "--slots", type=int, default=2500,
+        help="simulation horizon for the extended-run experiments",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    compare = sub.add_parser(
+        "compare", help="SpotDC vs PowerCapped vs MaxPerf summary"
+    )
+    compare.add_argument("--seed", type=int, default=None)
+    compare.add_argument("--slots", type=int, default=2000)
+    compare.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "seed", None) is None and hasattr(args, "seed"):
+        from repro.config import DEFAULT_SEED
+
+        args.seed = DEFAULT_SEED
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

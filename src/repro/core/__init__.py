@@ -1,0 +1,34 @@
+"""SpotDC's core market: demand functions, bids, uniform-price clearing,
+the slot-by-slot market orchestrator, and the paper's baselines.
+"""
+
+from repro.core.allocation import AllocationResult, verify_allocation
+from repro.core.baselines import MaxPerfAllocator, PowerCappedAllocator
+from repro.core.bids import RackBid, TenantBid, bundle_linear_bid, flatten_bids
+from repro.core.clearing import MarketClearing, clear_market
+from repro.core.demand import DemandFunction, FullBid, LinearBid, StepBid
+from repro.core.equilibrium import BestResponseSimulator, Bidder, EquilibriumResult
+from repro.core.market import Allocator, SlotMarketRecord, SpotDCAllocator
+
+__all__ = [
+    "AllocationResult",
+    "Allocator",
+    "BestResponseSimulator",
+    "Bidder",
+    "EquilibriumResult",
+    "DemandFunction",
+    "FullBid",
+    "LinearBid",
+    "MarketClearing",
+    "MaxPerfAllocator",
+    "PowerCappedAllocator",
+    "RackBid",
+    "SlotMarketRecord",
+    "SpotDCAllocator",
+    "StepBid",
+    "TenantBid",
+    "bundle_linear_bid",
+    "clear_market",
+    "flatten_bids",
+    "verify_allocation",
+]

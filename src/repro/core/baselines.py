@@ -1,0 +1,153 @@
+"""Baseline allocators: PowerCapped and MaxPerf (paper Section V-B).
+
+* **PowerCapped** — the status quo: no spot capacity is ever offered;
+  tenants cap power at their guaranteed capacity.  All evaluation
+  metrics are normalised to this baseline.
+* **MaxPerf** — the owner-operated upper bound: the operator fully
+  controls all servers (as in power routing [9]) and allocates spot
+  capacity to maximise the *total performance gain*, with no payments.
+  Implemented as greedy marginal-value water-filling: each increment of
+  capacity goes to the rack with the highest marginal gain whose rack /
+  PDU / UPS constraints still have room.  With concave per-rack value
+  curves this greedy is optimal up to the increment size.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Sequence
+
+from repro.core.allocation import AllocationResult
+from repro.core.market import Allocator, SlotMarketRecord
+from repro.errors import ConfigurationError
+from repro.prediction.spot import SpotCapacityForecast
+from repro.tenants.tenant import Tenant
+
+__all__ = ["PowerCappedAllocator", "MaxPerfAllocator"]
+
+
+class PowerCappedAllocator(Allocator):
+    """No spot capacity, ever: the paper's normalisation baseline."""
+
+    name = "powercapped"
+    charges_tenants = False
+    provisions_spot = False
+
+    def allocate(
+        self,
+        slot: int,
+        tenants: Sequence[Tenant],
+        forecast: SpotCapacityForecast,
+        slot_seconds: float,
+        predicted_price: float | None = None,
+        extra_constraints: Sequence = (),
+    ) -> SlotMarketRecord:
+        return SlotMarketRecord(
+            result=AllocationResult.empty(), bids=(), payments={}
+        )
+
+
+class MaxPerfAllocator(Allocator):
+    """Welfare-maximising water-filling with full server control.
+
+    Args:
+        increment_w: Water-filling step.  Smaller is closer to the exact
+            optimum; the default (1 W at testbed scale) is far below any
+            rack's headroom.
+        max_steps: Safety bound on iterations.
+    """
+
+    name = "maxperf"
+    charges_tenants = False
+
+    def __init__(self, increment_w: float = 1.0, max_steps: int = 1_000_000) -> None:
+        if increment_w <= 0:
+            raise ConfigurationError("increment_w must be positive")
+        if max_steps <= 0:
+            raise ConfigurationError("max_steps must be positive")
+        self.increment_w = increment_w
+        self.max_steps = max_steps
+
+    def allocate(
+        self,
+        slot: int,
+        tenants: Sequence[Tenant],
+        forecast: SpotCapacityForecast,
+        slot_seconds: float,
+        predicted_price: float | None = None,
+        extra_constraints: Sequence = (),
+    ) -> SlotMarketRecord:
+        # Gather candidate racks: those whose owners want spot capacity
+        # now, with their value curves and physical caps.
+        candidates = []  # (rack_id, pdu_id, curve, cap_w)
+        for tenant in tenants:
+            needed = tenant.needed_spot_w(slot)
+            if not needed:
+                continue
+            curves = tenant.value_curves(slot)
+            rack_by_id = {r.rack_id: r for r in tenant.racks}
+            for rack_id in needed:
+                rack = rack_by_id[rack_id]
+                curve = curves.get(rack_id)
+                if curve is None:
+                    continue
+                cap = min(rack.max_spot_w, curve.max_spot_w)
+                if cap > 0:
+                    candidates.append((rack_id, rack.pdu_id, curve, cap))
+        if not candidates:
+            return SlotMarketRecord(
+                result=AllocationResult.empty(), bids=(), payments={}
+            )
+
+        pdu_room = dict(forecast.pdu_spot_w)
+        ups_room = forecast.ups_spot_w
+        extra_room = [
+            [constraint.rack_ids, constraint.cap_w]
+            for constraint in extra_constraints
+        ]
+        grants = {rack_id: 0.0 for rack_id, *_ in candidates}
+        info = {rack_id: (pdu_id, curve, cap) for rack_id, pdu_id, curve, cap in candidates}
+
+        # Max-heap of (-marginal, tiebreak, rack_id).
+        counter = itertools.count()
+        heap: list[tuple[float, int, str]] = []
+        for rack_id, _, curve, cap in candidates:
+            marginal = curve.marginal_gain_per_hour(0.0, self.increment_w)
+            if marginal > 0:
+                heapq.heappush(heap, (-marginal, next(counter), rack_id))
+
+        steps = 0
+        while heap and ups_room > 1e-9 and steps < self.max_steps:
+            steps += 1
+            neg_marginal, _, rack_id = heapq.heappop(heap)
+            if -neg_marginal <= 0:
+                break
+            pdu_id, curve, cap = info[rack_id]
+            room = min(
+                cap - grants[rack_id],
+                pdu_room.get(pdu_id, 0.0),
+                ups_room,
+            )
+            for group in extra_room:
+                if rack_id in group[0]:
+                    room = min(room, group[1])
+            if room <= 1e-9:
+                continue  # this rack is blocked; drop it
+            step = min(self.increment_w, room)
+            grants[rack_id] += step
+            pdu_room[pdu_id] = pdu_room.get(pdu_id, 0.0) - step
+            ups_room -= step
+            for group in extra_room:
+                if rack_id in group[0]:
+                    group[1] -= step
+            if grants[rack_id] < cap - 1e-9:
+                marginal = curve.marginal_gain_per_hour(
+                    grants[rack_id], self.increment_w
+                )
+                if marginal > 0:
+                    heapq.heappush(heap, (-marginal, next(counter), rack_id))
+
+        grants = {rid: g for rid, g in grants.items() if g > 0}
+        result = AllocationResult(price=0.0, grants_w=grants, revenue_rate=0.0)
+        return SlotMarketRecord(result=result, bids=(), payments={})

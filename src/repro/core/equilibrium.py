@@ -1,0 +1,253 @@
+"""Best-response bidding dynamics (the paper's stated future work).
+
+The paper leaves "theoretical equilibrium bidding analysis as our future
+work" (Section III-B3), noting that even under simplified assumptions an
+equilibrium of the parameterised supply/demand-function game is hard to
+derive analytically [25].  This module provides the computational
+counterpart: an iterated **best-response simulator** over the LinearBid
+strategy space.
+
+Each bidder owns one rack with a concave value curve.  A *strategy* is a
+pair of price anchors ``(q_low, q_high)`` plus a quantity-shading factor;
+the induced LinearBid demands the bidder's rational quantity at each
+anchor, scaled by the shading factor.  In each round, every bidder in
+turn picks the strategy maximising its net benefit
+``V(grant) − price · grant`` given the others' current bids and the
+operator's profit-maximising clearing.  The dynamics either reach a
+fixed point — an (approximate, within the strategy grid) pure Nash
+equilibrium — or hit the round limit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from collections.abc import Mapping, Sequence
+
+from repro.config import MarketParameters
+from repro.core.bids import RackBid
+from repro.core.clearing import MarketClearing
+from repro.core.demand import LinearBid
+from repro.economics.valuation import SpotValueCurve
+from repro.errors import ConfigurationError
+
+__all__ = ["Bidder", "EquilibriumResult", "BestResponseSimulator"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Bidder:
+    """One strategic participant: a rack and its private value curve.
+
+    Attributes:
+        rack_id: Rack identifier.
+        pdu_id: PDU feeding the rack.
+        rack_cap_w: Physical spot headroom.
+        value_curve: The bidder's private value for spot capacity, $/h.
+    """
+
+    rack_id: str
+    pdu_id: str
+    rack_cap_w: float
+    value_curve: SpotValueCurve
+
+    def net_benefit(self, grant_w: float, price: float) -> float:
+        """$/h utility: value of the grant minus the payment rate."""
+        return self.value_curve.gain_per_hour(grant_w) - (
+            price / 1000.0
+        ) * grant_w
+
+    def bid_for(
+        self, q_low: float, q_high: float, shading: float
+    ) -> LinearBid:
+        """The LinearBid induced by a strategy triple."""
+        d_max = min(
+            self.value_curve.optimal_demand_w(q_low) * shading, self.rack_cap_w
+        )
+        d_min = min(
+            self.value_curve.optimal_demand_w(q_high) * shading, d_max
+        )
+        return LinearBid(d_max, q_low, d_min, q_high)
+
+
+@dataclasses.dataclass
+class EquilibriumResult:
+    """Outcome of the best-response dynamics.
+
+    Attributes:
+        converged: Whether a full round passed with no bidder changing
+            its strategy (an approximate pure Nash equilibrium on the
+            strategy grid).
+        rounds: Rounds executed.
+        strategies: Final strategy triple per rack id.
+        net_benefits: Final per-bidder net benefit, $/h.
+        prices: Clearing price after each round.
+        total_granted_w: Total grant after each round.
+    """
+
+    converged: bool
+    rounds: int
+    strategies: dict[str, tuple[float, float, float]]
+    net_benefits: dict[str, float]
+    prices: list[float]
+    total_granted_w: list[float]
+
+
+class BestResponseSimulator:
+    """Iterated best response over the LinearBid strategy grid.
+
+    Args:
+        bidders: The strategic participants.
+        pdu_spot_w: Fixed spot supply per PDU for the stage game.
+        ups_spot_w: Fixed facility-level supply.
+        price_anchors: Candidate anchor prices; strategies use every
+            ordered pair ``q_low <= q_high``.
+        shading_factors: Candidate quantity-shading multipliers
+            (1.0 = demand the rational quantity; <1 shades down to
+            soften the clearing price).
+        params: Operator market knobs.
+    """
+
+    def __init__(
+        self,
+        bidders: Sequence[Bidder],
+        pdu_spot_w: Mapping[str, float],
+        ups_spot_w: float,
+        price_anchors: Sequence[float] = (0.05, 0.1, 0.15, 0.2, 0.3),
+        shading_factors: Sequence[float] = (0.6, 0.8, 1.0),
+        params: MarketParameters | None = None,
+    ) -> None:
+        if not bidders:
+            raise ConfigurationError("need at least one bidder")
+        ids = [b.rack_id for b in bidders]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate bidder rack ids: {ids}")
+        if not price_anchors or any(q < 0 for q in price_anchors):
+            raise ConfigurationError("price anchors must be non-negative")
+        if not shading_factors or any(not 0 < s <= 1 for s in shading_factors):
+            raise ConfigurationError("shading factors must be in (0, 1]")
+        self.bidders = list(bidders)
+        self.pdu_spot_w = dict(pdu_spot_w)
+        self.ups_spot_w = ups_spot_w
+        self.engine = MarketClearing(
+            params=params or MarketParameters(price_step=0.005)
+        )
+        anchors = sorted(set(price_anchors))
+        self.strategy_grid = [
+            (q_low, q_high, shading)
+            for q_low, q_high in itertools.combinations_with_replacement(
+                anchors, 2
+            )
+            for shading in sorted(set(shading_factors))
+        ]
+
+    # ------------------------------------------------------------------
+    # Stage game
+    # ------------------------------------------------------------------
+
+    def _rack_bids(
+        self, strategies: Mapping[str, tuple[float, float, float]]
+    ) -> list[RackBid]:
+        bids = []
+        for bidder in self.bidders:
+            q_low, q_high, shading = strategies[bidder.rack_id]
+            bids.append(
+                RackBid(
+                    rack_id=bidder.rack_id,
+                    pdu_id=bidder.pdu_id,
+                    tenant_id=bidder.rack_id,
+                    demand=bidder.bid_for(q_low, q_high, shading),
+                    rack_cap_w=bidder.rack_cap_w,
+                )
+            )
+        return bids
+
+    def evaluate(
+        self, strategies: Mapping[str, tuple[float, float, float]]
+    ) -> tuple[dict[str, float], float, float]:
+        """Clear the stage game; return (net benefits, price, total grant)."""
+        result = self.engine.clear(
+            self._rack_bids(strategies), self.pdu_spot_w, self.ups_spot_w
+        )
+        benefits = {
+            bidder.rack_id: bidder.net_benefit(
+                result.grant_for(bidder.rack_id), result.price
+            )
+            for bidder in self.bidders
+        }
+        return benefits, result.price, result.total_granted_w
+
+    def best_response(
+        self,
+        bidder: Bidder,
+        strategies: Mapping[str, tuple[float, float, float]],
+    ) -> tuple[tuple[float, float, float], float]:
+        """The bidder's best strategy given the others' bids fixed."""
+        best_strategy = strategies[bidder.rack_id]
+        benefits, _, _ = self.evaluate(strategies)
+        best_benefit = benefits[bidder.rack_id]
+        trial = dict(strategies)
+        for candidate in self.strategy_grid:
+            trial[bidder.rack_id] = candidate
+            benefits, _, _ = self.evaluate(trial)
+            # Strict improvement beyond tolerance avoids churn between
+            # payoff-equivalent strategies.
+            if benefits[bidder.rack_id] > best_benefit + 1e-12:
+                best_benefit = benefits[bidder.rack_id]
+                best_strategy = candidate
+        return best_strategy, best_benefit
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        max_rounds: int = 25,
+        initial: Mapping[str, tuple[float, float, float]] | None = None,
+    ) -> EquilibriumResult:
+        """Iterate round-robin best responses to a fixed point.
+
+        Args:
+            max_rounds: Round limit.
+            initial: Starting strategies; defaults to every bidder
+                playing truthful-ish anchors (lowest/highest grid
+                prices, no shading).
+        """
+        if max_rounds <= 0:
+            raise ConfigurationError("max_rounds must be positive")
+        anchors = sorted({q for (q, _, _) in self.strategy_grid} | {
+            q for (_, q, _) in self.strategy_grid
+        })
+        default = (anchors[0], anchors[-1], 1.0)
+        strategies: dict[str, tuple[float, float, float]] = {
+            bidder.rack_id: default for bidder in self.bidders
+        }
+        if initial:
+            strategies.update(initial)
+
+        prices: list[float] = []
+        totals: list[float] = []
+        converged = False
+        rounds = 0
+        for rounds in range(1, max_rounds + 1):
+            changed = False
+            for bidder in self.bidders:
+                response, _ = self.best_response(bidder, strategies)
+                if response != strategies[bidder.rack_id]:
+                    strategies[bidder.rack_id] = response
+                    changed = True
+            _, price, total = self.evaluate(strategies)
+            prices.append(price)
+            totals.append(total)
+            if not changed:
+                converged = True
+                break
+        benefits, _, _ = self.evaluate(strategies)
+        return EquilibriumResult(
+            converged=converged,
+            rounds=rounds,
+            strategies=strategies,
+            net_benefits=benefits,
+            prices=prices,
+            total_granted_w=totals,
+        )

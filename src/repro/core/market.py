@@ -1,0 +1,171 @@
+"""Allocator interfaces and the SpotDC market orchestrator (Algorithm 1).
+
+The simulation engine delegates each slot's spot-capacity decision to an
+:class:`Allocator`:
+
+* :class:`SpotDCAllocator` — the paper's market: solicit demand-function
+  bids, clear at a profit-maximising uniform price under multi-level
+  constraints, and bill tenants.
+* The baselines (:mod:`repro.core.baselines`) implement the same
+  interface, which keeps every experiment a one-line allocator swap.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from collections.abc import Sequence
+
+from repro.config import MarketParameters
+from repro.core.allocation import AllocationResult, verify_allocation
+from repro.core.bids import RackBid, flatten_bids
+from repro.core.clearing import MarketClearing
+from repro.prediction.spot import SpotCapacityForecast
+from repro.tenants.tenant import Tenant
+
+__all__ = ["Allocator", "SpotDCAllocator", "SlotMarketRecord"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SlotMarketRecord:
+    """What one slot's allocation produced, with billing attribution.
+
+    Attributes:
+        result: The clearing outcome.
+        bids: The flattened rack bids that entered clearing.
+        payments: Dollars owed per tenant id for the slot.
+    """
+
+    result: AllocationResult
+    bids: tuple[RackBid, ...]
+    payments: dict[str, float]
+
+
+class Allocator(abc.ABC):
+    """One slot-level spot-capacity allocation policy."""
+
+    #: Short policy label used in results and reports.
+    name: str = "allocator"
+    #: Whether tenants pay for allocations (False for MaxPerf/PowerCapped).
+    charges_tenants: bool = True
+    #: Whether the policy requires rack-level over-provisioning (False
+    #: only for PowerCapped, which never delivers spot capacity — its
+    #: operator pays no rack capex).
+    provisions_spot: bool = True
+
+    @abc.abstractmethod
+    def allocate(
+        self,
+        slot: int,
+        tenants: Sequence[Tenant],
+        forecast: SpotCapacityForecast,
+        slot_seconds: float,
+        predicted_price: float | None = None,
+        extra_constraints: Sequence = (),
+    ) -> SlotMarketRecord:
+        """Decide this slot's spot-capacity grants.
+
+        ``extra_constraints`` are phase-balance / heat-density bounds
+        (:class:`repro.infrastructure.constraints.CapacityConstraint`)
+        in force for this slot.
+        """
+
+
+class SpotDCAllocator(Allocator):
+    """The SpotDC market (paper Algorithm 1, steps 3-5).
+
+    Args:
+        params: Operator market knobs (price grid, reserve price).
+        verify: Run the Eq. 2-4 integrity check on every outcome.  Cheap
+            relative to clearing; enabled by default as the reliability
+            backstop.
+        oracle_rebid: Enable the Fig. 16 two-pass mode: clear once
+            provisionally, feed the provisional price back to tenants as
+            a "perfect" forecast, and clear again on the revised bids.
+        pricing: ``"per_pdu"`` (default) clears a locational uniform
+            price per PDU — required for stable behaviour at hyper-scale
+            (see :meth:`repro.core.clearing.MarketClearing.clear_per_pdu`);
+            ``"uniform"`` clears one facility-wide price, the paper's
+            literal description.
+    """
+
+    name = "spotdc"
+    charges_tenants = True
+
+    def __init__(
+        self,
+        params: MarketParameters | None = None,
+        verify: bool = True,
+        oracle_rebid: bool = False,
+        pricing: str = "per_pdu",
+    ) -> None:
+        if pricing not in ("per_pdu", "uniform"):
+            raise ValueError(f"unknown pricing mode {pricing!r}")
+        self.params = params or MarketParameters()
+        self.engine = MarketClearing(params=self.params)
+        self.verify = verify
+        self.oracle_rebid = oracle_rebid
+        self.pricing = pricing
+
+    def _clear(self, bids, forecast, extra_constraints=()):
+        if self.pricing == "per_pdu":
+            return self.engine.clear_per_pdu(
+                bids, forecast.pdu_spot_w, forecast.ups_spot_w, extra_constraints
+            )
+        return self.engine.clear(
+            bids, forecast.pdu_spot_w, forecast.ups_spot_w, extra_constraints
+        )
+
+    def _collect_bids(
+        self,
+        slot: int,
+        tenants: Sequence[Tenant],
+        predicted_price: float | None,
+    ) -> list[RackBid]:
+        tenant_bids = []
+        for tenant in tenants:
+            bid = tenant.make_bid(slot, predicted_price=predicted_price)
+            if bid is not None:
+                tenant_bids.append(bid)
+        return flatten_bids(tenant_bids)
+
+    def allocate(
+        self,
+        slot: int,
+        tenants: Sequence[Tenant],
+        forecast: SpotCapacityForecast,
+        slot_seconds: float,
+        predicted_price: float | None = None,
+        extra_constraints: Sequence = (),
+    ) -> SlotMarketRecord:
+        bids = self._collect_bids(slot, tenants, predicted_price)
+        result = self._clear(bids, forecast, extra_constraints)
+        if self.oracle_rebid and bids:
+            # Fig. 16: strategic tenants re-bid knowing the market price.
+            rebids = self._collect_bids(slot, tenants, result.price)
+            result = self._clear(rebids, forecast, extra_constraints)
+            bids = rebids
+        if self.verify:
+            verify_allocation(
+                result,
+                bids,
+                forecast.pdu_spot_w,
+                forecast.ups_spot_w,
+                extra_constraints=extra_constraints,
+            )
+        payments = self._payments(result, bids, slot_seconds)
+        return SlotMarketRecord(result=result, bids=tuple(bids), payments=payments)
+
+    @staticmethod
+    def _payments(
+        result: AllocationResult, bids: Sequence[RackBid], slot_seconds: float
+    ) -> dict[str, float]:
+        slot_hours = slot_seconds / 3600.0
+        payments: dict[str, float] = {}
+        bid_of = {bid.rack_id: bid for bid in bids}
+        for rack_id, grant in result.grants_w.items():
+            bid = bid_of[rack_id]
+            paid_price = result.price_for_pdu(bid.pdu_id)
+            dollars = (grant / 1000.0) * paid_price * slot_hours
+            payments[bid.tenant_id] = payments.get(bid.tenant_id, 0.0) + dollars
+        return payments

@@ -1,0 +1,34 @@
+"""Money: the colo price sheet, tenant performance-cost models,
+spot-capacity value curves, and operator profit accounting.
+"""
+
+from repro.economics.cost import OpportunisticCostModel, SprintingCostModel
+from repro.economics.pricing import PriceSheet
+from repro.economics.profit import OperatorLedger
+from repro.economics.settlement import (
+    Invoice,
+    build_all_invoices,
+    build_invoice,
+    reconcile,
+    render_invoices,
+)
+from repro.economics.valuation import (
+    SpotValueCurve,
+    opportunistic_value_curve,
+    sprinting_value_curve,
+)
+
+__all__ = [
+    "Invoice",
+    "OperatorLedger",
+    "OpportunisticCostModel",
+    "PriceSheet",
+    "SpotValueCurve",
+    "SprintingCostModel",
+    "build_all_invoices",
+    "build_invoice",
+    "opportunistic_value_curve",
+    "reconcile",
+    "render_invoices",
+    "sprinting_value_curve",
+]

@@ -1,0 +1,88 @@
+"""Colocation price sheet: guaranteed-capacity rates, energy tariff,
+and rack over-provisioning capital cost.
+
+All constants come from the paper (Sections I, II, V-B): guaranteed
+capacity at US$120-250/kW/month, metered energy billed separately, and
+US$0.4/W rack-capacity capex amortised over 15 years.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import units
+from repro.config import (
+    ENERGY_TARIFF_PER_KWH,
+    GUARANTEED_RATE_PER_KW_MONTH,
+    RACK_CAPEX_AMORTIZATION_YEARS,
+    RACK_CAPEX_PER_WATT,
+)
+from repro.errors import ConfigurationError
+
+__all__ = ["PriceSheet"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PriceSheet:
+    """The operator's published prices.
+
+    Attributes:
+        guaranteed_rate_per_kw_month: Guaranteed-capacity subscription
+            rate, $/kW/month.
+        energy_tariff_per_kwh: Metered-energy charge, $/kWh.
+        rack_capex_per_watt: One-time cost of over-provisioning one watt
+            of rack-level capacity for spot-capacity delivery.
+        rack_capex_amortization_years: Amortisation horizon for that
+            capex in the operator's profit accounting.
+    """
+
+    guaranteed_rate_per_kw_month: float = GUARANTEED_RATE_PER_KW_MONTH
+    energy_tariff_per_kwh: float = ENERGY_TARIFF_PER_KWH
+    rack_capex_per_watt: float = RACK_CAPEX_PER_WATT
+    rack_capex_amortization_years: float = RACK_CAPEX_AMORTIZATION_YEARS
+
+    def __post_init__(self) -> None:
+        if self.guaranteed_rate_per_kw_month <= 0:
+            raise ConfigurationError("guaranteed rate must be positive")
+        if self.energy_tariff_per_kwh < 0:
+            raise ConfigurationError("energy tariff must be >= 0")
+        if self.rack_capex_per_watt < 0:
+            raise ConfigurationError("rack capex must be >= 0")
+        if self.rack_capex_amortization_years <= 0:
+            raise ConfigurationError("amortization horizon must be positive")
+
+    @property
+    def guaranteed_rate_per_kw_hour(self) -> float:
+        """Amortised hourly guaranteed-capacity rate, $/kW/h.
+
+        This is the paper's anchor for tenants' maximum spot bids: spot
+        capacity should never cost more than simply subscribing more
+        guaranteed capacity (Section III-B3).
+        """
+        return units.per_kw_month_to_per_kw_hour(self.guaranteed_rate_per_kw_month)
+
+    def subscription_cost(self, guaranteed_w: float, duration_hours: float) -> float:
+        """Guaranteed-capacity charge over a duration, dollars."""
+        if guaranteed_w < 0 or duration_hours < 0:
+            raise ConfigurationError("subscription inputs must be >= 0")
+        return (
+            units.watts_to_kilowatts(guaranteed_w)
+            * self.guaranteed_rate_per_kw_hour
+            * duration_hours
+        )
+
+    def energy_charge(self, watts: float, duration_hours: float) -> float:
+        """Metered-energy charge for a constant draw over a duration."""
+        if watts < 0 or duration_hours < 0:
+            raise ConfigurationError("energy inputs must be >= 0")
+        kwh = units.watts_to_kilowatts(watts) * duration_hours
+        return kwh * self.energy_tariff_per_kwh
+
+    def rack_capex_per_hour(self, overprovisioned_w: float) -> float:
+        """Hourly amortisation of rack over-provisioning capex, dollars/h."""
+        if overprovisioned_w < 0:
+            raise ConfigurationError("overprovisioned_w must be >= 0")
+        total = self.rack_capex_per_watt * overprovisioned_w
+        return units.amortized_capex_per_hour(
+            total, self.rack_capex_amortization_years
+        )

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the SpotDC reproduction.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can distinguish domain failures from programming errors.  The hierarchy is
+intentionally shallow: one subclass per subsystem boundary where a caller
+may plausibly want to catch a narrower class.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "CapacityError",
+    "BidError",
+    "ClearingError",
+    "WorkloadError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario, model, or component was configured with invalid values."""
+
+
+class TopologyError(ConfigurationError):
+    """The power-delivery topology is malformed.
+
+    Raised, for example, when a rack is attached to an unknown PDU, when
+    two racks share an identifier, or when a capacity is non-positive.
+    """
+
+
+class CapacityError(ReproError):
+    """A power-capacity constraint was violated where it must hold.
+
+    This signals a *bug or misuse*, not a simulated power emergency:
+    simulated overloads are recorded by
+    :class:`repro.infrastructure.emergencies.EmergencyLog` rather than
+    raised, because oversubscribed facilities are expected to experience
+    occasional capacity excursions (paper, Section V-B2).
+    """
+
+
+class BidError(ReproError):
+    """A spot-capacity bid is malformed (e.g. ``D_min > D_max``)."""
+
+
+class ClearingError(ReproError):
+    """Market clearing could not produce a valid outcome.
+
+    Under normal operation clearing always succeeds (the empty allocation
+    at an arbitrarily high price is always feasible); this error indicates
+    inconsistent inputs such as negative available spot capacity.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload or trace generator received invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The time-slotted simulation reached an inconsistent state."""

@@ -1,0 +1,40 @@
+"""Experiment runners: one module per table/figure of the paper's
+evaluation.  Each exposes a ``run_*`` function returning structured
+results and a ``render_*`` function printing the paper-style rows;
+``benchmarks/`` wraps these with pytest-benchmark.
+"""
+
+from repro.experiments import ablations, ext_equilibrium
+from repro.experiments.common import ComparisonRuns, run_comparison
+from repro.experiments.fig02_spot_opportunity import run_fig02, render_fig02
+from repro.experiments.fig07_prediction_and_scaling import (
+    run_fig07a,
+    run_fig07b,
+    render_fig07,
+)
+from repro.experiments.fig08_power_performance import run_fig08, render_fig08
+from repro.experiments.fig09_perf_gain import run_fig09, render_fig09
+from repro.experiments.fig10_execution_trace import run_fig10, render_fig10
+from repro.experiments.fig11_tenant_performance import run_fig11, render_fig11
+from repro.experiments.fig12_cost_performance import run_fig12, render_fig12
+from repro.experiments.fig13_price_power_cdf import run_fig13, render_fig13
+from repro.experiments.fig14_demand_functions import run_fig14, render_fig14
+from repro.experiments.fig15_spot_availability import run_fig15, render_fig15
+from repro.experiments.fig16_bidding_strategy import run_fig16, render_fig16
+from repro.experiments.fig17_underprediction import run_fig17, render_fig17
+from repro.experiments.fig18_scale import run_fig18, render_fig18
+from repro.experiments.table1_testbed import run_table1, render_table1
+
+__all__ = [
+    "ComparisonRuns",
+    "ablations",
+    "ext_equilibrium",
+    "render_fig02", "render_fig07", "render_fig08", "render_fig09",
+    "render_fig10", "render_fig11", "render_fig12", "render_fig13",
+    "render_fig14", "render_fig15", "render_fig16", "render_fig17",
+    "render_fig18", "render_table1",
+    "run_comparison",
+    "run_fig02", "run_fig07a", "run_fig07b", "run_fig08", "run_fig09",
+    "run_fig10", "run_fig11", "run_fig12", "run_fig13", "run_fig14",
+    "run_fig15", "run_fig16", "run_fig17", "run_fig18", "run_table1",
+]

@@ -1,0 +1,125 @@
+"""Shared plumbing for the per-figure experiment runners.
+
+Every runner follows the same pattern: build fresh scenarios from one
+seed, run them under the relevant allocators, and reduce the results to
+exactly the rows/series the paper's figure reports.  Run lengths default
+to a multi-day window (a faithful, fast proxy for the paper's simulated
+year — all reported quantities are rates/averages that stabilise within
+days); pass larger ``slots`` for longer horizons.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.config import DEFAULT_SEED
+from repro.core.baselines import MaxPerfAllocator, PowerCappedAllocator
+from repro.core.market import SpotDCAllocator
+from repro.sim.engine import run_simulation
+from repro.sim.results import SimulationResult
+from repro.sim.scenario import testbed_scenario
+
+__all__ = [
+    "DEFAULT_SLOTS",
+    "LONG_SLOTS",
+    "TRACE_SLOTS",
+    "ComparisonRuns",
+    "run_comparison",
+    "sprinting_ids",
+    "opportunistic_ids",
+    "mean_perf_improvement",
+    "mean_cost_increase",
+]
+
+#: Default horizon for headline comparisons: 2,500 two-minute slots
+#: (~3.5 days), enough for every reported rate to stabilise.
+DEFAULT_SLOTS = 2500
+
+#: Longer horizon for CDF figures (about one simulated week).
+LONG_SLOTS = 5000
+
+#: The paper's 20-minute testbed execution: 10 slots of 120 s.
+TRACE_SLOTS = 10
+
+
+@dataclasses.dataclass
+class ComparisonRuns:
+    """SpotDC / PowerCapped / (optionally) MaxPerf runs of one scenario."""
+
+    spotdc: SimulationResult
+    powercapped: SimulationResult
+    maxperf: SimulationResult | None = None
+
+    def profit_increase(self) -> float:
+        """Operator net-profit increase of SpotDC over PowerCapped."""
+        return self.spotdc.operator_profit_increase_vs(self.powercapped)
+
+
+def run_comparison(
+    scenario_factory=None,
+    slots: int = DEFAULT_SLOTS,
+    seed: int = DEFAULT_SEED,
+    include_maxperf: bool = False,
+    **scenario_kwargs,
+) -> ComparisonRuns:
+    """Run one scenario under SpotDC, PowerCapped, and optionally MaxPerf.
+
+    Args:
+        scenario_factory: Callable building a fresh scenario from
+            ``seed=..., **scenario_kwargs`` (default: the Table I
+            testbed).  A fresh scenario is built per run because
+            workload state is consumed by a run.
+        slots: Simulation length.
+        seed: Shared seed, so all runs see identical traces.
+        include_maxperf: Also run the MaxPerf upper bound.
+        **scenario_kwargs: Forwarded to the factory.
+    """
+    factory = scenario_factory or testbed_scenario
+    spotdc = run_simulation(
+        factory(seed=seed, **scenario_kwargs), slots, allocator=SpotDCAllocator()
+    )
+    powercapped = run_simulation(
+        factory(seed=seed, **scenario_kwargs), slots, allocator=PowerCappedAllocator()
+    )
+    maxperf = None
+    if include_maxperf:
+        maxperf = run_simulation(
+            factory(seed=seed, **scenario_kwargs), slots, allocator=MaxPerfAllocator()
+        )
+    return ComparisonRuns(spotdc=spotdc, powercapped=powercapped, maxperf=maxperf)
+
+
+def sprinting_ids(result: SimulationResult) -> list[str]:
+    """Sprinting tenants in a result, in roster order."""
+    return [t for t in result.participating_tenant_ids()
+            if result.tenants[t].kind == "sprinting"]
+
+
+def opportunistic_ids(result: SimulationResult) -> list[str]:
+    """Opportunistic tenants in a result, in roster order."""
+    return [t for t in result.participating_tenant_ids()
+            if result.tenants[t].kind == "opportunistic"]
+
+
+def mean_perf_improvement(
+    result: SimulationResult, baseline: SimulationResult
+) -> float:
+    """Mean performance improvement over all participating tenants."""
+    ratios = [
+        result.tenant_performance_improvement_vs(baseline, t)
+        for t in result.participating_tenant_ids()
+    ]
+    return float(np.mean(ratios)) if ratios else 1.0
+
+
+def mean_cost_increase(
+    result: SimulationResult, baseline: SimulationResult
+) -> float:
+    """Mean total-cost increase over all participating tenants."""
+    increases = [
+        result.tenant_cost_increase_vs(baseline, t)
+        for t in result.participating_tenant_ids()
+    ]
+    return float(np.mean(increases)) if increases else 0.0

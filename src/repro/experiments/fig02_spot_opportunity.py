@@ -1,0 +1,131 @@
+"""Fig. 2(b): the spot-capacity opportunity in tenant power CDFs.
+
+The paper plots the CDF of measured PDU power for five tenants over
+three months, normalised to the maximum, then shows how adding two more
+tenants (oversubscription) moves the CDF toward the ideal vertical line
+— gaining utilization (area "A") at the cost of occasional emergencies
+(area "B") while still leaving spot capacity (area "C").
+
+We regenerate the same construction from the synthetic colo trace: a
+5-tenant aggregate sets the PDU capacity at its maximum demand; a
+7-tenant aggregate shares the same capacity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.reporting import format_kv, format_series
+from repro.config import DEFAULT_SEED, make_rng, spawn_rngs
+from repro.workloads.traces import ColoPowerTrace
+
+__all__ = ["SpotOpportunityResult", "run_fig02", "render_fig02"]
+
+#: Three months of 1-minute slots, as in the measured trace.
+_THREE_MONTHS_SLOTS = 90 * 24 * 60
+
+
+@dataclasses.dataclass
+class SpotOpportunityResult:
+    """Outputs of the Fig. 2(b) reconstruction.
+
+    Attributes:
+        base_cdf: CDF of 5-tenant aggregate power, normalised to the
+            capacity (the maximum 5-tenant demand).
+        oversubscribed_cdf: CDF of 7-tenant aggregate power under the
+            same capacity (values above 1 are emergency mass).
+        utilization_gain: Area "A" — mean utilization gained by adding
+            tenants, as a fraction of capacity.
+        emergency_fraction: Area-"B" proxy — fraction of slots in which
+            the 7-tenant demand exceeds the capacity.
+        spot_fraction: Area "C" — mean unused capacity remaining under
+            oversubscription, as a fraction of capacity.
+    """
+
+    base_cdf: EmpiricalCdf
+    oversubscribed_cdf: EmpiricalCdf
+    utilization_gain: float
+    emergency_fraction: float
+    spot_fraction: float
+
+
+def run_fig02(
+    seed: int = DEFAULT_SEED,
+    slots: int = _THREE_MONTHS_SLOTS,
+    base_tenants: int = 5,
+    added_tenants: int = 2,
+    tenant_subscription_w: float = 150.0,
+    added_subscription_w: float = 75.0,
+) -> SpotOpportunityResult:
+    """Reconstruct Fig. 2(b) from synthetic colo power traces.
+
+    Args:
+        seed: Trace seed.
+        slots: Trace length (default: three months of 1-minute slots).
+        base_tenants: Tenants setting the original CDF (paper: 5).
+        added_tenants: Extra tenants under oversubscription (paper: 2).
+        tenant_subscription_w: Per-tenant subscription scale.
+        added_subscription_w: Subscription of the tenants added under
+            oversubscription — smaller than the incumbents, chosen so
+            that the emergency mass (area "B") stays occasional while
+            the utilization gain (area "A") is substantial, matching the
+            figure's proportions.
+    """
+    rng = make_rng(seed)
+    total = base_tenants + added_tenants
+    rngs = spawn_rngs(rng, total)
+    traces = []
+    for i, tenant_rng in enumerate(rngs):
+        trace = ColoPowerTrace(
+            subscription_w=(
+                tenant_subscription_w if i < base_tenants else added_subscription_w
+            ),
+            # Per-tenant power is peakier and only partially aligned
+            # across tenants; statistical multiplexing smooths the sum,
+            # which is exactly why oversubscription leaves spot capacity.
+            phase=float(rng.uniform(0.0, 0.5)),
+            mean_fraction=0.50,
+            diurnal_amplitude=0.28,
+            noise_sigma=0.08,
+        )
+        traces.append(trace.generate(slots, tenant_rng))
+    base_power = np.sum(traces[:base_tenants], axis=0)
+    over_power = np.sum(traces, axis=0)
+
+    capacity = float(base_power.max())
+    base_cdf = EmpiricalCdf(base_power / capacity)
+    over_cdf = EmpiricalCdf(over_power / capacity)
+
+    base_unused = base_cdf.area_gap_to_ideal(1.0)
+    over_unused = over_cdf.area_gap_to_ideal(1.0)
+    return SpotOpportunityResult(
+        base_cdf=base_cdf,
+        oversubscribed_cdf=over_cdf,
+        utilization_gain=base_unused - over_unused,
+        emergency_fraction=over_cdf.exceedance_fraction(1.0),
+        spot_fraction=over_unused,
+    )
+
+
+def render_fig02(result: SpotOpportunityResult, points: int = 11) -> str:
+    """Paper-style text: the two CDF curves plus the A/B/C areas."""
+    xs = np.linspace(0.0, max(1.0, result.oversubscribed_cdf.max), points)
+    series = {
+        "cdf_5_tenants": result.base_cdf.evaluate_many(xs).round(3),
+        "cdf_7_tenants": result.oversubscribed_cdf.evaluate_many(xs).round(3),
+    }
+    table = format_series(
+        "power/capacity", xs.round(2), series,
+        title="Fig. 2(b): power CDFs, 5 vs 7 tenants on the same PDU capacity",
+    )
+    summary = format_kv(
+        {
+            "utilization gained by oversubscription (area A)": result.utilization_gain,
+            "emergency slot fraction (area B)": result.emergency_fraction,
+            "remaining spot capacity fraction (area C)": result.spot_fraction,
+        }
+    )
+    return table + "\n" + summary

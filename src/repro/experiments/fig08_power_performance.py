@@ -1,0 +1,103 @@
+"""Fig. 8: power-performance relations at different workload levels.
+
+The paper profiles Search-1 (p99 latency), Web (p90 latency), and
+Count-1 (processing rate) against the rack power budget at selected
+workload intensities.  We regenerate the same curves from the latency
+and throughput models the tenants actually use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.reporting import format_series
+from repro.power.profiles import PowerPerformanceProfile
+from repro.power.server import ServerPowerModel
+from repro.power.throughput import ThroughputModel
+from repro.workloads.hadoop import WORDCOUNT_DEFAULTS
+from repro.workloads.search import make_search_latency_model
+from repro.workloads.web import make_web_latency_model
+
+__all__ = ["PowerPerformanceResult", "run_fig08", "render_fig08"]
+
+#: Table I power scales: Search 145 W, Web 115 W, Count 125 W
+#: subscriptions, with the scenario's idle/peak shape.
+_SEARCH_POWER = ServerPowerModel(idle_w=0.45 * 145, peak_w=1.25 * 145)
+_WEB_POWER = ServerPowerModel(idle_w=0.45 * 115, peak_w=1.25 * 115)
+_COUNT_POWER = ServerPowerModel(idle_w=0.45 * 125, peak_w=1.55 * 125)
+
+
+@dataclasses.dataclass
+class PowerPerformanceResult:
+    """Fig. 8's three panels, one profile per workload.
+
+    Attributes:
+        search: p99 latency (ms) vs power at three request rates.
+        web: p90 latency (ms) vs power at three request rates.
+        count: WordCount rate (MB/s) vs power.
+    """
+
+    search: PowerPerformanceProfile
+    web: PowerPerformanceProfile
+    count: PowerPerformanceProfile
+
+
+def run_fig08(
+    load_fractions=(0.4, 0.55, 0.7), samples: int = 40
+) -> PowerPerformanceResult:
+    """Profile the three Fig. 8 workloads.
+
+    Args:
+        load_fractions: Interactive workload intensities, as fractions
+            of the full-power service rate.
+        samples: Power-grid resolution.
+    """
+    search_model = make_search_latency_model(_SEARCH_POWER)
+    web_model = make_web_latency_model(_WEB_POWER)
+    count_model = ThroughputModel(
+        power_model=_COUNT_POWER,
+        rate_max=WORDCOUNT_DEFAULTS["rate_max_mb_per_watt"]
+        * _COUNT_POWER.dynamic_range_w,
+        scaling_exponent=WORDCOUNT_DEFAULTS["scaling_exponent"],
+    )
+    search = PowerPerformanceProfile.profile_latency(
+        search_model,
+        [f * search_model.mu_max_rps for f in load_fractions],
+        samples=samples,
+    )
+    web = PowerPerformanceProfile.profile_latency(
+        web_model,
+        [f * web_model.mu_max_rps for f in load_fractions],
+        samples=samples,
+    )
+    count = PowerPerformanceProfile.profile_throughput(count_model, samples=samples)
+    return PowerPerformanceResult(search=search, web=web, count=count)
+
+
+def render_fig08(result: PowerPerformanceResult, points: int = 8) -> str:
+    """Paper-style text: one small table per panel."""
+    sections = []
+    for label, profile, unit in (
+        ("Search-1 (p99 latency)", result.search, "ms"),
+        ("Web (p90 latency)", result.web, "ms"),
+        ("Count-1 (throughput)", result.count, "MB/s"),
+    ):
+        grid = profile.curves[0].power_w
+        xs = np.linspace(grid[0], grid[-1], points)
+        series = {}
+        for curve in profile.curves:
+            name = (
+                f"load={curve.intensity:.0f}rps"
+                if profile.metric == "latency_ms"
+                else f"rate [{unit}]"
+            )
+            series[name] = [round(curve.performance_at(float(x)), 1) for x in xs]
+        sections.append(
+            format_series(
+                "power [W]", xs.round(0), series,
+                title=f"Fig. 8: {label} vs power budget",
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,77 @@
+"""Fig. 15: impact of available spot capacity.
+
+Keeping tenants unchanged and varying the operator's PDU
+oversubscription (hence the available spot capacity), the paper shows:
+the market price falls, the operator's extra profit rises, and tenants'
+performance improves as more spot capacity becomes available.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.reporting import format_series
+from repro.config import DEFAULT_SEED
+from repro.experiments.common import (
+    DEFAULT_SLOTS,
+    mean_perf_improvement,
+    run_comparison,
+)
+
+__all__ = ["SpotAvailabilitySweep", "run_fig15", "render_fig15"]
+
+_DEFAULT_RATIOS = (1.12, 1.08, 1.05, 1.02, 1.0)
+
+
+@dataclasses.dataclass
+class SpotAvailabilitySweep:
+    """Fig. 15's series.
+
+    Attributes:
+        spot_fractions: Measured average spot fraction per sweep point.
+        profit_increase: Operator profit increase vs PowerCapped.
+        perf_improvement: Mean tenant performance improvement.
+        mean_price: Mean positive clearing price (falls with supply).
+    """
+
+    spot_fractions: list[float]
+    profit_increase: list[float]
+    perf_improvement: list[float]
+    mean_price: list[float]
+
+
+def run_fig15(
+    seed: int = DEFAULT_SEED,
+    slots: int = DEFAULT_SLOTS,
+    oversubscription_ratios=_DEFAULT_RATIOS,
+) -> SpotAvailabilitySweep:
+    """Sweep spot availability under the default SpotDC market."""
+    sweep = SpotAvailabilitySweep([], [], [], [])
+    for ratio in oversubscription_ratios:
+        runs = run_comparison(
+            slots=slots, seed=seed, pdu_oversubscription=ratio
+        )
+        prices = runs.spotdc.price_series()
+        positive = prices[prices > 0]
+        sweep.spot_fractions.append(runs.spotdc.average_spot_fraction())
+        sweep.profit_increase.append(runs.profit_increase())
+        sweep.perf_improvement.append(
+            mean_perf_improvement(runs.spotdc, runs.powercapped)
+        )
+        sweep.mean_price.append(float(positive.mean()) if positive.size else 0.0)
+    return sweep
+
+
+def render_fig15(sweep: SpotAvailabilitySweep) -> str:
+    """Paper-style text: profit / performance / price vs availability."""
+    xs = [round(100 * f, 1) for f in sweep.spot_fractions]
+    return format_series(
+        "avg spot [% of subscribed]",
+        xs,
+        {
+            "profit +%": [round(100 * v, 2) for v in sweep.profit_increase],
+            "perf x": [round(v, 3) for v in sweep.perf_improvement],
+            "mean price [$/kW/h]": [round(v, 3) for v in sweep.mean_price],
+        },
+        title="Fig. 15: impact of available spot capacity",
+    )

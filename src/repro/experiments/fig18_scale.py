@@ -1,0 +1,90 @@
+"""Fig. 18: scaling to a hyper-scale facility (up to 1,000 tenants).
+
+The paper replicates the Table I composition with up-to-±20% jitter on
+workloads and cost models, scaling PDU/UPS capacities proportionally,
+and finds the normalised results stabilise: profit +9.7%, performance
+~1.4x on average, marginal cost.  We replicate with
+:func:`repro.sim.scenario.scaled_scenario` (10 tenants per group; 1,000
+tenants = 100 groups).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.reporting import format_series
+from repro.config import DEFAULT_SEED
+from repro.experiments.common import (
+    mean_cost_increase,
+    mean_perf_improvement,
+    run_comparison,
+)
+from repro.sim.scenario import scaled_scenario
+
+__all__ = ["ScaleSweep", "run_fig18", "render_fig18"]
+
+#: Table I groups per sweep point (10 tenants per group).
+_DEFAULT_GROUPS = (1, 3, 10, 25, 50, 100)
+
+
+@dataclasses.dataclass
+class ScaleSweep:
+    """Fig. 18's series.
+
+    Attributes:
+        tenant_counts: Total tenants per sweep point.
+        profit_increase: Operator profit increase vs PowerCapped.
+        cost_increase: Mean participating-tenant cost increase.
+        perf_improvement: Mean tenant performance improvement.
+    """
+
+    tenant_counts: list[int]
+    profit_increase: list[float]
+    cost_increase: list[float]
+    perf_improvement: list[float]
+
+
+def run_fig18(
+    seed: int = DEFAULT_SEED,
+    slots: int = 1200,
+    groups=_DEFAULT_GROUPS,
+) -> ScaleSweep:
+    """Sweep the facility scale.
+
+    Args:
+        seed: Scenario seed.
+        slots: Run length per point (shorter than the testbed sweeps —
+            large facilities average over many tenants per slot).
+        groups: Table I replication counts.
+    """
+    sweep = ScaleSweep([], [], [], [])
+    for count in groups:
+        runs = run_comparison(
+            scenario_factory=scaled_scenario,
+            slots=slots,
+            seed=seed,
+            groups=count,
+        )
+        sweep.tenant_counts.append(10 * count)
+        sweep.profit_increase.append(runs.profit_increase())
+        sweep.cost_increase.append(
+            mean_cost_increase(runs.spotdc, runs.powercapped)
+        )
+        sweep.perf_improvement.append(
+            mean_perf_improvement(runs.spotdc, runs.powercapped)
+        )
+    return sweep
+
+
+def render_fig18(sweep: ScaleSweep) -> str:
+    """Paper-style text: normalised outcomes vs number of tenants."""
+    return format_series(
+        "tenants",
+        sweep.tenant_counts,
+        {
+            "profit +%": [round(100 * v, 2) for v in sweep.profit_increase],
+            "tenant cost +%": [round(100 * v, 2) for v in sweep.cost_increase],
+            "perf x": [round(v, 3) for v in sweep.perf_improvement],
+        },
+        title="Fig. 18: impact of the number of tenants",
+    )

@@ -1,0 +1,35 @@
+"""Power-delivery substrate: UPS -> PDU -> rack hierarchy, metering, and
+oversubscription — the physical layer the SpotDC market operates on.
+"""
+
+from repro.infrastructure.constraints import (
+    CapacityConstraint,
+    HeatZone,
+    PhaseAssignment,
+    zone_constraints,
+)
+from repro.infrastructure.emergencies import Emergency, EmergencyLog
+from repro.infrastructure.enforcement import EnforcementAction, EnforcementPolicy
+from repro.infrastructure.monitor import PowerMonitor
+from repro.infrastructure.oversubscription import OversubscriptionPlan
+from repro.infrastructure.pdu import Pdu
+from repro.infrastructure.rack import Rack
+from repro.infrastructure.topology import PowerTopology
+from repro.infrastructure.ups import Ups
+
+__all__ = [
+    "CapacityConstraint",
+    "Emergency",
+    "EmergencyLog",
+    "EnforcementAction",
+    "EnforcementPolicy",
+    "OversubscriptionPlan",
+    "Pdu",
+    "PowerMonitor",
+    "PowerTopology",
+    "HeatZone",
+    "PhaseAssignment",
+    "Rack",
+    "Ups",
+    "zone_constraints",
+]

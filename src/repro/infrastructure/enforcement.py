@@ -1,0 +1,122 @@
+"""Budget enforcement: warnings and involuntary power cuts.
+
+Paper §III-C, "Handling exceptions": *"If certain tenants exceed their
+own assigned power capacity (including spot capacity if applicable),
+they may be warned and/or face involuntary power cut."*
+
+:class:`EnforcementPolicy` implements the warn-then-cut escalation:
+
+* a rack drawing above its enforced budget (beyond a tolerance) earns a
+  **warning**;
+* accumulating ``warnings_before_cut`` warnings within the rolling
+  memory triggers a **power cut**: the rack is barred from the spot
+  market for ``cut_slots`` slots (it reverts to its guaranteed budget —
+  the safe default, as with communication losses).
+
+The policy never reduces a rack below its guaranteed capacity: that is
+contractual; enforcement only withdraws the *privilege* of spot
+capacity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.infrastructure.topology import PowerTopology
+
+__all__ = ["EnforcementAction", "EnforcementPolicy"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EnforcementAction:
+    """One enforcement event.
+
+    Attributes:
+        slot: Slot index the event was issued in.
+        rack_id: The offending rack.
+        kind: ``"warning"`` or ``"power_cut"``.
+        overdraw_w: Watts above the enforced budget observed.
+    """
+
+    slot: int
+    rack_id: str
+    kind: str
+    overdraw_w: float
+
+
+class EnforcementPolicy:
+    """Warn-then-cut escalation for budget overdraws.
+
+    Args:
+        tolerance: Relative slack above the budget before a draw counts
+            as an overdraw (metering noise / breaker tolerance).
+        warnings_before_cut: Overdraws tolerated before a cut.
+        cut_slots: Length of the spot-market bar, in slots.
+    """
+
+    def __init__(
+        self,
+        tolerance: float = 0.01,
+        warnings_before_cut: int = 3,
+        cut_slots: int = 30,
+    ) -> None:
+        if tolerance < 0:
+            raise ConfigurationError("tolerance must be >= 0")
+        if warnings_before_cut < 1:
+            raise ConfigurationError("warnings_before_cut must be >= 1")
+        if cut_slots < 1:
+            raise ConfigurationError("cut_slots must be >= 1")
+        self.tolerance = tolerance
+        self.warnings_before_cut = warnings_before_cut
+        self.cut_slots = cut_slots
+        self._warnings: dict[str, int] = {}
+        self._barred_until: dict[str, int] = {}
+        self._actions: list[EnforcementAction] = []
+
+    @property
+    def actions(self) -> tuple[EnforcementAction, ...]:
+        """All enforcement events, in issue order."""
+        return tuple(self._actions)
+
+    def review(self, topology: PowerTopology, slot: int) -> list[EnforcementAction]:
+        """Inspect current draws and issue warnings/cuts.
+
+        Call once per slot after telemetry is recorded.
+        """
+        issued: list[EnforcementAction] = []
+        for rack in topology.racks.values():
+            budget = rack.budget_w
+            if rack.power_w <= budget * (1 + self.tolerance):
+                continue
+            overdraw = rack.power_w - budget
+            count = self._warnings.get(rack.rack_id, 0) + 1
+            self._warnings[rack.rack_id] = count
+            if count >= self.warnings_before_cut:
+                self._warnings[rack.rack_id] = 0
+                self._barred_until[rack.rack_id] = slot + 1 + self.cut_slots
+                issued.append(
+                    EnforcementAction(slot, rack.rack_id, "power_cut", overdraw)
+                )
+            else:
+                issued.append(
+                    EnforcementAction(slot, rack.rack_id, "warning", overdraw)
+                )
+        self._actions.extend(issued)
+        return issued
+
+    def is_barred(self, rack_id: str, slot: int) -> bool:
+        """Whether the rack is barred from spot capacity at a slot."""
+        return slot < self._barred_until.get(rack_id, 0)
+
+    def barred_racks(self, slot: int) -> frozenset[str]:
+        """All racks barred at a slot."""
+        return frozenset(
+            rack_id
+            for rack_id, until in self._barred_until.items()
+            if slot < until
+        )
+
+    def warning_count(self, rack_id: str) -> int:
+        """Outstanding warnings for a rack (reset by a cut)."""
+        return self._warnings.get(rack_id, 0)

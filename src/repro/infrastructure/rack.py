@@ -1,0 +1,123 @@
+"""Rack model with an intelligent, runtime-adjustable power budget.
+
+A rack in a multi-tenant data center is owned by exactly one tenant and
+fed by a rack-level PDU (power strip).  Two capacities matter:
+
+* the **guaranteed capacity** the tenant subscribed to (enforced budget
+  during normal operation), and
+* the **physical capacity** of the rack PDU, which is over-provisioned
+  beyond the subscription (cheap at US¢20-50/W) so that the operator can
+  unlock *spot capacity* headroom at runtime — the paper's
+  ``P_r^R = physical - guaranteed`` (Eq. 2).
+
+The operator resets the enforced budget each slot through the rack PDU
+(the paper cites APC AP8632 switched PDUs that accept 20+ budget updates
+per second), which is modelled by :meth:`Rack.set_spot_budget`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import CapacityError, TopologyError
+
+__all__ = ["Rack"]
+
+
+@dataclasses.dataclass
+class Rack:
+    """One tenant-owned rack behind a switchable rack PDU.
+
+    Attributes:
+        rack_id: Unique identifier within the facility.
+        tenant_id: Owning tenant (racks are never shared between tenants).
+        pdu_id: Cluster PDU feeding this rack.
+        guaranteed_w: Subscribed (guaranteed) capacity in watts.
+        physical_w: Physical rack-PDU capacity in watts; must be at least
+            the guaranteed capacity.  The difference is the maximum spot
+            capacity ``P_r^R`` this rack can ever receive.
+    """
+
+    rack_id: str
+    tenant_id: str
+    pdu_id: str
+    guaranteed_w: float
+    physical_w: float
+    _spot_budget_w: float = dataclasses.field(default=0.0, init=False, repr=False)
+    _power_w: float = dataclasses.field(default=0.0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.rack_id:
+            raise TopologyError("rack_id must be non-empty")
+        if self.guaranteed_w < 0:
+            raise TopologyError(
+                f"rack {self.rack_id}: guaranteed capacity must be >= 0, "
+                f"got {self.guaranteed_w}"
+            )
+        if self.physical_w < self.guaranteed_w:
+            raise TopologyError(
+                f"rack {self.rack_id}: physical capacity {self.physical_w} W "
+                f"is below guaranteed capacity {self.guaranteed_w} W"
+            )
+
+    @property
+    def max_spot_w(self) -> float:
+        """Maximum spot capacity this rack can receive (``P_r^R``, Eq. 2)."""
+        return self.physical_w - self.guaranteed_w
+
+    @property
+    def spot_budget_w(self) -> float:
+        """Spot capacity currently granted for the active slot."""
+        return self._spot_budget_w
+
+    @property
+    def budget_w(self) -> float:
+        """Total enforced power budget: guaranteed + granted spot."""
+        return self.guaranteed_w + self._spot_budget_w
+
+    @property
+    def power_w(self) -> float:
+        """Most recent metered power draw (set by the monitor/engine)."""
+        return self._power_w
+
+    def set_spot_budget(self, watts: float) -> None:
+        """Reset the rack PDU's spot budget for the next slot.
+
+        Args:
+            watts: Spot capacity granted; must lie in ``[0, max_spot_w]``.
+
+        Raises:
+            CapacityError: If the grant exceeds the rack's physical
+                headroom — the market must never issue such a grant.
+        """
+        if watts < 0:
+            raise CapacityError(
+                f"rack {self.rack_id}: negative spot budget {watts} W"
+            )
+        # Tolerate float round-off from the clearing arithmetic.
+        if watts > self.max_spot_w + 1e-9:
+            raise CapacityError(
+                f"rack {self.rack_id}: spot budget {watts:.3f} W exceeds "
+                f"physical headroom {self.max_spot_w:.3f} W"
+            )
+        self._spot_budget_w = min(watts, self.max_spot_w)
+
+    def clear_spot_budget(self) -> None:
+        """Revoke spot capacity (default 'no spot capacity' state)."""
+        self._spot_budget_w = 0.0
+
+    def record_power(self, watts: float) -> None:
+        """Record a metered power sample for this rack.
+
+        Power monitoring is routine in colocation facilities (billing and
+        reliability); the engine calls this every slot.  Draw above the
+        enforced budget is *recorded*, not raised — budget violations are
+        detected and logged by the emergency subsystem.
+        """
+        if watts < 0:
+            raise CapacityError(f"rack {self.rack_id}: negative power {watts} W")
+        self._power_w = watts
+
+    def over_budget_w(self) -> float:
+        """Watts by which current draw exceeds the enforced budget (>= 0)."""
+        return max(0.0, self._power_w - self.budget_w)

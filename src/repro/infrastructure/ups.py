@@ -1,0 +1,44 @@
+"""Facility-level UPS model.
+
+The UPS sits above all cluster PDUs (Fig. 1 of the paper) and imposes the
+top-level capacity constraint (Eq. 4).  Like PDUs it is typically
+oversubscribed: in the paper's testbed the two PDUs' physical capacities
+sum to 1439 W while the UPS is sized at 1370 W (= sum / 1.05).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+
+__all__ = ["Ups"]
+
+
+class Ups:
+    """The facility UPS with a fixed capacity.
+
+    Args:
+        ups_id: Identifier (facilities in this library have exactly one
+            UPS, matching the paper's model).
+        capacity_w: Protected IT power capacity in watts.
+    """
+
+    def __init__(self, ups_id: str, capacity_w: float) -> None:
+        if not ups_id:
+            raise TopologyError("ups_id must be non-empty")
+        if capacity_w <= 0:
+            raise TopologyError(
+                f"UPS {ups_id}: capacity must be positive, got {capacity_w}"
+            )
+        self.ups_id = ups_id
+        self.capacity_w = float(capacity_w)
+
+    def headroom_w(self, aggregate_power_w: float) -> float:
+        """Instantaneous spot capacity at the UPS (``P_o(t)`` before prediction)."""
+        return max(0.0, self.capacity_w - aggregate_power_w)
+
+    def utilization(self, aggregate_power_w: float) -> float:
+        """Aggregate facility draw as a fraction of UPS capacity."""
+        return aggregate_power_w / self.capacity_w
+
+    def __repr__(self) -> str:
+        return f"Ups(ups_id={self.ups_id!r}, capacity_w={self.capacity_w})"

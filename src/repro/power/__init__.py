@@ -1,0 +1,19 @@
+"""Server power and power-performance substrate: affine power model,
+capping, tail-latency and throughput models, and Fig. 8-style profiling.
+"""
+
+from repro.power.capping import CapDecision, apply_cap
+from repro.power.latency import LatencyModel
+from repro.power.profiles import PowerPerformanceProfile, ProfileCurve
+from repro.power.server import ServerPowerModel
+from repro.power.throughput import ThroughputModel
+
+__all__ = [
+    "CapDecision",
+    "LatencyModel",
+    "PowerPerformanceProfile",
+    "ProfileCurve",
+    "ServerPowerModel",
+    "ThroughputModel",
+    "apply_cap",
+]

@@ -1,0 +1,59 @@
+"""Power capping: keeping a rack's draw within its enforced budget.
+
+Tenants with insufficient capacity reservation cap power (e.g. by
+scaling down CPU via RAPL/DVFS) whenever demand would exceed their
+budget; otherwise the operator applies warnings and involuntary cuts
+(paper Sections I, III-C).  :func:`apply_cap` is the single place where
+"desired draw" meets "enforced budget", used by every tenant model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import CapacityError
+
+__all__ = ["CapDecision", "apply_cap"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CapDecision:
+    """Result of enforcing a budget on a desired power draw.
+
+    Attributes:
+        actual_w: Power the rack will draw this slot.
+        capped: Whether the budget forced a reduction.
+        shortfall_w: Watts of desired draw that could not be served.
+    """
+
+    actual_w: float
+    capped: bool
+    shortfall_w: float
+
+
+def apply_cap(desired_w: float, budget_w: float, idle_w: float = 0.0) -> CapDecision:
+    """Clamp a desired draw to the enforced budget.
+
+    Args:
+        desired_w: Power the workload wants this slot.
+        budget_w: Enforced budget (guaranteed + granted spot capacity).
+        idle_w: Floor draw of powered-on servers.  A budget below idle is
+            physically unsatisfiable by DVFS alone; the rack then draws
+            ``idle_w`` (the emergency log will flag the excursion).
+
+    Raises:
+        CapacityError: On negative inputs (programming error).
+    """
+    if desired_w < 0 or budget_w < 0 or idle_w < 0:
+        raise CapacityError(
+            f"negative power value: desired={desired_w}, budget={budget_w}, "
+            f"idle={idle_w}"
+        )
+    floor = min(idle_w, desired_w)
+    actual = max(floor, min(desired_w, budget_w))
+    capped = desired_w > budget_w
+    return CapDecision(
+        actual_w=actual,
+        capped=capped,
+        shortfall_w=max(0.0, desired_w - actual),
+    )

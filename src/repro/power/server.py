@@ -1,0 +1,63 @@
+"""Rack-level server power model.
+
+A rack's draw is modelled with the standard affine utilization model
+(Fan et al., "Power provisioning for a warehouse-sized computer" — the
+paper's reference [3]): ``p(u) = idle + (peak - idle) * u`` for
+utilization ``u in [0, 1]``.  In the paper's scaled-down testbed each
+"rack" is one server; the same model scales to real racks by scaling
+``idle``/``peak``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ServerPowerModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerPowerModel:
+    """Affine utilization-to-power model for one rack.
+
+    Attributes:
+        idle_w: Draw at zero utilization (servers on, no work).
+        peak_w: Draw at full utilization.
+    """
+
+    idle_w: float
+    peak_w: float
+
+    def __post_init__(self) -> None:
+        if self.idle_w < 0:
+            raise ConfigurationError(f"idle_w must be >= 0, got {self.idle_w}")
+        if self.peak_w <= self.idle_w:
+            raise ConfigurationError(
+                f"peak_w ({self.peak_w}) must exceed idle_w ({self.idle_w})"
+            )
+
+    @property
+    def dynamic_range_w(self) -> float:
+        """Peak minus idle: the power that tracks utilization."""
+        return self.peak_w - self.idle_w
+
+    def power_at(self, utilization: float) -> float:
+        """Draw at a utilization level (clamped into [0, 1])."""
+        u = min(max(utilization, 0.0), 1.0)
+        return self.idle_w + self.dynamic_range_w * u
+
+    def utilization_at(self, power_w: float) -> float:
+        """Utilization sustainable within a power level (inverse model).
+
+        Power at or below idle yields 0; above peak yields 1.
+        """
+        if power_w <= self.idle_w:
+            return 0.0
+        return min(1.0, (power_w - self.idle_w) / self.dynamic_range_w)
+
+    def scaled(self, factor: float) -> "ServerPowerModel":
+        """A copy with both idle and peak scaled (tenant-diversity jitter)."""
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        return ServerPowerModel(self.idle_w * factor, self.peak_w * factor)

@@ -1,0 +1,18 @@
+"""Operator- and tenant-side prediction: next-slot spot capacity and
+market-price forecasting.
+"""
+
+from repro.prediction.price import (
+    EwmaPricePredictor,
+    OraclePricePredictor,
+    PricePredictor,
+)
+from repro.prediction.spot import SpotCapacityForecast, SpotCapacityPredictor
+
+__all__ = [
+    "EwmaPricePredictor",
+    "OraclePricePredictor",
+    "PricePredictor",
+    "SpotCapacityForecast",
+    "SpotCapacityPredictor",
+]

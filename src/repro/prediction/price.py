@@ -1,0 +1,86 @@
+"""Market-price prediction for strategic tenant bidding (paper Fig. 16).
+
+The sensitivity study considers sprinting tenants that "bid with a
+perfect knowledge of market price".  Two predictors are provided:
+
+* :class:`EwmaPricePredictor` — an exponentially weighted moving average
+  of past clearing prices: what a real tenant could compute from the
+  broadcast price history.
+* :class:`OraclePricePredictor` — perfect next-slot knowledge, injected
+  by the engine's two-pass clearing mode; the upper bound the paper
+  evaluates.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PricePredictor", "EwmaPricePredictor", "OraclePricePredictor"]
+
+
+class PricePredictor:
+    """Interface: observe clearing prices, predict the next one."""
+
+    def observe(self, price: float) -> None:
+        """Record a broadcast clearing price."""
+        raise NotImplementedError
+
+    def predict(self) -> float | None:
+        """Predicted next-slot price; ``None`` before any observation."""
+        raise NotImplementedError
+
+
+class EwmaPricePredictor(PricePredictor):
+    """EWMA over the broadcast price history.
+
+    Args:
+        alpha: Smoothing weight on the newest observation, in (0, 1].
+            ``alpha=1`` is last-value prediction.
+        skip_zero: Ignore zero-price slots (no market activity) so the
+            estimate tracks the price *when a market exists*, which is
+            what a bidding tenant cares about.
+    """
+
+    def __init__(self, alpha: float = 0.5, skip_zero: bool = True) -> None:
+        if not 0 < alpha <= 1:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.skip_zero = skip_zero
+        self._estimate: float | None = None
+
+    def observe(self, price: float) -> None:
+        if price < 0:
+            raise ConfigurationError(f"price must be >= 0, got {price}")
+        if self.skip_zero and price == 0.0:
+            return
+        if self._estimate is None:
+            self._estimate = price
+        else:
+            self._estimate = self.alpha * price + (1 - self.alpha) * self._estimate
+
+    def predict(self) -> float | None:
+        return self._estimate
+
+
+class OraclePricePredictor(PricePredictor):
+    """Perfect next-slot price knowledge (Fig. 16's assumption).
+
+    The simulation engine runs a provisional clearing pass with default
+    bids, injects the provisional price here via :meth:`set_oracle`, and
+    lets strategic tenants re-bid before the real clearing.
+    """
+
+    def __init__(self) -> None:
+        self._oracle_price: float | None = None
+
+    def set_oracle(self, price: float) -> None:
+        """Inject the upcoming clearing price (engine-only API)."""
+        if price < 0:
+            raise ConfigurationError(f"price must be >= 0, got {price}")
+        self._oracle_price = price
+
+    def observe(self, price: float) -> None:
+        """Broadcast observations are ignored; the oracle already knows."""
+
+    def predict(self) -> float | None:
+        return self._oracle_price

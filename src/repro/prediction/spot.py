@@ -1,0 +1,129 @@
+"""Spot-capacity prediction (paper Section III-C).
+
+The operator predicts the spot capacity available for the next slot by
+subtracting a *reference* power from each level's physical capacity:
+
+* for racks that are **not** requesting (or currently using) spot
+  capacity, the reference is their current metered draw — statistical
+  multiplexing makes PDU-level power change only marginally over a few
+  minutes (Fig. 7a), so the current draw is a good one-slot-ahead
+  predictor;
+* for racks that request spot capacity for the next slot (or hold a
+  grant now), the reference is their full **guaranteed capacity** — the
+  conservative choice, since those racks may legitimately ramp to their
+  whole subscription independent of the spot market.
+
+A configurable *under-prediction factor* scales the result down
+(Fig. 17's sensitivity study): 15% under-prediction multiplies the
+predicted headroom by 0.85.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.infrastructure.topology import PowerTopology
+
+__all__ = ["SpotCapacityForecast", "SpotCapacityPredictor"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SpotCapacityForecast:
+    """Predicted spot capacity for one upcoming slot.
+
+    Attributes:
+        pdu_spot_w: Predicted headroom per PDU (``P_m(t)``, Eq. 3).
+        ups_spot_w: Predicted facility headroom (``P_o(t)``, Eq. 4).
+    """
+
+    pdu_spot_w: dict[str, float]
+    ups_spot_w: float
+
+    @property
+    def total_pdu_spot_w(self) -> float:
+        """Sum of per-PDU headrooms (bounded below by no constraint)."""
+        return sum(self.pdu_spot_w.values())
+
+
+@dataclasses.dataclass
+class SpotCapacityPredictor:
+    """Predicts next-slot spot capacity from current rack telemetry.
+
+    Args:
+        under_prediction_factor: Multiplier in (0, 1] applied to every
+            predicted headroom; 1.0 (default) is the paper's base case,
+            0.85 reproduces "15% under-prediction".
+        safety_margin_fraction: Fraction of each level's physical
+            capacity held back from the market.  Covers the residual
+            slot-to-slot drift of non-requesting racks (the paper's
+            ±2.5%/min, Fig. 7a) so that spot capacity introduces no
+            additional power emergencies (Section V-B2); the circuit-
+            breaker tolerance then only ever absorbs drift beyond that.
+    """
+
+    under_prediction_factor: float = 1.0
+    safety_margin_fraction: float = 0.025
+
+    def __post_init__(self) -> None:
+        if not 0 < self.under_prediction_factor <= 1:
+            raise ConfigurationError(
+                "under_prediction_factor must be in (0, 1], got "
+                f"{self.under_prediction_factor}"
+            )
+        if not 0 <= self.safety_margin_fraction < 1:
+            raise ConfigurationError(
+                "safety_margin_fraction must be in [0, 1), got "
+                f"{self.safety_margin_fraction}"
+            )
+
+    def forecast(
+        self,
+        topology: PowerTopology,
+        requesting_rack_ids: Iterable[str],
+        reference_power_w: Mapping[str, float] | None = None,
+    ) -> SpotCapacityForecast:
+        """Predict per-PDU and UPS spot capacity for the next slot.
+
+        Args:
+            topology: Facility with current rack power samples recorded.
+            requesting_rack_ids: Racks bidding for (or currently holding)
+                spot capacity; their reference power is their guaranteed
+                capacity rather than their current draw.
+            reference_power_w: Optional per-rack reference overriding the
+                instantaneous draw of non-requesting racks — e.g. a
+                rolling recent maximum
+                (:meth:`repro.infrastructure.monitor.PowerMonitor.rack_recent_max_w`)
+                that covers racks whose draw can ramp within one slot.
+                Entries are clamped to the rack's guaranteed capacity
+                (a non-requesting rack never exceeds its budget).
+        """
+        requesting = set(requesting_rack_ids)
+        unknown = requesting - set(topology.racks)
+        if unknown:
+            raise ConfigurationError(
+                f"requesting racks not in topology: {sorted(unknown)[:5]}"
+            )
+        reference_power_w = reference_power_w or {}
+        usable = 1.0 - self.safety_margin_fraction
+        pdu_spot: dict[str, float] = {}
+        total_reference = 0.0
+        for pdu_id, pdu in topology.pdus.items():
+            reference = 0.0
+            for rack in topology.racks_of_pdu(pdu_id):
+                if rack.rack_id in requesting or rack.spot_budget_w > 0:
+                    reference += rack.guaranteed_w
+                else:
+                    reference += min(
+                        reference_power_w.get(rack.rack_id, rack.power_w),
+                        rack.guaranteed_w,
+                    )
+            total_reference += reference
+            headroom = max(0.0, pdu.capacity_w * usable - reference)
+            pdu_spot[pdu_id] = headroom * self.under_prediction_factor
+        ups_headroom = max(0.0, topology.ups.capacity_w * usable - total_reference)
+        return SpotCapacityForecast(
+            pdu_spot_w=pdu_spot,
+            ups_spot_w=ups_headroom * self.under_prediction_factor,
+        )

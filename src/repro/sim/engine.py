@@ -1,0 +1,332 @@
+"""The time-slotted simulation engine (paper Algorithm 1, end to end).
+
+Each slot ``t >= 1``:
+
+1. tenants analyse their anticipated slot-``t`` workload and submit
+   demand-function bids (during slot ``t-1`` in the paper's timing,
+   Fig. 6);
+2. the operator predicts the available spot capacity from current rack
+   telemetry;
+3. the allocator decides grants — the SpotDC market clears a uniform
+   price; baselines allocate by their own policy;
+4. rack budgets are reset through the intelligent rack PDUs and tenants
+   execute the slot under their enforced budgets;
+5. telemetry, emergencies, billing, and operator accounting are
+   recorded.
+
+Slot 0 runs without spot capacity (bids for a slot are placed during
+the *previous* slot, and there is none).
+"""
+
+from __future__ import annotations
+
+from repro.config import MarketParameters
+from repro.core.market import Allocator, SlotMarketRecord, SpotDCAllocator
+from repro.economics.profit import OperatorLedger
+from repro.errors import SimulationError
+from repro.infrastructure.emergencies import EmergencyLog
+from repro.infrastructure.monitor import PowerMonitor
+from repro.prediction.price import EwmaPricePredictor, PricePredictor
+from repro.prediction.spot import SpotCapacityForecast, SpotCapacityPredictor
+from repro.sim.metrics import MetricsCollector
+from repro.sim.results import SimulationResult
+from repro.sim.scenario import Scenario
+from repro.workloads.base import SlotPerformance
+
+__all__ = ["SimulationEngine", "run_simulation"]
+
+
+class SimulationEngine:
+    """Runs one scenario under one allocation policy.
+
+    Args:
+        scenario: The facility, tenants, and prices.
+        allocator: Slot-level allocation policy (default: SpotDC).
+        spot_predictor: Operator-side spot-capacity predictor.
+        price_predictor: Tenant-side market-price forecaster handed to
+            bidding strategies (only strategies that use forecasts react
+            to it).  ``None`` disables forecasting.
+        history_slots: Monitor history retention.
+        reference_window: Rolling window (slots) for the conservative
+            per-rack reference power used in spot-capacity prediction.
+        constraint_provider: Optional zero-argument callable returning
+            this slot's extra capacity constraints (phase balance, heat
+            density) — evaluated after telemetry is current, e.g.
+            ``lambda: phase_assignment.phase_headroom()`` or
+            ``lambda: zone_constraints(zones, scenario.topology)``.
+        enforcement: Optional
+            :class:`repro.infrastructure.enforcement.EnforcementPolicy`
+            policing budget overdraws: warned racks escalate to an
+            involuntary spot-market bar (paper §III-C).
+        fault_model: Optional
+            :class:`repro.sim.faults.CommunicationFaultModel` injecting
+            bid/grant communication losses (paper §III-C "Handling
+            exceptions"): a lost bid skips the tenant's participation
+            for the slot; a lost grant broadcast reverts the rack to "no
+            spot capacity" and cancels its billing.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        allocator: Allocator | None = None,
+        spot_predictor: SpotCapacityPredictor | None = None,
+        price_predictor: PricePredictor | None = None,
+        history_slots: int = 200_000,
+        reference_window: int = 5,
+        constraint_provider=None,
+        fault_model=None,
+        enforcement=None,
+    ) -> None:
+        self.scenario = scenario
+        self.reference_window = reference_window
+        self.constraint_provider = constraint_provider
+        self.fault_model = fault_model
+        self.enforcement = enforcement
+        self.allocator = allocator or SpotDCAllocator(
+            params=MarketParameters(slot_seconds=scenario.slot_seconds)
+        )
+        self.spot_predictor = spot_predictor or SpotCapacityPredictor()
+        self.price_predictor = price_predictor
+        self.monitor = PowerMonitor(scenario.topology, history_slots=history_slots)
+        self.emergencies = EmergencyLog()
+        self.ledger = OperatorLedger(
+            price_sheet=scenario.price_sheet,
+            overprovisioned_w=(
+                scenario.overprovisioned_w()
+                if self.allocator.provisions_spot
+                else 0.0
+            ),
+            infrastructure_cost_per_hour=scenario.infrastructure_cost_per_hour,
+        )
+        rack_infos = scenario.rack_infos()
+        tenant_infos = scenario.tenant_infos()
+        self.collector = MetricsCollector(
+            rack_ids=[r.rack_id for r in rack_infos],
+            pdu_ids=list(scenario.topology.pdus),
+            tenant_ids=[t.tenant_id for t in tenant_infos],
+        )
+        self._rack_infos = rack_infos
+        self._tenant_infos = tenant_infos
+
+    def run(self, slots: int) -> SimulationResult:
+        """Simulate ``slots`` slots and return the finished result."""
+        if slots <= 0:
+            raise SimulationError("slots must be positive")
+        scenario = self.scenario
+        topology = scenario.topology
+        scenario.prepare(slots)
+        participants = scenario.participating_tenants()
+        slot_seconds = scenario.slot_seconds
+        slot_hours = slot_seconds / 3600.0
+        total_guaranteed = scenario.total_guaranteed_w()
+
+        for slot in range(slots):
+            topology.clear_all_spot_budgets()
+
+            requesting = frozenset(
+                rack_id
+                for tenant in participants
+                for rack_id in tenant.needed_spot_w(slot)
+            )
+            if slot == 0:
+                record = _empty_record()
+                forecast = SpotCapacityForecast(
+                    pdu_spot_w={p: 0.0 for p in topology.pdus}, ups_spot_w=0.0
+                )
+            else:
+                # Conservative per-rack references: a participating rack's
+                # draw can ramp within one slot, so reference its recent
+                # peak rather than its instantaneous draw.
+                references = {
+                    rack_id: self.monitor.rack_recent_max_w(
+                        rack_id, self.reference_window
+                    )
+                    for rack_id in topology.racks
+                }
+                forecast = self.spot_predictor.forecast(
+                    topology, requesting, references
+                )
+                predicted_price = (
+                    self.price_predictor.predict() if self.price_predictor else None
+                )
+                extra_constraints = (
+                    tuple(self.constraint_provider())
+                    if self.constraint_provider is not None
+                    else ()
+                )
+                # Bid-submission losses: affected tenants sit the slot out
+                # (the default "no spot capacity" state — §III-C).
+                active = participants
+                if self.fault_model is not None:
+                    active = [
+                        tenant
+                        for tenant in participants
+                        if not self.fault_model.bid_lost(slot, tenant.tenant_id)
+                    ]
+                record = self.allocator.allocate(
+                    slot,
+                    active,
+                    forecast,
+                    slot_seconds,
+                    predicted_price,
+                    extra_constraints=extra_constraints,
+                )
+                if self.fault_model is not None:
+                    lost = {
+                        rack_id
+                        for rack_id, grant in record.result.grants_w.items()
+                        if grant > 0
+                        and self.fault_model.grant_lost(slot, rack_id)
+                    }
+                    record = _revoke_grants(record, lost, slot_seconds)
+                if self.enforcement is not None:
+                    barred = self.enforcement.barred_racks(slot)
+                    revoked = {
+                        rack_id
+                        for rack_id in record.result.grants_w
+                        if rack_id in barred
+                    }
+                    record = _revoke_grants(record, revoked, slot_seconds)
+                for rack_id, grant in record.result.grants_w.items():
+                    topology.rack(rack_id).set_spot_budget(grant)
+
+            # Tenants execute the slot under their enforced budgets.
+            outcomes: dict[str, SlotPerformance] = {}
+            for tenant in scenario.tenants:
+                budgets = {
+                    rack.rack_id: rack.guaranteed_w
+                    + record.result.grant_for(rack.rack_id)
+                    for rack in tenant.racks
+                }
+                outcomes.update(tenant.execute_slot(slot, budgets, slot_seconds))
+
+            rack_power = {rid: perf.power_w for rid, perf in outcomes.items()}
+            self.monitor.record_slot(rack_power)
+            self.emergencies.scan(topology, slot)
+            if self.enforcement is not None:
+                self.enforcement.review(topology, slot)
+
+            spot_revenue = (
+                record.result.revenue_for_slot(slot_seconds)
+                if self.allocator.charges_tenants
+                else 0.0
+            )
+            payments = record.payments if self.allocator.charges_tenants else {}
+            self.ledger.record_slot(
+                slot_hours=slot_hours,
+                guaranteed_w=total_guaranteed,
+                spot_revenue=spot_revenue,
+                metered_energy_w=self.monitor.latest_ups_power_w(),
+            )
+            self.collector.record_slot(
+                price=record.result.price,
+                grants_w=record.result.grants_w,
+                spot_revenue=spot_revenue,
+                forecast_ups_w=forecast.ups_spot_w,
+                forecast_pdu_total_w=forecast.total_pdu_spot_w,
+                ups_power_w=self.monitor.latest_ups_power_w(),
+                pdu_power_w={
+                    p: self.monitor.latest_pdu_power_w(p) for p in topology.pdus
+                },
+                rack_outcomes=outcomes,
+                payments=payments,
+                wanted_rack_ids=requesting,
+                pdu_prices=record.result.pdu_prices,
+            )
+            if self.price_predictor is not None:
+                self.price_predictor.observe(record.result.price)
+
+        return SimulationResult(
+            allocator_name=self.allocator.name,
+            slot_seconds=slot_seconds,
+            collector=self.collector,
+            ledger=self.ledger,
+            emergencies=self.emergencies,
+            racks=self._rack_infos,
+            tenants=self._tenant_infos,
+            energy_tariff_per_kwh=scenario.price_sheet.energy_tariff_per_kwh,
+            guaranteed_rate_per_kw_hour=scenario.price_sheet.guaranteed_rate_per_kw_hour,
+            ups_capacity_w=topology.ups.capacity_w,
+            pdu_capacities_w={
+                pdu_id: pdu.capacity_w for pdu_id, pdu in topology.pdus.items()
+            },
+        )
+
+
+def _empty_record() -> SlotMarketRecord:
+    from repro.core.allocation import AllocationResult
+
+    return SlotMarketRecord(result=AllocationResult.empty(), bids=(), payments={})
+
+
+def _revoke_grants(
+    record: SlotMarketRecord, lost: set[str], slot_seconds: float
+) -> SlotMarketRecord:
+    """Revoke a set of grants and rebill the survivors.
+
+    Used for both lost grant broadcasts and enforcement bars: the rack
+    PDU stays at the guaranteed budget, the operator does not bill the
+    revoked grant — strictly safe (feasible capacity is simply unused).
+    """
+    import dataclasses as _dc
+
+    from repro.core.allocation import AllocationResult
+
+    result = record.result
+    if not lost:
+        return record
+    grants = {
+        rack_id: (0.0 if rack_id in lost else grant)
+        for rack_id, grant in result.grants_w.items()
+    }
+    bid_of = {bid.rack_id: bid for bid in record.bids}
+    slot_hours = slot_seconds / 3600.0
+    payments: dict[str, float] = {}
+    revenue_rate = 0.0
+    for rack_id, grant in grants.items():
+        if grant <= 0 or rack_id not in bid_of:
+            continue
+        bid = bid_of[rack_id]
+        price = result.price_for_pdu(bid.pdu_id)
+        revenue_rate += price * grant / 1000.0
+        payments[bid.tenant_id] = payments.get(bid.tenant_id, 0.0) + (
+            grant / 1000.0
+        ) * price * slot_hours
+    adjusted = AllocationResult(
+        price=result.price,
+        grants_w=grants,
+        revenue_rate=revenue_rate,
+        candidate_prices=result.candidate_prices,
+        feasible_prices=result.feasible_prices,
+        pdu_prices=result.pdu_prices,
+    )
+    return _dc.replace(record, result=adjusted, payments=payments)
+
+
+def run_simulation(
+    scenario: Scenario,
+    slots: int,
+    allocator: Allocator | None = None,
+    spot_predictor: SpotCapacityPredictor | None = None,
+    use_price_forecasting: bool = False,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`SimulationEngine`.
+
+    Args:
+        scenario: Scenario to run (freshly built — workload state is
+            consumed by a run).
+        slots: Number of slots.
+        allocator: Allocation policy (default SpotDC market).
+        spot_predictor: Operator-side predictor (default: exact, no
+            under-prediction).
+        use_price_forecasting: Provide tenants an EWMA price forecast
+            (strategies that ignore forecasts are unaffected).
+    """
+    engine = SimulationEngine(
+        scenario,
+        allocator=allocator,
+        spot_predictor=spot_predictor,
+        price_predictor=EwmaPricePredictor() if use_price_forecasting else None,
+    )
+    return engine.run(slots)

@@ -1,0 +1,91 @@
+"""Failure injection: communication losses in the market loop.
+
+Paper §III-C, "Handling exceptions": *"In case of any communications
+losses, SpotDC resumes to the default case of 'no spot capacity' for
+affected tenants/racks."*  :class:`CommunicationFaultModel` injects
+exactly those losses into a simulation:
+
+* **bid loss** — a tenant's bid submission never reaches the operator;
+  the tenant simply does not participate that slot;
+* **grant loss** — the price broadcast / budget reset never reaches a
+  tenant's racks; the operator revokes the grant (the rack PDU stays at
+  the guaranteed budget) and the tenant is not billed.
+
+Both failure modes are *safe by construction*: the default state is "no
+spot capacity", so a loss can only forgo performance/revenue, never
+overload the infrastructure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CommunicationFaultModel", "FaultLog"]
+
+
+@dataclasses.dataclass
+class FaultLog:
+    """Counts of injected communication losses.
+
+    Attributes:
+        lost_bids: Tenant-slots whose bid submission was dropped.
+        lost_grants: Rack-slots whose grant/budget broadcast was dropped.
+    """
+
+    lost_bids: int = 0
+    lost_grants: int = 0
+
+
+class CommunicationFaultModel:
+    """Random, independent per-slot communication losses.
+
+    Args:
+        bid_loss_probability: Per-tenant-per-slot probability the bid
+            submission is lost.
+        grant_loss_probability: Per-rack-per-slot probability the
+            grant/budget broadcast is lost.
+        rng: Random source (seeded by the caller for reproducibility).
+    """
+
+    def __init__(
+        self,
+        bid_loss_probability: float = 0.0,
+        grant_loss_probability: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        for name, p in (
+            ("bid_loss_probability", bid_loss_probability),
+            ("grant_loss_probability", grant_loss_probability),
+        ):
+            if not 0 <= p <= 1:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
+        if rng is None:
+            raise ConfigurationError(
+                "pass an explicit rng (reproducibility is not optional)"
+            )
+        self.bid_loss_probability = bid_loss_probability
+        self.grant_loss_probability = grant_loss_probability
+        self._rng = rng
+        self.log = FaultLog()
+
+    def bid_lost(self, slot: int, tenant_id: str) -> bool:
+        """Whether this tenant's bid submission is lost this slot."""
+        if self.bid_loss_probability <= 0:
+            return False
+        lost = bool(self._rng.random() < self.bid_loss_probability)
+        if lost:
+            self.log.lost_bids += 1
+        return lost
+
+    def grant_lost(self, slot: int, rack_id: str) -> bool:
+        """Whether this rack's grant broadcast is lost this slot."""
+        if self.grant_loss_probability <= 0:
+            return False
+        lost = bool(self._rng.random() < self.grant_loss_probability)
+        if lost:
+            self.log.lost_grants += 1
+        return lost

@@ -1,0 +1,535 @@
+"""Scenario builders: the paper's testbed (Table I) and its variants.
+
+A :class:`Scenario` bundles everything one simulation run needs: the
+power topology, the tenant roster with workloads and cost models, the
+price sheet, and the slot length.  Builders:
+
+* :func:`testbed_scenario` — the paper's two-PDU, nine-participating-
+  tenant testbed (Table I: PDU capacities 715 W / 724 W, UPS 1370 W,
+  5% oversubscription at both levels).
+* :func:`scaled_scenario` — Fig. 18's hyper-scale variant: the Table I
+  composition replicated with ±20% tenant-diversity jitter, up to 1,000
+  tenants.
+
+Every stochastic choice flows from a single seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.config import (
+    DEFAULT_SEED,
+    DEFAULT_SLOT_SECONDS,
+    RACK_HEADROOM_FRACTION,
+    make_rng,
+    spawn_rngs,
+)
+from repro.economics.pricing import PriceSheet
+from repro.errors import ConfigurationError
+from repro.infrastructure.pdu import Pdu
+from repro.infrastructure.rack import Rack
+from repro.infrastructure.topology import PowerTopology
+from repro.infrastructure.ups import Ups
+from repro.power.server import ServerPowerModel
+from repro.sim.results import RackInfo, TenantInfo
+from repro.tenants.bidding import BiddingStrategy, LinearElasticStrategy
+from repro.tenants.calibration import (
+    calibrate_opportunistic_cost,
+    calibrate_sprinting_cost,
+)
+from repro.tenants.portfolio import TenantRack
+from repro.tenants.tenant import (
+    NonParticipatingTenant,
+    OpportunisticTenant,
+    SprintingTenant,
+    Tenant,
+)
+from repro.workloads.base import (
+    BatchWorkload,
+    InteractiveWorkload,
+    TracePowerWorkload,
+)
+from repro.workloads.graph import make_graph_workload
+from repro.workloads.hadoop import make_terasort_workload, make_wordcount_workload
+from repro.workloads.search import make_search_workload
+from repro.workloads.traces import ColoPowerTrace, VolatilePowerTrace
+from repro.workloads.web import make_web_workload
+
+__all__ = [
+    "TenantSpec",
+    "Scenario",
+    "TABLE1_SPECS",
+    "PRICE_ANCHORS",
+    "testbed_scenario",
+    "scaled_scenario",
+]
+
+#: Power-model shape per tenant class: idle at 45% of the subscription;
+#: peak above it by a class-dependent margin.  Opportunistic tenants
+#: oversubscribe their guaranteed capacity far more aggressively than
+#: performance-sensitive sprinting tenants (paper Section V-B1 /
+#: Fig. 12c: "sprinting tenants receive less spot capacity in
+#: percentage ... do not oversubscribe ... as aggressively").
+_IDLE_FRACTION = 0.45
+_PEAK_FRACTION = {
+    "search": 1.25,
+    "web": 1.25,
+    "wordcount": 1.55,
+    "terasort": 1.55,
+    "graph": 1.55,
+}
+
+#: Price anchors per workload class, $/kW/h: (q_low, q_high, calibration
+#: target for the marginal value).  Search bids highest, Web medium,
+#: opportunistic lowest — capped at the amortised guaranteed rate
+#: (~US$0.2/kW/h), per paper Section IV-C / Fig. 13a.
+PRICE_ANCHORS = {
+    "search": (0.20, 0.30, 0.28),
+    "web": (0.14, 0.24, 0.19),
+    "wordcount": (0.08, 0.205, 0.185),
+    "terasort": (0.08, 0.205, 0.185),
+    "graph": (0.08, 0.205, 0.175),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantSpec:
+    """One Table I row.
+
+    Attributes:
+        name: Tenant name (e.g. ``"Search-1"``).
+        workload: Workload class key: ``"search"``, ``"web"``,
+            ``"wordcount"``, ``"terasort"``, ``"graph"``, or ``"other"``.
+        subscription_w: Guaranteed capacity subscription.
+        pdu: Index of the PDU hosting the tenant's rack.
+    """
+
+    name: str
+    workload: str
+    subscription_w: float
+    pdu: int
+
+
+#: The paper's Table I, verbatim (aliases S-1..S-3, O-1..O-5 + Others).
+TABLE1_SPECS: tuple[TenantSpec, ...] = (
+    TenantSpec("Search-1", "search", 145.0, 0),
+    TenantSpec("Web", "web", 115.0, 0),
+    TenantSpec("Count-1", "wordcount", 125.0, 0),
+    TenantSpec("Graph-1", "graph", 115.0, 0),
+    TenantSpec("Other-1", "other", 250.0, 0),
+    TenantSpec("Search-2", "search", 145.0, 1),
+    TenantSpec("Count-2", "wordcount", 125.0, 1),
+    TenantSpec("Sort", "terasort", 125.0, 1),
+    TenantSpec("Graph-2", "graph", 115.0, 1),
+    TenantSpec("Other-2", "other", 250.0, 1),
+)
+
+
+@dataclasses.dataclass
+class Scenario:
+    """A fully assembled simulation scenario.
+
+    Attributes:
+        topology: The facility.
+        tenants: All tenants (participating and not).
+        price_sheet: Published prices.
+        slot_seconds: Market slot length.
+        seed: Seed the scenario was built from.
+        infrastructure_cost_per_hour: Operator's amortised shared-
+            infrastructure cost (for profit accounting).
+    """
+
+    topology: PowerTopology
+    tenants: list[Tenant]
+    price_sheet: PriceSheet
+    slot_seconds: float
+    seed: int
+    infrastructure_cost_per_hour: float
+
+    def prepare(self, slots: int) -> None:
+        """Materialise every tenant's workload traces for a run."""
+        rng = make_rng(self.seed)
+        for tenant, tenant_rng in zip(self.tenants, spawn_rngs(rng, len(self.tenants))):
+            tenant.prepare(slots, tenant_rng)
+
+    def rack_infos(self) -> list[RackInfo]:
+        """Static rack facts for the results layer."""
+        infos = []
+        for tenant in self.tenants:
+            for rack in tenant.racks:
+                infos.append(
+                    RackInfo(
+                        rack_id=rack.rack_id,
+                        tenant_id=tenant.tenant_id,
+                        pdu_id=rack.pdu_id,
+                        guaranteed_w=rack.guaranteed_w,
+                        metric=rack.workload.metric,
+                    )
+                )
+        return infos
+
+    def tenant_infos(self) -> list[TenantInfo]:
+        """Static tenant facts for the results layer."""
+        return [
+            TenantInfo(
+                tenant_id=t.tenant_id,
+                kind=t.kind,
+                rack_ids=tuple(r.rack_id for r in t.racks),
+                guaranteed_w=t.total_guaranteed_w,
+            )
+            for t in self.tenants
+        ]
+
+    def participating_tenants(self) -> list[Tenant]:
+        """Tenants that may bid in the spot market."""
+        return [t for t in self.tenants if t.participates]
+
+    def overprovisioned_w(self) -> float:
+        """Total rack-level headroom the operator paid to over-provision."""
+        return sum(
+            rack.max_spot_w
+            for tenant in self.tenants
+            for rack in tenant.racks
+            if tenant.participates
+        )
+
+    def total_guaranteed_w(self) -> float:
+        """Facility-wide subscribed capacity."""
+        return sum(t.total_guaranteed_w for t in self.tenants)
+
+
+def _reference_rate(workload: InteractiveWorkload, power_target_w: float) -> float:
+    """Arrival rate at which the workload's desired power hits a target.
+
+    Used to calibrate sprinting cost models at a representative
+    "needs spot capacity" load.  Monotone bisection over the rate.
+    """
+    model = workload.latency_model
+    lo, hi = 0.0, model.mu_max_rps * 0.98
+    for _ in range(50):
+        mid = (lo + hi) / 2
+        if model.power_for_latency(workload.target_ms, mid) < power_target_w:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+def _build_participating_tenant(
+    spec: TenantSpec,
+    pdu_id: str,
+    rack_headroom_fraction: float,
+    strategy_factory,
+    jitter: float,
+    rng: np.random.Generator,
+    slots_per_day: float,
+) -> Tenant:
+    """Assemble one sprinting/opportunistic tenant from its Table I spec."""
+    scale = 1.0 + (rng.uniform(-jitter, jitter) if jitter > 0 else 0.0)
+    subscription = spec.subscription_w * scale
+    power_model = ServerPowerModel(
+        idle_w=_IDLE_FRACTION * subscription,
+        peak_w=_PEAK_FRACTION[spec.workload] * subscription,
+    )
+    max_spot = rack_headroom_fraction * subscription
+    rack_id = f"rack:{spec.name}"
+    q_low, q_high, target_marginal = PRICE_ANCHORS[spec.workload]
+    cost_scale = 1.0 + (rng.uniform(-jitter, jitter) if jitter > 0 else 0.0)
+    target_marginal = target_marginal * cost_scale
+    phase = float(rng.uniform(0, 1)) if jitter > 0 else {
+        "search": 0.0, "web": 0.35, "wordcount": 0.2, "terasort": 0.5, "graph": 0.7,
+    }.get(spec.workload, 0.0)
+
+    if spec.workload in ("search", "web"):
+        factory = make_search_workload if spec.workload == "search" else make_web_workload
+        workload = factory(
+            spec.name, power_model, phase=phase, slots_per_day=slots_per_day
+        )
+        tenant_rack = TenantRack(
+            rack_id=rack_id,
+            pdu_id=pdu_id,
+            guaranteed_w=subscription,
+            max_spot_w=max_spot,
+            power_model=power_model,
+            workload=workload,
+        )
+        reference_power = subscription + 0.5 * tenant_rack.useful_spot_w
+        reference_rps = _reference_rate(workload, reference_power)
+        cost_model = calibrate_sprinting_cost(
+            workload.latency_model,
+            guaranteed_w=subscription,
+            reference_rps=reference_rps,
+            max_spot_w=tenant_rack.useful_spot_w,
+            target_marginal_per_kw_hour=target_marginal,
+            slo_ms=workload.slo_ms,
+        )
+        return SprintingTenant(
+            tenant_id=spec.name,
+            racks=[tenant_rack],
+            cost_models={rack_id: cost_model},
+            q_low=q_low,
+            q_high=q_high,
+            strategy=strategy_factory("sprinting"),
+        )
+
+    batch_factories = {
+        "wordcount": make_wordcount_workload,
+        "terasort": make_terasort_workload,
+        "graph": make_graph_workload,
+    }
+    workload = batch_factories[spec.workload](spec.name, power_model)
+    tenant_rack = TenantRack(
+        rack_id=rack_id,
+        pdu_id=pdu_id,
+        guaranteed_w=subscription,
+        max_spot_w=max_spot,
+        power_model=power_model,
+        workload=workload,
+    )
+    assert isinstance(workload, BatchWorkload)
+    cost_model = calibrate_opportunistic_cost(
+        workload.throughput_model,
+        guaranteed_w=subscription,
+        max_spot_w=tenant_rack.useful_spot_w,
+        target_marginal_per_kw_hour=target_marginal,
+    )
+    return OpportunisticTenant(
+        tenant_id=spec.name,
+        racks=[tenant_rack],
+        cost_models={rack_id: cost_model},
+        q_low=q_low,
+        q_high=q_high,
+        strategy=strategy_factory("opportunistic"),
+    )
+
+
+def _build_other_tenant(
+    spec: TenantSpec,
+    pdu_id: str,
+    volatile: bool,
+    rng: np.random.Generator,
+    slots_per_day: float,
+) -> Tenant:
+    """Assemble one non-participating ("Other") tenant group."""
+    if volatile:
+        trace = VolatilePowerTrace(subscription_w=spec.subscription_w)
+    else:
+        trace = ColoPowerTrace(
+            subscription_w=spec.subscription_w,
+            slots_per_day=slots_per_day,
+            phase=float(rng.uniform(0, 1)),
+        )
+    power_model = ServerPowerModel(
+        idle_w=0.3 * spec.subscription_w, peak_w=spec.subscription_w
+    )
+    rack = TenantRack(
+        rack_id=f"rack:{spec.name}",
+        pdu_id=pdu_id,
+        guaranteed_w=spec.subscription_w,
+        max_spot_w=0.0,
+        power_model=power_model,
+        workload=TracePowerWorkload(spec.name, trace),
+    )
+    return NonParticipatingTenant(tenant_id=spec.name, racks=[rack])
+
+
+def _default_strategy_factory(kind: str) -> BiddingStrategy:
+    """SpotDC's default strategy for both tenant classes."""
+    return LinearElasticStrategy()
+
+
+def _assemble(
+    specs: tuple[TenantSpec, ...],
+    pdu_capacities_w: dict[str, float],
+    ups_capacity_w: float,
+    seed: int,
+    slot_seconds: float,
+    rack_headroom_fraction: float,
+    strategy_factory,
+    jitter: float,
+    volatile_other: bool,
+    infrastructure_cost_per_watt: float,
+) -> Scenario:
+    """Shared assembly path for all scenario builders."""
+    rng = make_rng(seed)
+    slots_per_day = 24 * 3600 / slot_seconds
+    tenant_rngs = spawn_rngs(rng, len(specs))
+
+    tenants: list[Tenant] = []
+    for spec, tenant_rng in zip(specs, tenant_rngs):
+        pdu_id = f"pdu:{spec.pdu}"
+        if pdu_id not in pdu_capacities_w:
+            raise ConfigurationError(f"spec {spec.name} references unknown {pdu_id}")
+        if spec.workload == "other":
+            tenants.append(
+                _build_other_tenant(
+                    spec, pdu_id, volatile_other, tenant_rng, slots_per_day
+                )
+            )
+        else:
+            tenants.append(
+                _build_participating_tenant(
+                    spec,
+                    pdu_id,
+                    rack_headroom_fraction,
+                    strategy_factory,
+                    jitter,
+                    tenant_rng,
+                    slots_per_day,
+                )
+            )
+
+    pdus = [Pdu(pdu_id, cap) for pdu_id, cap in pdu_capacities_w.items()]
+    racks = []
+    for tenant in tenants:
+        for track in tenant.racks:
+            racks.append(
+                Rack(
+                    rack_id=track.rack_id,
+                    tenant_id=tenant.tenant_id,
+                    pdu_id=track.pdu_id,
+                    guaranteed_w=track.guaranteed_w,
+                    physical_w=track.guaranteed_w + track.max_spot_w,
+                )
+            )
+    topology = PowerTopology.build(Ups("ups:0", ups_capacity_w), pdus, racks)
+    # Amortise the shared-infrastructure capex (paper: US$10-25/W over
+    # ~15 years) into an hourly operator cost.
+    infra_per_hour = (
+        ups_capacity_w * infrastructure_cost_per_watt / (15.0 * 8760.0)
+    )
+    return Scenario(
+        topology=topology,
+        tenants=tenants,
+        price_sheet=PriceSheet(),
+        slot_seconds=slot_seconds,
+        seed=seed,
+        infrastructure_cost_per_hour=infra_per_hour,
+    )
+
+
+def testbed_scenario(
+    seed: int = DEFAULT_SEED,
+    slot_seconds: float = DEFAULT_SLOT_SECONDS,
+    pdu_oversubscription: float = 1.05,
+    ups_oversubscription: float = 1.05,
+    rack_headroom_fraction: float = RACK_HEADROOM_FRACTION,
+    strategy_factory=None,
+    volatile_other: bool = False,
+    infrastructure_cost_per_watt: float = 25.0,
+) -> Scenario:
+    """Build the paper's Table I testbed.
+
+    Defaults reproduce the paper's arithmetic: PDU#1 leases 750 W and is
+    sized at 750/1.05 ≈ 715 W, PDU#2 760 W → ≈724 W, and the UPS at
+    (715+724)/1.05 ≈ 1370 W.
+
+    Args:
+        seed: Master seed for every stochastic component.
+        slot_seconds: Market slot length (paper: 120 s in the testbed).
+        pdu_oversubscription: Leased/physical ratio at PDUs; sweeping
+            this sweeps the available spot capacity (Figs. 14-15).
+        ups_oversubscription: Sum-of-PDUs/UPS ratio.
+        rack_headroom_fraction: Rack PDU over-provisioning above the
+            subscription.
+        strategy_factory: ``kind -> BiddingStrategy`` (kinds
+            ``"sprinting"``/``"opportunistic"``); defaults to the SpotDC
+            linear-elastic strategy for both.
+        volatile_other: Use the high-volatility "Other" trace of the
+            20-minute experiment (Fig. 10).
+        infrastructure_cost_per_watt: Shared-infrastructure capex, $/W.
+    """
+    if pdu_oversubscription < 1 or ups_oversubscription < 1:
+        raise ConfigurationError("oversubscription ratios must be >= 1")
+    leased = {0: 0.0, 1: 0.0}
+    for spec in TABLE1_SPECS:
+        leased[spec.pdu] += spec.subscription_w
+    pdu_capacities = {
+        f"pdu:{i}": total / pdu_oversubscription for i, total in leased.items()
+    }
+    ups_capacity = sum(pdu_capacities.values()) / ups_oversubscription
+    return _assemble(
+        TABLE1_SPECS,
+        pdu_capacities,
+        ups_capacity,
+        seed,
+        slot_seconds,
+        rack_headroom_fraction,
+        strategy_factory or _default_strategy_factory,
+        jitter=0.0,
+        volatile_other=volatile_other,
+        infrastructure_cost_per_watt=infrastructure_cost_per_watt,
+    )
+
+
+def scaled_scenario(
+    groups: int,
+    seed: int = DEFAULT_SEED,
+    slot_seconds: float = DEFAULT_SLOT_SECONDS,
+    jitter: float = 0.2,
+    pdu_oversubscription: float = 1.05,
+    ups_oversubscription: float = 1.05,
+    rack_headroom_fraction: float = RACK_HEADROOM_FRACTION,
+    strategy_factory=None,
+    infrastructure_cost_per_watt: float = 25.0,
+) -> Scenario:
+    """Build Fig. 18's scaled-up facility.
+
+    Replicates the Table I composition ``groups`` times (two PDUs and
+    eleven tenants per group — 1,000 tenants ≈ 91 groups), jittering
+    each new tenant's subscription and cost model by up to ±``jitter``
+    (paper: 20%) for diversity.  PDU and UPS capacities scale with the
+    subscriptions.
+
+    Args:
+        groups: Number of Table I replicas.
+        seed: Master seed.
+        slot_seconds: Market slot length.
+        jitter: Tenant-diversity scale (first group is exact Table I).
+        pdu_oversubscription: Leased/physical ratio at each PDU.
+        ups_oversubscription: Facility-level oversubscription.
+        rack_headroom_fraction: Rack PDU over-provisioning.
+        strategy_factory: As in :func:`testbed_scenario`.
+        infrastructure_cost_per_watt: Shared-infrastructure capex, $/W.
+    """
+    if groups < 1:
+        raise ConfigurationError("groups must be >= 1")
+    rng = make_rng(seed)
+    specs: list[TenantSpec] = []
+    leased: dict[int, float] = {}
+    for g in range(groups):
+        group_jitter = 0.0 if g == 0 else jitter
+        for spec in TABLE1_SPECS:
+            pdu_index = 2 * g + spec.pdu
+            scale = 1.0 if g == 0 else float(
+                1.0 + rng.uniform(-group_jitter, group_jitter)
+            )
+            subscription = spec.subscription_w * scale
+            specs.append(
+                TenantSpec(
+                    name=f"{spec.name}@{g}" if g > 0 else spec.name,
+                    workload=spec.workload,
+                    subscription_w=subscription,
+                    pdu=pdu_index,
+                )
+            )
+            leased[pdu_index] = leased.get(pdu_index, 0.0) + subscription
+    pdu_capacities = {
+        f"pdu:{i}": total / pdu_oversubscription for i, total in leased.items()
+    }
+    ups_capacity = sum(pdu_capacities.values()) / ups_oversubscription
+    return _assemble(
+        tuple(specs),
+        pdu_capacities,
+        ups_capacity,
+        seed,
+        slot_seconds,
+        rack_headroom_fraction,
+        strategy_factory or _default_strategy_factory,
+        jitter=0.0,  # per-spec jitter already applied to subscriptions
+        volatile_other=False,
+        infrastructure_cost_per_watt=infrastructure_cost_per_watt,
+    )

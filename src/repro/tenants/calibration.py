@@ -1,0 +1,109 @@
+"""Cost-model calibration: pinning tenants' willingness-to-pay.
+
+The paper chooses cost parameters "such that spot capacity will not cost
+more than directly subscribing guaranteed capacity", with Search tenants
+bidding the highest prices, Web medium, and opportunistic tenants the
+lowest (Section IV-C).  These helpers scale the cost coefficients so
+that the *marginal* value of spot capacity at a reference operating
+point equals a target price — which anchors each tenant class's bids at
+the intended point of the price spectrum.
+"""
+
+from __future__ import annotations
+
+from repro.economics.cost import OpportunisticCostModel, SprintingCostModel
+from repro.economics.valuation import (
+    opportunistic_value_curve,
+    sprinting_value_curve,
+)
+from repro.errors import ConfigurationError
+from repro.power.latency import LatencyModel
+from repro.power.throughput import ThroughputModel
+
+__all__ = [
+    "calibrate_sprinting_cost",
+    "calibrate_opportunistic_cost",
+]
+
+#: Ratio of the quadratic SLO-penalty coefficient to the linear
+#: coefficient, per ms.  High enough that SLO violations dominate the
+#: sprinting value of spot capacity, as the paper's model intends.
+_DEFAULT_B_TO_A_PER_MS = 0.5
+
+
+def calibrate_sprinting_cost(
+    latency_model: LatencyModel,
+    guaranteed_w: float,
+    reference_rps: float,
+    max_spot_w: float,
+    target_marginal_per_kw_hour: float,
+    slo_ms: float = 100.0,
+    b_to_a_per_ms: float = _DEFAULT_B_TO_A_PER_MS,
+) -> SprintingCostModel:
+    """Scale a sprinting cost model to a target willingness-to-pay.
+
+    The returned model's value curve (at the reference arrival rate,
+    starting from the guaranteed budget) has a marginal value of
+    ``target_marginal_per_kw_hour`` at 30% of the rack's spot headroom —
+    so the tenant's demand is elastic around that price.
+
+    Args:
+        latency_model: The rack's tail-latency model.
+        guaranteed_w: The tenant's subscription (base budget).
+        reference_rps: A high-load arrival rate at which the tenant
+            would bid (e.g. the rate that fills ~15% of slots).
+        max_spot_w: Rack spot headroom.
+        target_marginal_per_kw_hour: Desired marginal value, $/kW/h.
+        slo_ms: Latency SLO.
+        b_to_a_per_ms: Shape ratio ``b / a`` of the quadratic penalty to
+            the linear term.
+    """
+    if target_marginal_per_kw_hour <= 0:
+        raise ConfigurationError("target marginal price must be positive")
+    if max_spot_w <= 0:
+        raise ConfigurationError("max_spot_w must be positive")
+    unit = SprintingCostModel(a=1.0, b=b_to_a_per_ms, slo_ms=slo_ms)
+    curve = sprinting_value_curve(
+        latency_model, unit, guaranteed_w, reference_rps, max_spot_w
+    )
+    reference_point = 0.3 * max_spot_w
+    marginal = curve.marginal_gain_per_hour(reference_point)
+    if marginal <= 0:
+        raise ConfigurationError(
+            "spot capacity has no marginal value at the reference point; "
+            "check that the guaranteed budget actually constrains the "
+            "workload at reference_rps"
+        )
+    scale = (target_marginal_per_kw_hour / 1000.0) / marginal
+    return SprintingCostModel(a=scale, b=b_to_a_per_ms * scale, slo_ms=slo_ms)
+
+
+def calibrate_opportunistic_cost(
+    throughput_model: ThroughputModel,
+    guaranteed_w: float,
+    max_spot_w: float,
+    target_marginal_per_kw_hour: float,
+) -> OpportunisticCostModel:
+    """Scale an opportunistic cost model to a target willingness-to-pay.
+
+    Same construction as the sprinting calibration, using the batch
+    value curve with a unit backlog (the normalised gain is backlog
+    independent).
+    """
+    if target_marginal_per_kw_hour <= 0:
+        raise ConfigurationError("target marginal price must be positive")
+    if max_spot_w <= 0:
+        raise ConfigurationError("max_spot_w must be positive")
+    unit = OpportunisticCostModel(rho=1.0)
+    curve = opportunistic_value_curve(
+        throughput_model, unit, guaranteed_w, 1.0, max_spot_w
+    )
+    reference_point = 0.3 * max_spot_w
+    marginal = curve.marginal_gain_per_hour(reference_point)
+    if marginal <= 0:
+        raise ConfigurationError(
+            "spot capacity has no marginal throughput value; check that "
+            "the guaranteed budget is below the rack's peak"
+        )
+    scale = (target_marginal_per_kw_hour / 1000.0) / marginal
+    return OpportunisticCostModel(rho=scale)

@@ -1,0 +1,117 @@
+"""Composite tenants: both opportunistic *and* sprinting at once.
+
+"Thus, a tenant can be both opportunistic and sprinting" (paper §II-C):
+a company may run a latency-critical front end on some racks and batch
+analytics on others, buying spot capacity for both under one account.
+:class:`CompositeTenant` combines any participating tenants into a
+single billing identity: bids merge into one bundle, spot needs and
+value curves union, and execution fans out to the parts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.core.bids import RackBid, TenantBid
+from repro.economics.valuation import SpotValueCurve
+from repro.errors import ConfigurationError
+from repro.tenants.tenant import Tenant
+from repro.workloads.base import SlotPerformance
+
+__all__ = ["CompositeTenant"]
+
+
+class CompositeTenant(Tenant):
+    """Several tenant behaviours under one tenant identity.
+
+    Args:
+        tenant_id: The combined identity (used for billing).
+        parts: The participating sub-tenants being combined.  Their own
+            ``tenant_id``s become internal labels; every rack they own
+            is re-attributed to the composite.
+    """
+
+    def __init__(self, tenant_id: str, parts: list[Tenant]) -> None:
+        if not parts:
+            raise ConfigurationError("composite needs at least one part")
+        for part in parts:
+            if not part.participates:
+                raise ConfigurationError(
+                    f"part {part.tenant_id!r} does not participate in the "
+                    "spot market; composing it is meaningless"
+                )
+        racks = [rack for part in parts for rack in part.racks]
+        super().__init__(tenant_id, racks)
+        self.parts = parts
+        self._owner_of = {
+            rack.rack_id: part for part in parts for rack in part.racks
+        }
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        """The mixed-class label; ``"sprinting"`` wins for reporting
+        purposes when both classes are present (the SLO-critical side is
+        what headline latency metrics track)."""
+        kinds = {part.kind for part in self.parts}
+        if kinds == {"sprinting"}:
+            return "sprinting"
+        if kinds == {"opportunistic"}:
+            return "opportunistic"
+        return "sprinting"
+
+    def prepare(self, slots: int, rng: np.random.Generator) -> None:
+        from repro.config import spawn_rngs
+
+        for part, part_rng in zip(self.parts, spawn_rngs(rng, len(self.parts))):
+            part.prepare(slots, part_rng)
+
+    def needed_spot_w(self, slot: int) -> dict[str, float]:
+        needed: dict[str, float] = {}
+        for part in self.parts:
+            needed.update(part.needed_spot_w(slot))
+        return needed
+
+    def value_curves(self, slot: int) -> dict[str, SpotValueCurve]:
+        curves: dict[str, SpotValueCurve] = {}
+        for part in self.parts:
+            curves.update(part.value_curves(slot))
+        return curves
+
+    def make_bid(
+        self, slot: int, predicted_price: float | None = None
+    ) -> TenantBid | None:
+        rack_bids: list[RackBid] = []
+        for part in self.parts:
+            bid = part.make_bid(slot, predicted_price)
+            if bid is None:
+                continue
+            for rack_bid in bid.rack_bids:
+                # Re-attribute to the composite identity for billing.
+                rack_bids.append(
+                    RackBid(
+                        rack_id=rack_bid.rack_id,
+                        pdu_id=rack_bid.pdu_id,
+                        tenant_id=self.tenant_id,
+                        demand=rack_bid.demand,
+                        rack_cap_w=rack_bid.rack_cap_w,
+                    )
+                )
+        if not rack_bids:
+            return None
+        return TenantBid(tenant_id=self.tenant_id, rack_bids=tuple(rack_bids))
+
+    def execute_slot(
+        self, slot: int, budgets_w: Mapping[str, float], slot_seconds: float
+    ) -> dict[str, SlotPerformance]:
+        outcomes: dict[str, SlotPerformance] = {}
+        for part in self.parts:
+            part_budgets = {
+                rack.rack_id: budgets_w.get(rack.rack_id, rack.guaranteed_w)
+                for rack in part.racks
+            }
+            outcomes.update(
+                part.execute_slot(slot, part_budgets, slot_seconds)
+            )
+        return outcomes

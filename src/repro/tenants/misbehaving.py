@@ -1,0 +1,107 @@
+"""A misbehaving tenant wrapper for enforcement testing.
+
+Real tenants own their servers, so nothing physically stops one from
+drawing above its enforced budget — that is precisely why the paper's
+exception handling includes warnings and involuntary power cuts.
+:class:`OverdrawingTenant` wraps any tenant and makes its racks overdraw
+with a configurable probability, bounded by the rack's physical
+capacity, so enforcement and emergency accounting can be exercised
+end to end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.core.bids import TenantBid
+from repro.economics.valuation import SpotValueCurve
+from repro.errors import ConfigurationError
+from repro.tenants.tenant import Tenant
+from repro.workloads.base import SlotPerformance
+
+__all__ = ["OverdrawingTenant"]
+
+
+class OverdrawingTenant(Tenant):
+    """Delegating wrapper whose racks sometimes exceed their budget.
+
+    Args:
+        inner: The well-behaved tenant being wrapped.
+        overdraw_probability: Per-rack-per-slot probability of drawing
+            above the enforced budget.
+        overdraw_fraction: Overdraw magnitude as a fraction of the
+            budget (clamped to the rack's physical capacity).
+        rng: Random source.
+    """
+
+    def __init__(
+        self,
+        inner: Tenant,
+        overdraw_probability: float,
+        overdraw_fraction: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if not 0 <= overdraw_probability <= 1:
+            raise ConfigurationError("overdraw_probability must be in [0, 1]")
+        if overdraw_fraction <= 0:
+            raise ConfigurationError("overdraw_fraction must be positive")
+        # Intentionally skip Tenant.__init__ validation duplication: the
+        # wrapper presents the inner tenant's identity and racks.
+        self.inner = inner
+        self.tenant_id = inner.tenant_id
+        self.racks = inner.racks
+        self.overdraw_probability = overdraw_probability
+        self.overdraw_fraction = overdraw_fraction
+        self._rng = rng
+        self.overdraw_slots = 0
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return self.inner.kind
+
+    @property
+    def participates(self) -> bool:
+        return self.inner.participates
+
+    def prepare(self, slots: int, rng: np.random.Generator) -> None:
+        self.inner.prepare(slots, rng)
+
+    def needed_spot_w(self, slot: int) -> dict[str, float]:
+        return self.inner.needed_spot_w(slot)
+
+    def value_curves(self, slot: int) -> dict[str, SpotValueCurve]:
+        return self.inner.value_curves(slot)
+
+    def make_bid(
+        self, slot: int, predicted_price: float | None = None
+    ) -> TenantBid | None:
+        return self.inner.make_bid(slot, predicted_price)
+
+    def execute_slot(
+        self, slot: int, budgets_w: Mapping[str, float], slot_seconds: float
+    ) -> dict[str, SlotPerformance]:
+        outcomes = self.inner.execute_slot(slot, budgets_w, slot_seconds)
+        physical = {
+            rack.rack_id: rack.guaranteed_w + rack.max_spot_w
+            for rack in self.racks
+        }
+        adjusted: dict[str, SlotPerformance] = {}
+        for rack_id, perf in outcomes.items():
+            if self._rng.random() < self.overdraw_probability:
+                budget = budgets_w.get(
+                    rack_id,
+                    next(
+                        r.guaranteed_w for r in self.racks if r.rack_id == rack_id
+                    ),
+                )
+                rogue = min(
+                    budget * (1 + self.overdraw_fraction), physical[rack_id]
+                )
+                if rogue > perf.power_w:
+                    self.overdraw_slots += 1
+                    perf = dataclasses.replace(perf, power_w=rogue)
+            adjusted[rack_id] = perf
+        return adjusted

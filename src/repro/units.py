@@ -1,0 +1,110 @@
+"""Unit conventions and conversion helpers.
+
+The SpotDC paper mixes several unit systems: power in watts and kilowatts,
+prices in US$/kW/month (guaranteed capacity), US$/kWh (energy), and
+$/kW/slot (spot capacity).  To keep the library honest about units, this
+module centralises every conversion and documents the canonical internal
+units:
+
+* **power** — watts (``float``)
+* **energy** — watt-hours
+* **money** — US dollars
+* **time** — seconds for durations; integer slot indices for simulation time
+* **price** — dollars per kilowatt per *hour* for spot-capacity prices
+  (``$/kW/h``), which makes prices directly comparable with the amortised
+  guaranteed-capacity rate used by the paper's bidding guideline.
+
+Keeping power in watts and prices per kilowatt mirrors the paper's own
+presentation (rack budgets in watts, market price in cents/kW).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "WATTS_PER_KILOWATT",
+    "SECONDS_PER_MINUTE",
+    "SECONDS_PER_HOUR",
+    "HOURS_PER_MONTH",
+    "MONTHS_PER_YEAR",
+    "watts_to_kilowatts",
+    "kilowatts_to_watts",
+    "per_kw_month_to_per_kw_hour",
+    "per_kw_hour_to_per_kw_month",
+    "dollars_per_watt_to_per_kw",
+    "slot_hours",
+    "spot_payment",
+    "energy_cost",
+    "amortized_capex_per_hour",
+]
+
+WATTS_PER_KILOWATT = 1000.0
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+#: Colocation billing convention: a month is 730 hours (8760 h / 12).
+HOURS_PER_MONTH = 730.0
+MONTHS_PER_YEAR = 12.0
+
+
+def watts_to_kilowatts(watts: float) -> float:
+    """Convert watts to kilowatts."""
+    return watts / WATTS_PER_KILOWATT
+
+
+def kilowatts_to_watts(kilowatts: float) -> float:
+    """Convert kilowatts to watts."""
+    return kilowatts * WATTS_PER_KILOWATT
+
+
+def per_kw_month_to_per_kw_hour(rate_per_kw_month: float) -> float:
+    """Convert a $/kW/month rate (colo price sheets) to $/kW/h.
+
+    The paper quotes guaranteed capacity at US$120-250/kW/month; the
+    amortised hourly rate (~$0.16-0.34/kW/h) anchors tenants' maximum
+    spot bids (Section III-B3).
+    """
+    return rate_per_kw_month / HOURS_PER_MONTH
+
+
+def per_kw_hour_to_per_kw_month(rate_per_kw_hour: float) -> float:
+    """Convert a $/kW/h rate back to the $/kW/month convention."""
+    return rate_per_kw_hour * HOURS_PER_MONTH
+
+
+def dollars_per_watt_to_per_kw(rate_per_watt: float) -> float:
+    """Convert a $/W capital cost (e.g. US$0.4/W rack capacity) to $/kW."""
+    return rate_per_watt * WATTS_PER_KILOWATT
+
+
+def slot_hours(slot_seconds: float) -> float:
+    """Duration of one market time slot, in hours.
+
+    Slots are 1-5 minutes in the paper; 120 s in the testbed experiment.
+    """
+    return slot_seconds / SECONDS_PER_HOUR
+
+
+def spot_payment(watts: float, price_per_kw_hour: float, slot_seconds: float) -> float:
+    """Dollar payment for holding ``watts`` of spot capacity for one slot.
+
+    ``price_per_kw_hour`` is the market clearing price in $/kW/h.
+    """
+    return watts_to_kilowatts(watts) * price_per_kw_hour * slot_hours(slot_seconds)
+
+
+def energy_cost(watts: float, tariff_per_kwh: float, duration_seconds: float) -> float:
+    """Metered-energy charge for drawing ``watts`` over ``duration_seconds``."""
+    kwh = watts_to_kilowatts(watts) * (duration_seconds / SECONDS_PER_HOUR)
+    return kwh * tariff_per_kwh
+
+
+def amortized_capex_per_hour(
+    capex_dollars: float, amortization_years: float = 15.0
+) -> float:
+    """Hourly amortisation of a capital expense over ``amortization_years``.
+
+    The paper amortises the US$0.4/W rack-capacity over-provisioning cost
+    over 15 years when computing the operator's net profit (Section V-B1).
+    """
+    if amortization_years <= 0:
+        raise ValueError("amortization_years must be positive")
+    return capex_dollars / (amortization_years * MONTHS_PER_YEAR * HOURS_PER_MONTH)

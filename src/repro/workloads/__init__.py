@@ -1,0 +1,44 @@
+"""Workload substrate: trace generators and the four workload families
+(search, web serving, Hadoop WordCount/TeraSort, graph analytics) from
+the paper's testbed (Table I).
+"""
+
+from repro.workloads.base import (
+    BatchWorkload,
+    InteractiveWorkload,
+    SlotPerformance,
+    TracePowerWorkload,
+    Workload,
+)
+from repro.workloads.graph import make_graph_workload
+from repro.workloads.replay import ReplayTrace, load_csv_column
+from repro.workloads.hadoop import make_terasort_workload, make_wordcount_workload
+from repro.workloads.search import make_search_latency_model, make_search_workload
+from repro.workloads.traces import (
+    BatchBacklogTrace,
+    ColoPowerTrace,
+    GoogleStyleArrivalTrace,
+    VolatilePowerTrace,
+)
+from repro.workloads.web import make_web_latency_model, make_web_workload
+
+__all__ = [
+    "BatchBacklogTrace",
+    "BatchWorkload",
+    "ColoPowerTrace",
+    "GoogleStyleArrivalTrace",
+    "InteractiveWorkload",
+    "ReplayTrace",
+    "SlotPerformance",
+    "TracePowerWorkload",
+    "VolatilePowerTrace",
+    "Workload",
+    "load_csv_column",
+    "make_graph_workload",
+    "make_search_latency_model",
+    "make_search_workload",
+    "make_terasort_workload",
+    "make_web_latency_model",
+    "make_web_workload",
+    "make_wordcount_workload",
+]

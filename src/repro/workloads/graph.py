@@ -1,0 +1,59 @@
+"""Graph-analytics workload (PowerGraph on a Twitter graph stand-in).
+
+The paper's GraphAnalytics tenants run PowerGraph over an 11M-node
+Twitter dataset on two 16 GB servers, measuring **node processing rate
+(nodes/s)**.  Iterative graph processing is memory-bandwidth and
+synchronisation bound, so its power scaling is the most sub-linear of
+the batch workloads.
+"""
+
+from __future__ import annotations
+
+from repro.power.server import ServerPowerModel
+from repro.power.throughput import ThroughputModel
+from repro.workloads.base import BatchWorkload
+from repro.workloads.traces import BatchBacklogTrace
+
+__all__ = ["GRAPH_DEFAULTS", "make_graph_workload"]
+
+#: PowerGraph-style calibration: thousands of nodes/s at testbed scale,
+#: noticeably sub-linear in power (synchronisation barriers).
+GRAPH_DEFAULTS = {
+    "rate_max_knodes_per_watt": 0.8,  # kilo-nodes/s per dynamic watt
+    "scaling_exponent": 0.85,
+    "mean_load_fraction": 0.38,
+    "burst_duty_cycle": 0.33,
+    "burst_multiplier": 2.0,
+}
+
+
+def make_graph_workload(
+    name: str,
+    power_model: ServerPowerModel,
+    sprint_backlog_s: float = 30.0,
+) -> BatchWorkload:
+    """Build a graph-analytics workload (kilo-nodes/s metric) on a rack.
+
+    Args:
+        name: Instance label (e.g. ``"Graph-1"``).
+        power_model: The rack's power model.
+        sprint_backlog_s: Backlog depth (seconds of full-rate work)
+            beyond which the tenant wants spot capacity.
+    """
+    rate_max = GRAPH_DEFAULTS["rate_max_knodes_per_watt"] * power_model.dynamic_range_w
+    model = ThroughputModel(
+        power_model=power_model,
+        rate_max=rate_max,
+        scaling_exponent=GRAPH_DEFAULTS["scaling_exponent"],
+    )
+    trace = BatchBacklogTrace(
+        mean_rate_units_per_s=GRAPH_DEFAULTS["mean_load_fraction"] * rate_max,
+        burst_duty_cycle=GRAPH_DEFAULTS["burst_duty_cycle"],
+        burst_multiplier=GRAPH_DEFAULTS["burst_multiplier"],
+    )
+    return BatchWorkload(
+        name=name,
+        throughput_model=model,
+        arrival_trace=trace,
+        sprint_backlog_s=sprint_backlog_s,
+    )

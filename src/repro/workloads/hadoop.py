@@ -1,0 +1,95 @@
+"""Hadoop batch workloads: WordCount and TeraSort stand-ins.
+
+The paper's opportunistic Count/Sort tenants run Hadoop 2.6.4 (one
+master, seven data nodes) processing a 15 GB WordCount input and a 5 GB
+TeraSort, measuring **data processing rate (MB/s)**.  Both are
+delay-tolerant backlog drainers: guaranteed capacity sustains a minimum
+rate, and spot capacity buys speed-up during data bursts (~30% of slots,
+Section V-B).
+
+WordCount is CPU-light per byte (higher MB/s per watt); TeraSort's
+shuffle/merge phases make it heavier per byte and slightly sub-linear in
+power.
+"""
+
+from __future__ import annotations
+
+from repro.power.server import ServerPowerModel
+from repro.power.throughput import ThroughputModel
+from repro.workloads.base import BatchWorkload
+from repro.workloads.traces import BatchBacklogTrace
+
+__all__ = [
+    "WORDCOUNT_DEFAULTS",
+    "TERASORT_DEFAULTS",
+    "make_wordcount_workload",
+    "make_terasort_workload",
+]
+
+#: WordCount: streaming map-heavy scan, ~linear power scaling.
+WORDCOUNT_DEFAULTS = {
+    "rate_max_mb_per_watt": 0.5,  # MB/s at full power, per dynamic watt
+    "scaling_exponent": 1.0,
+    "mean_load_fraction": 0.38,  # mean arrivals / full-power rate
+    "burst_duty_cycle": 0.33,
+    "burst_multiplier": 2.0,
+}
+
+#: TeraSort: shuffle-bound, mildly sub-linear power scaling.
+TERASORT_DEFAULTS = {
+    "rate_max_mb_per_watt": 0.35,
+    "scaling_exponent": 0.9,
+    "mean_load_fraction": 0.38,
+    "burst_duty_cycle": 0.33,
+    "burst_multiplier": 2.0,
+}
+
+
+def _make_hadoop_workload(
+    name: str,
+    power_model: ServerPowerModel,
+    defaults: dict,
+    sprint_backlog_s: float,
+) -> BatchWorkload:
+    rate_max = defaults["rate_max_mb_per_watt"] * power_model.dynamic_range_w
+    model = ThroughputModel(
+        power_model=power_model,
+        rate_max=rate_max,
+        scaling_exponent=defaults["scaling_exponent"],
+    )
+    trace = BatchBacklogTrace(
+        mean_rate_units_per_s=defaults["mean_load_fraction"] * rate_max,
+        burst_duty_cycle=defaults["burst_duty_cycle"],
+        burst_multiplier=defaults["burst_multiplier"],
+    )
+    return BatchWorkload(
+        name=name,
+        throughput_model=model,
+        arrival_trace=trace,
+        sprint_backlog_s=sprint_backlog_s,
+    )
+
+
+def make_wordcount_workload(
+    name: str,
+    power_model: ServerPowerModel,
+    sprint_backlog_s: float = 30.0,
+) -> BatchWorkload:
+    """Build a WordCount workload (MB/s metric) on a rack.
+
+    Args:
+        name: Instance label (e.g. ``"Count-1"``).
+        power_model: The rack's power model (sets the MB/s scale).
+        sprint_backlog_s: Backlog depth (seconds of full-rate work)
+            beyond which the tenant wants spot capacity.
+    """
+    return _make_hadoop_workload(name, power_model, WORDCOUNT_DEFAULTS, sprint_backlog_s)
+
+
+def make_terasort_workload(
+    name: str,
+    power_model: ServerPowerModel,
+    sprint_backlog_s: float = 30.0,
+) -> BatchWorkload:
+    """Build a TeraSort workload (MB/s metric) on a rack."""
+    return _make_hadoop_workload(name, power_model, TERASORT_DEFAULTS, sprint_backlog_s)

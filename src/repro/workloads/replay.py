@@ -1,0 +1,133 @@
+"""Bring-your-own-trace adapters.
+
+Operators evaluating SpotDC against their own telemetry don't want
+synthetic generators — they want to replay measured series.  These
+adapters wrap any 1-D sequence (or a CSV column) in the ``generate``
+protocol the workloads expect, with optional resampling and scaling, so
+a measured PDU power log or request-rate log drops straight into a
+:class:`~repro.workloads.base.TracePowerWorkload`,
+:class:`~repro.workloads.base.InteractiveWorkload`, or
+:class:`~repro.workloads.base.BatchWorkload`.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["ReplayTrace", "load_csv_column"]
+
+
+class ReplayTrace:
+    """Replays a measured series through the trace ``generate`` protocol.
+
+    Args:
+        samples: The measured series (any 1-D float sequence).
+        scale: Multiplier applied to every sample (unit conversion /
+            testbed scaling, as the paper scales its traces).
+        wrap: When the requested horizon exceeds the series, ``True``
+            tiles the series periodically; ``False`` raises.
+        jitter_sigma: Optional relative Gaussian jitter (fraction of
+            each sample) applied per replay using the caller's RNG —
+            lets one measured trace stand in for several similar
+            tenants.
+    """
+
+    def __init__(
+        self,
+        samples,
+        scale: float = 1.0,
+        wrap: bool = True,
+        jitter_sigma: float = 0.0,
+    ) -> None:
+        data = np.asarray(samples, dtype=float).ravel()
+        if data.size == 0:
+            raise WorkloadError("replay trace needs at least one sample")
+        if np.any(~np.isfinite(data)):
+            raise WorkloadError("replay trace must be finite")
+        if np.any(data < 0):
+            raise WorkloadError("replay trace must be non-negative")
+        if scale <= 0:
+            raise WorkloadError(f"scale must be positive, got {scale}")
+        if jitter_sigma < 0:
+            raise WorkloadError("jitter_sigma must be >= 0")
+        self._data = data * scale
+        self.wrap = wrap
+        self.jitter_sigma = jitter_sigma
+
+    @property
+    def length(self) -> int:
+        """Number of measured samples available."""
+        return int(self._data.size)
+
+    def generate(self, slots: int, rng: np.random.Generator) -> np.ndarray:
+        """Produce ``slots`` samples by replaying (and maybe tiling)."""
+        if slots <= 0:
+            raise WorkloadError("slots must be positive")
+        if slots > self._data.size and not self.wrap:
+            raise WorkloadError(
+                f"replay trace has {self._data.size} samples but {slots} "
+                "were requested (pass wrap=True to tile)"
+            )
+        reps = -(-slots // self._data.size)  # ceil division
+        series = np.tile(self._data, reps)[:slots].copy()
+        if self.jitter_sigma > 0:
+            noise = 1.0 + rng.normal(0.0, self.jitter_sigma, slots)
+            series *= np.clip(noise, 0.0, None)
+        return series
+
+
+def load_csv_column(
+    path: str | pathlib.Path,
+    column: str | int = 0,
+    skip_header: bool | None = None,
+) -> np.ndarray:
+    """Load one numeric column from a CSV file.
+
+    Args:
+        path: CSV file path.
+        column: Column name (header row required) or 0-based index.
+        skip_header: Force treating the first row as a header; by
+            default it is auto-detected (non-numeric first row, or a
+            column name was given).
+    """
+    path = pathlib.Path(path)
+    with path.open(newline="") as handle:
+        rows = [row for row in csv.reader(handle) if row]
+    if not rows:
+        raise WorkloadError(f"{path}: empty CSV")
+    header = rows[0]
+    if isinstance(column, str):
+        if column not in header:
+            raise WorkloadError(
+                f"{path}: column {column!r} not in header {header}"
+            )
+        index = header.index(column)
+        body = rows[1:]
+    else:
+        index = int(column)
+        if skip_header is None:
+            try:
+                float(header[index])
+                body = rows
+            except (ValueError, IndexError):
+                body = rows[1:]
+        else:
+            body = rows[1:] if skip_header else rows
+    values = []
+    for line_no, row in enumerate(body, start=2):
+        if index >= len(row):
+            raise WorkloadError(f"{path}:{line_no}: missing column {index}")
+        try:
+            values.append(float(row[index]))
+        except ValueError as exc:
+            raise WorkloadError(
+                f"{path}:{line_no}: non-numeric value {row[index]!r}"
+            ) from exc
+    if not values:
+        raise WorkloadError(f"{path}: no data rows")
+    return np.asarray(values)

@@ -1,0 +1,87 @@
+"""Web-search workload (CloudSuite Nutch benchmark stand-in).
+
+The paper's Search tenants run the CloudSuite web-search benchmark (one
+front-end, five index-serving VMs) and care about **p99 latency** against
+a 100 ms SLO.  Search is the most latency-critical tenant class and bids
+the highest spot prices (Section IV-C).
+
+This module builds an :class:`~repro.workloads.base.InteractiveWorkload`
+with a latency model calibrated to the search regime: a steep tail
+(p99 => large queueing constant) and a moderate deterministic floor.
+"""
+
+from __future__ import annotations
+
+from repro.config import SLO_LATENCY_MS
+from repro.power.latency import LatencyModel
+from repro.power.server import ServerPowerModel
+from repro.workloads.base import InteractiveWorkload
+from repro.workloads.traces import GoogleStyleArrivalTrace
+
+__all__ = ["SEARCH_DEFAULTS", "make_search_latency_model", "make_search_workload"]
+
+#: Calibration constants for the search latency model.  With these, a
+#: rack at full power serves ~75% load at ~55-70 ms p99, while capping to
+#: the paper's under-provisioned subscription pushes p99 past the 100 ms
+#: SLO during traffic peaks — the Fig. 8 / Fig. 11 regime.
+SEARCH_DEFAULTS = {
+    "mu_max_per_watt": 1.2,  # requests/s of service rate per dynamic watt
+    "d_min_ms": 25.0,
+    "alpha": 2.0,
+    "tail_const_ms_rps": 5000.0,  # p99: ln(100) ~ 4.6 x a ~1s base constant
+    "base_fraction": 0.375,
+    "diurnal_amplitude": 0.11,
+    "surge_probability": 0.018,
+    "surge_magnitude": 0.28,
+}
+
+
+def make_search_latency_model(power_model: ServerPowerModel) -> LatencyModel:
+    """A p99 latency model for a search rack of the given power scale.
+
+    Service capacity scales with the rack's dynamic power range so that
+    testbed-scale racks (145 W subscriptions) and scaled-up racks both
+    land in the same load regime.
+    """
+    return LatencyModel(
+        power_model=power_model,
+        mu_max_rps=SEARCH_DEFAULTS["mu_max_per_watt"] * power_model.dynamic_range_w,
+        d_min_ms=SEARCH_DEFAULTS["d_min_ms"],
+        alpha=SEARCH_DEFAULTS["alpha"],
+        tail_const_ms_rps=SEARCH_DEFAULTS["tail_const_ms_rps"],
+    )
+
+
+def make_search_workload(
+    name: str,
+    power_model: ServerPowerModel,
+    slo_ms: float = SLO_LATENCY_MS,
+    phase: float = 0.0,
+    slots_per_day: float = 24 * 60,
+) -> InteractiveWorkload:
+    """Build a search workload on a rack.
+
+    Args:
+        name: Workload instance label (e.g. ``"Search-1"``).
+        power_model: The rack's power model (sets service capacity).
+        slo_ms: Tail-latency SLO (paper: 100 ms).
+        phase: Diurnal phase offset, to decorrelate multiple tenants.
+        slots_per_day: Slots per diurnal cycle (matches the engine's
+            slot length: 1440 for 1-min slots, 720 for 2-min slots).
+    """
+    latency_model = make_search_latency_model(power_model)
+    trace = GoogleStyleArrivalTrace(
+        max_rate_rps=latency_model.mu_max_rps,
+        base_fraction=SEARCH_DEFAULTS["base_fraction"],
+        diurnal_amplitude=SEARCH_DEFAULTS["diurnal_amplitude"],
+        surge_probability=SEARCH_DEFAULTS["surge_probability"],
+        surge_magnitude=SEARCH_DEFAULTS["surge_magnitude"],
+        slots_per_day=slots_per_day,
+        phase=phase,
+    )
+    return InteractiveWorkload(
+        name=name,
+        latency_model=latency_model,
+        arrival_trace=trace,
+        slo_ms=slo_ms,
+    )

@@ -1,0 +1,78 @@
+"""Web-serving workload (CloudSuite Web 2.0 social-event app stand-in).
+
+The paper's Web tenant runs the CloudSuite web-serving benchmark (Nginx
+front-end, MySQL back-end) and reports **p90 latency** (the only metric
+its load generator exposed) against the same 100 ms SLO.  Web serving is
+latency-sensitive but less extreme than search: it bids a *medium* price
+(Section IV-C).
+
+The p90 percentile is modelled with a smaller queueing constant than the
+search p99 model (ln(10) vs ln(100) in the exponential-tail view).
+"""
+
+from __future__ import annotations
+
+from repro.config import SLO_LATENCY_MS
+from repro.power.latency import LatencyModel
+from repro.power.server import ServerPowerModel
+from repro.workloads.base import InteractiveWorkload
+from repro.workloads.traces import GoogleStyleArrivalTrace
+
+__all__ = ["WEB_DEFAULTS", "make_web_latency_model", "make_web_workload"]
+
+#: Calibration constants for the web-serving p90 latency model.
+WEB_DEFAULTS = {
+    "mu_max_per_watt": 1.5,
+    "d_min_ms": 30.0,
+    "alpha": 2.0,
+    "tail_const_ms_rps": 2500.0,  # p90 tail: ~half the p99 constant
+    "base_fraction": 0.445,
+    "diurnal_amplitude": 0.12,
+    "surge_probability": 0.02,
+    "surge_magnitude": 0.26,
+}
+
+
+def make_web_latency_model(power_model: ServerPowerModel) -> LatencyModel:
+    """A p90 latency model for a web-serving rack."""
+    return LatencyModel(
+        power_model=power_model,
+        mu_max_rps=WEB_DEFAULTS["mu_max_per_watt"] * power_model.dynamic_range_w,
+        d_min_ms=WEB_DEFAULTS["d_min_ms"],
+        alpha=WEB_DEFAULTS["alpha"],
+        tail_const_ms_rps=WEB_DEFAULTS["tail_const_ms_rps"],
+    )
+
+
+def make_web_workload(
+    name: str,
+    power_model: ServerPowerModel,
+    slo_ms: float = SLO_LATENCY_MS,
+    phase: float = 0.35,
+    slots_per_day: float = 24 * 60,
+) -> InteractiveWorkload:
+    """Build a web-serving workload on a rack.
+
+    Args:
+        name: Workload instance label (e.g. ``"Web"``).
+        power_model: The rack's power model.
+        slo_ms: p90 latency SLO (paper: 100 ms).
+        phase: Diurnal phase offset.
+        slots_per_day: Slots per diurnal cycle.
+    """
+    latency_model = make_web_latency_model(power_model)
+    trace = GoogleStyleArrivalTrace(
+        max_rate_rps=latency_model.mu_max_rps,
+        base_fraction=WEB_DEFAULTS["base_fraction"],
+        diurnal_amplitude=WEB_DEFAULTS["diurnal_amplitude"],
+        surge_probability=WEB_DEFAULTS["surge_probability"],
+        surge_magnitude=WEB_DEFAULTS["surge_magnitude"],
+        slots_per_day=slots_per_day,
+        phase=phase,
+    )
+    return InteractiveWorkload(
+        name=name,
+        latency_model=latency_model,
+        arrival_trace=trace,
+        slo_ms=slo_ms,
+    )

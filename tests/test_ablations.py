@@ -1,0 +1,56 @@
+"""Ablation experiment runners (fast variants; full runs in benchmarks)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    render_breakpoint_ablation,
+    render_reserve_price_sweep,
+    render_safety_ablation,
+    run_breakpoint_ablation,
+    run_reserve_price_sweep,
+    run_safety_ablation,
+)
+
+
+class TestBreakpointAblation:
+    def test_augmentation_never_loses(self):
+        ablation = run_breakpoint_ablation(
+            price_steps=(0.05, 0.005), racks=80, trials=4
+        )
+        plain = np.array(ablation.revenue_plain)
+        augmented = np.array(ablation.revenue_breakpoints)
+        assert np.all(augmented >= plain - 1e-12)
+
+    def test_render(self):
+        ablation = run_breakpoint_ablation(
+            price_steps=(0.05,), racks=40, trials=2
+        )
+        assert "breakpoint" in render_breakpoint_ablation(ablation)
+
+
+class TestReservePriceSweep:
+    def test_low_floor_is_free(self):
+        sweep = run_reserve_price_sweep(
+            slots=500, reserve_prices=(0.0, 0.02)
+        )
+        assert sweep.profit_increase[1] == pytest.approx(
+            sweep.profit_increase[0], abs=0.03
+        )
+
+    def test_render(self):
+        sweep = run_reserve_price_sweep(slots=300, reserve_prices=(0.0,))
+        assert "reserve" in render_reserve_price_sweep(sweep)
+
+
+class TestSafetyAblation:
+    def test_structure(self):
+        ablation = run_safety_ablation(slots=800)
+        assert len(ablation.labels) == 4
+        assert len(ablation.emergencies) == 4
+        # Stripping protections never *reduces* excursions.
+        by_label = dict(zip(ablation.labels, ablation.emergencies))
+        assert by_label["neither"] >= by_label[
+            "margin + rolling refs (default)"
+        ]
+        assert "conservatism" in render_safety_ablation(ablation)

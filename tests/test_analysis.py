@@ -1,0 +1,152 @@
+"""Analysis helpers: CDFs, statistics, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.reporting import format_kv, format_series, format_table
+from repro.analysis.stats import (
+    fraction_true,
+    geometric_mean,
+    normalize_to,
+    relative_change,
+    summarize,
+)
+from repro.errors import ConfigurationError
+
+
+class TestEmpiricalCdf:
+    def test_evaluate_basic(self):
+        cdf = EmpiricalCdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.evaluate(0.5) == 0.0
+        assert cdf.evaluate(2.0) == 0.5
+        assert cdf.evaluate(4.0) == 1.0
+
+    def test_evaluate_many_matches_scalar(self):
+        data = np.random.default_rng(0).normal(size=200)
+        cdf = EmpiricalCdf(data)
+        xs = np.linspace(-3, 3, 21)
+        assert np.allclose(
+            cdf.evaluate_many(xs), [cdf.evaluate(float(x)) for x in xs]
+        )
+
+    def test_quantile_inverts(self):
+        data = np.random.default_rng(1).uniform(0, 100, 1000)
+        cdf = EmpiricalCdf(data)
+        for p in (0.1, 0.5, 0.9):
+            q = cdf.quantile(p)
+            assert cdf.evaluate(q) == pytest.approx(p, abs=0.01)
+
+    def test_normalized_default_max(self):
+        cdf = EmpiricalCdf([2.0, 4.0]).normalized()
+        assert cdf.max == pytest.approx(1.0)
+        assert cdf.min == pytest.approx(0.5)
+
+    def test_exceedance(self):
+        cdf = EmpiricalCdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.exceedance_fraction(2.5) == pytest.approx(0.5)
+
+    def test_area_gap_to_ideal(self):
+        # Samples at half capacity -> mean unused fraction 0.5.
+        cdf = EmpiricalCdf([50.0] * 10)
+        assert cdf.area_gap_to_ideal(100.0) == pytest.approx(0.5)
+
+    def test_area_gap_clips_above_capacity(self):
+        cdf = EmpiricalCdf([150.0])
+        assert cdf.area_gap_to_ideal(100.0) == 0.0
+
+    def test_curve_shape(self):
+        cdf = EmpiricalCdf(np.arange(100.0))
+        xs, ys = cdf.curve(points=10)
+        assert xs.shape == ys.shape == (10,)
+        assert np.all(np.diff(ys) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalCdf([])
+        with pytest.raises(ConfigurationError):
+            EmpiricalCdf([np.nan])
+        with pytest.raises(ConfigurationError):
+            EmpiricalCdf([1.0]).quantile(1.5)
+        with pytest.raises(ConfigurationError):
+            EmpiricalCdf([1.0]).normalized(0.0)
+        with pytest.raises(ConfigurationError):
+            EmpiricalCdf([1.0]).area_gap_to_ideal(0.0)
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_of_ratios_is_symmetric(self):
+        assert geometric_mean([0.5, 2.0]) == pytest.approx(1.0)
+
+    def test_geometric_mean_validation(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+
+    def test_normalize_to(self):
+        assert np.allclose(normalize_to([2.0, 4.0], 2.0), [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            normalize_to([1.0], 0.0)
+
+    def test_relative_change(self):
+        assert relative_change(110.0, 100.0) == pytest.approx(0.1)
+        with pytest.raises(ConfigurationError):
+            relative_change(1.0, 0.0)
+
+    def test_summarize_keys_and_order(self):
+        stats = summarize(np.arange(101.0))
+        assert stats["min"] == 0.0
+        assert stats["max"] == 100.0
+        assert stats["p50"] == pytest.approx(50.0)
+        assert stats["p99"] == pytest.approx(99.0)
+        assert stats["mean"] == pytest.approx(50.0)
+
+    def test_summarize_validation(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+        with pytest.raises(ConfigurationError):
+            summarize([np.nan])
+
+    def test_fraction_true(self):
+        assert fraction_true([True, False, True, True]) == pytest.approx(0.75)
+        assert np.isnan(fraction_true([]))
+
+
+class TestReporting:
+    def test_format_table_aligned(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.23456], ["bb", 2]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.235" in text  # 4 significant digits
+        assert "bb" in text
+
+    def test_format_table_validates_width(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["only-one"]])
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+    def test_format_series(self):
+        text = format_series("x", [1, 2], {"y": [10, 20], "z": [30, 40]})
+        assert "x" in text and "y" in text and "z" in text
+        assert "10" in text and "40" in text
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            format_series("x", [1, 2], {"y": [10]})
+
+    def test_format_kv(self):
+        text = format_kv({"alpha": 1.0, "beta": "two"}, title="H")
+        assert text.splitlines()[0] == "H"
+        assert "alpha" in text and "two" in text
+
+    def test_empty_table_renders(self):
+        text = format_table(["h"], [])
+        assert "h" in text

@@ -1,0 +1,150 @@
+"""Fluent ScenarioBuilder (sim.builder)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import PowerCappedAllocator
+from repro.errors import ConfigurationError
+from repro.sim.builder import ScenarioBuilder
+from repro.sim.engine import run_simulation
+from repro.tenants.bundled import BundledSprintingTenant
+from repro.tenants.tenant import (
+    NonParticipatingTenant,
+    OpportunisticTenant,
+    SprintingTenant,
+)
+
+
+def small_facility(seed=5):
+    return (
+        ScenarioBuilder(seed=seed)
+        .add_pdu("row-a", oversubscription=1.05)
+        .add_pdu("row-b", oversubscription=1.05)
+        .add_search_tenant("search", 150.0, "row-a")
+        .add_wordcount_tenant("count", 130.0, "row-a")
+        .add_other_group("colo-a", 250.0, "row-a")
+        .add_web_tenant("web", 120.0, "row-b")
+        .add_graph_tenant("graph", 110.0, "row-b")
+        .add_other_group("colo-b", 250.0, "row-b")
+        .build()
+    )
+
+
+class TestStructure:
+    def test_pdu_capacity_from_leases(self):
+        scenario = small_facility()
+        leased_a = 150.0 + 130.0 + 250.0
+        assert scenario.topology.pdus["row-a"].capacity_w == pytest.approx(
+            leased_a / 1.05
+        )
+
+    def test_ups_capacity_from_pdus(self):
+        scenario = small_facility()
+        total_pdu = sum(p.capacity_w for p in scenario.topology.pdus.values())
+        assert scenario.topology.ups.capacity_w == pytest.approx(
+            total_pdu / 1.05
+        )
+
+    def test_tenant_classes(self):
+        scenario = small_facility()
+        kinds = {t.tenant_id: type(t) for t in scenario.tenants}
+        assert kinds["search"] is SprintingTenant
+        assert kinds["web"] is SprintingTenant
+        assert kinds["count"] is OpportunisticTenant
+        assert kinds["graph"] is OpportunisticTenant
+        assert kinds["colo-a"] is NonParticipatingTenant
+
+    def test_deterministic_per_seed(self):
+        a = small_facility(seed=5)
+        b = small_facility(seed=5)
+        a.prepare(20)
+        b.prepare(20)
+        assert a.tenants[0].racks[0].workload.intensity(3) == (
+            b.tenants[0].racks[0].workload.intensity(3)
+        )
+
+
+class TestValidation:
+    def test_duplicate_pdu(self):
+        builder = ScenarioBuilder().add_pdu("p")
+        with pytest.raises(ConfigurationError):
+            builder.add_pdu("p")
+
+    def test_unknown_pdu(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioBuilder().add_search_tenant("s", 100.0, "ghost")
+
+    def test_duplicate_tenant(self):
+        builder = ScenarioBuilder().add_pdu("p").add_search_tenant("s", 100.0, "p")
+        with pytest.raises(ConfigurationError):
+            builder.add_web_tenant("s", 100.0, "p")
+
+    def test_empty_build(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioBuilder().build()
+        with pytest.raises(ConfigurationError):
+            ScenarioBuilder().add_pdu("p").build()
+
+    def test_bad_oversubscription(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioBuilder(ups_oversubscription=0.9)
+        with pytest.raises(ConfigurationError):
+            ScenarioBuilder().add_pdu("p", oversubscription=0.5)
+
+    def test_tiered_needs_two_tiers(self):
+        builder = ScenarioBuilder().add_pdu("p")
+        with pytest.raises(ConfigurationError):
+            builder.add_tiered_tenant("t", [(100.0, "p")])
+
+
+class TestSimulation:
+    def test_custom_facility_runs_end_to_end(self):
+        scenario = small_facility()
+        result = run_simulation(scenario, 400)
+        baseline = run_simulation(
+            small_facility(), 400, allocator=PowerCappedAllocator()
+        )
+        assert result.collector.spot_granted_array().sum() > 0
+        assert result.operator_profit_increase_vs(baseline) > 0
+
+    def test_tiered_tenant_trades_in_simulation(self):
+        scenario = (
+            ScenarioBuilder(seed=9)
+            .add_pdu("row", oversubscription=1.05)
+            .add_tiered_tenant("shop", [(140.0, "row"), (110.0, "row")])
+            .add_wordcount_tenant("batch", 120.0, "row")
+            .add_other_group("colo", 300.0, "row")
+            .build()
+        )
+        tenant_types = {type(t) for t in scenario.tenants}
+        assert BundledSprintingTenant in tenant_types
+        result = run_simulation(scenario, 500)
+        shop_granted = sum(
+            result.collector.rack_granted_array(rack_id).sum()
+            for rack_id in result.tenants["shop"].rack_ids
+        )
+        assert shop_granted > 0
+        # The engine saw one end-to-end latency per tier rack.
+        perfs = [
+            result.collector.rack_perf_array(rack_id)
+            for rack_id in result.tenants["shop"].rack_ids
+        ]
+        assert np.allclose(perfs[0], perfs[1])
+
+    def test_tiered_tenant_improves_over_powercapped(self):
+        def build():
+            return (
+                ScenarioBuilder(seed=9)
+                .add_pdu("row", oversubscription=1.05)
+                .add_tiered_tenant("shop", [(140.0, "row"), (110.0, "row")])
+                .add_wordcount_tenant("batch", 120.0, "row")
+                .add_other_group("colo", 300.0, "row")
+                .build()
+            )
+
+        spot = run_simulation(build(), 500)
+        capped = run_simulation(build(), 500, allocator=PowerCappedAllocator())
+        assert spot.tenant_performance_improvement_vs(capped, "shop") >= 1.0
+        assert spot.tenant_slo_violation_rate("shop") <= (
+            capped.tenant_slo_violation_rate("shop")
+        )

@@ -1,0 +1,219 @@
+"""Bundled multi-rack bidding (paper §III-B3, Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.config import make_rng
+from repro.core.clearing import clear_market
+from repro.economics.cost import SprintingCostModel
+from repro.errors import ConfigurationError, WorkloadError
+from repro.power.latency import LatencyModel
+from repro.power.server import ServerPowerModel
+from repro.tenants.bundled import BundledSprintingTenant, TierWorkload
+from repro.tenants.calibration import calibrate_sprinting_cost
+from repro.tenants.portfolio import TenantRack
+from repro.workloads.traces import GoogleStyleArrivalTrace
+
+SLOTS = 300
+
+
+def make_tier(name, subscription, mu_per_watt=1.3, target_ms=45.0):
+    power = ServerPowerModel(0.45 * subscription, 1.3 * subscription)
+    model = LatencyModel(
+        power_model=power,
+        mu_max_rps=mu_per_watt * power.dynamic_range_w,
+        d_min_ms=12.0,
+        tail_const_ms_rps=2500.0,
+    )
+    workload = TierWorkload(name, model, target_ms=target_ms)
+    rack = TenantRack(
+        rack_id=f"rack:{name}",
+        pdu_id="pdu:0",
+        guaranteed_w=subscription,
+        max_spot_w=0.5 * subscription,
+        power_model=power,
+        workload=workload,
+    )
+    return rack, model
+
+
+@pytest.fixture
+def tenant():
+    front, front_model = make_tier("front", 120.0)
+    back, _ = make_tier("back", 100.0)
+    trace = GoogleStyleArrivalTrace(
+        max_rate_rps=front_model.mu_max_rps,
+        base_fraction=0.30,
+        slots_per_day=720,
+    )
+    cost = calibrate_sprinting_cost(
+        front_model,
+        guaranteed_w=120.0,
+        reference_rps=0.6 * front_model.mu_max_rps,
+        max_spot_w=36.0,
+        target_marginal_per_kw_hour=0.25,
+    )
+    bundled = BundledSprintingTenant(
+        "Shop",
+        [front, back],
+        arrival_trace=trace,
+        cost_model=cost,
+        q_low=0.18,
+        q_high=0.32,
+        increment_w=2.0,
+    )
+    bundled.prepare(SLOTS, make_rng(4))
+    return bundled
+
+
+def busy_slot(tenant, min_racks=1):
+    for slot in range(SLOTS):
+        if len(tenant.needed_spot_w(slot)) >= min_racks:
+            return slot
+    pytest.fail("no busy slot found")
+
+
+def bidding_slot(tenant):
+    """First slot where the tenant's joint demand is worth bidding."""
+    for slot in range(SLOTS):
+        if tenant.needed_spot_w(slot) and tenant.make_bid(slot) is not None:
+            return slot
+    pytest.fail("tenant never bid")
+
+
+class TestTierWorkload:
+    def test_requires_installed_arrivals(self):
+        rack, model = make_tier("solo", 100.0)
+        with pytest.raises(WorkloadError):
+            rack.workload.prepare(10, make_rng(0))
+
+    def test_shared_stream_across_tiers(self, tenant):
+        rates = [
+            tier.workload.intensity(5) for tier in tenant._tiers
+        ]
+        assert rates[0] == rates[1]
+
+    def test_validation(self):
+        _, model = make_tier("x", 100.0)
+        with pytest.raises(ConfigurationError):
+            TierWorkload("x", model, target_ms=0.0)
+
+
+class TestJointValuation:
+    def test_end_to_end_is_sum_of_tiers(self, tenant):
+        slot = busy_slot(tenant)
+        budgets = {
+            tier.rack.rack_id: tier.rack.guaranteed_w for tier in tenant._tiers
+        }
+        total = tenant.end_to_end_latency_ms(slot, budgets)
+        parts = sum(
+            tier.workload.latency_model.latency_ms(
+                min(
+                    tier.workload.desired_power_w(slot),
+                    tier.rack.guaranteed_w,
+                ),
+                tier.workload.intensity(slot),
+            )
+            for tier in tenant._tiers
+        )
+        assert total == pytest.approx(parts)
+
+    def test_optimal_vector_decreases_with_price(self, tenant):
+        slot = busy_slot(tenant)
+        cheap = tenant.optimal_vector(slot, 0.05)
+        dear = tenant.optimal_vector(slot, 0.40)
+        assert sum(cheap.values()) >= sum(dear.values()) - 1e-9
+
+    def test_optimal_vector_respects_headroom(self, tenant):
+        slot = busy_slot(tenant)
+        vector = tenant.optimal_vector(slot, 0.01)
+        for tier in tenant._tiers:
+            assert vector[tier.rack.rack_id] <= tier.rack.useful_spot_w + 1e-9
+
+    def test_joint_beats_lopsided_allocation(self, tenant):
+        # Spending the same watts via the greedy joint optimum must not
+        # cost more than dumping them all on one tier.
+        slot = busy_slot(tenant)
+        vector = tenant.optimal_vector(slot, 0.05)
+        watts = sum(vector.values())
+        if watts < 4.0:
+            pytest.skip("no meaningful joint demand at this slot")
+        joint_cost = tenant._cost_rate(slot, vector)
+        first = tenant._tiers[0].rack
+        lopsided = {first.rack_id: min(watts, first.useful_spot_w)}
+        assert joint_cost <= tenant._cost_rate(slot, lopsided) + 1e-9
+
+
+class TestBundledBid:
+    def test_bid_shares_price_anchors(self, tenant):
+        slot = bidding_slot(tenant)
+        bid = tenant.make_bid(slot)
+        assert bid is not None
+        for rack_bid in bid.rack_bids:
+            assert rack_bid.demand.q_min == tenant.q_low
+            assert rack_bid.demand.q_max == tenant.q_high
+
+    def test_bid_quantities_follow_optimal_vectors(self, tenant):
+        slot = bidding_slot(tenant)
+        bid = tenant.make_bid(slot)
+        d_max = tenant.optimal_vector(slot, tenant.q_low)
+        for rack_bid in bid.rack_bids:
+            assert rack_bid.demand.d_max_w == pytest.approx(
+                min(
+                    d_max[rack_bid.rack_id],
+                    rack_bid.rack_cap_w,
+                ),
+                abs=1e-9,
+            )
+
+    def test_no_bid_when_idle(self, tenant):
+        for slot in range(SLOTS):
+            if not tenant.needed_spot_w(slot):
+                assert tenant.make_bid(slot) is None
+                return
+        pytest.fail("no idle slot")
+
+    def test_bundle_clears_in_market(self, tenant):
+        slot = bidding_slot(tenant)
+        bid = tenant.make_bid(slot)
+        result = clear_market(list(bid.rack_bids), {"pdu:0": 150.0}, 150.0)
+        assert result.total_granted_w >= 0.0
+
+
+class TestExecution:
+    def test_all_tiers_report_end_to_end(self, tenant):
+        outcomes = tenant.execute_slot(0, {}, 120.0)
+        values = {perf.value for perf in outcomes.values()}
+        assert len(values) == 1  # same end-to-end latency on every rack
+
+    def test_spot_improves_end_to_end(self):
+        a_front, front_model = make_tier("f1", 120.0)
+        a_back, _ = make_tier("b1", 100.0)
+        trace = GoogleStyleArrivalTrace(
+            max_rate_rps=front_model.mu_max_rps,
+            base_fraction=0.45,
+            slots_per_day=720,
+        )
+        cost = SprintingCostModel(a=1e-6, b=1e-6)
+        tenant = BundledSprintingTenant(
+            "Shop", [a_front, a_back], trace, cost, 0.18, 0.32
+        )
+        tenant.prepare(SLOTS, make_rng(4))
+        slot = busy_slot(tenant)
+        boosted_budgets = {
+            tier.rack.rack_id: tier.rack.guaranteed_w + tier.rack.useful_spot_w
+            for tier in tenant._tiers
+        }
+        base = tenant.end_to_end_latency_ms(slot, {})
+        boosted = tenant.end_to_end_latency_ms(slot, boosted_budgets)
+        assert boosted <= base
+
+    def test_validation(self):
+        rack, _ = make_tier("v", 100.0)
+        cost = SprintingCostModel(a=1.0, b=1.0)
+        with pytest.raises(ConfigurationError):
+            BundledSprintingTenant("X", [rack], None, cost, 0.3, 0.1)
+        with pytest.raises(ConfigurationError):
+            BundledSprintingTenant(
+                "X", [rack], None, cost, 0.1, 0.3, increment_w=0.0
+            )

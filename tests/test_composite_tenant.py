@@ -1,0 +1,146 @@
+"""Composite tenants: both opportunistic and sprinting (paper §II-C)."""
+
+import numpy as np
+import pytest
+
+from repro.config import make_rng
+from repro.errors import ConfigurationError
+from repro.sim.scenario import testbed_scenario as build_testbed
+from repro.tenants.composite import CompositeTenant
+
+SLOTS = 500
+
+
+def parts_from_testbed(seed=8):
+    scenario = build_testbed(seed=seed)
+    by_id = {t.tenant_id: t for t in scenario.tenants}
+    return by_id["Search-1"], by_id["Count-1"], by_id["Other-1"]
+
+
+@pytest.fixture
+def composite():
+    search, count, _ = parts_from_testbed()
+    tenant = CompositeTenant("MegaCorp", [search, count])
+    tenant.prepare(SLOTS, make_rng(3))
+    return tenant
+
+
+class TestConstruction:
+    def test_owns_all_racks(self, composite):
+        assert {r.rack_id for r in composite.racks} == {
+            "rack:Search-1", "rack:Count-1",
+        }
+
+    def test_mixed_kind_reports_sprinting(self, composite):
+        assert composite.kind == "sprinting"
+
+    def test_pure_kind_preserved(self):
+        search, count, _ = parts_from_testbed()
+        assert CompositeTenant("s", [search]).kind == "sprinting"
+        search2, count2, _ = parts_from_testbed(seed=9)
+        assert CompositeTenant("o", [count2]).kind == "opportunistic"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            CompositeTenant("x", [])
+
+    def test_rejects_non_participants(self):
+        _, _, other = parts_from_testbed()
+        with pytest.raises(ConfigurationError):
+            CompositeTenant("x", [other])
+
+
+class TestBehaviour:
+    def test_needs_union_of_parts(self, composite):
+        search, count = composite.parts
+        for slot in range(SLOTS):
+            combined = composite.needed_spot_w(slot)
+            expected = {**search.needed_spot_w(slot), **count.needed_spot_w(slot)}
+            assert combined == expected
+            if len(combined) >= 2:
+                return
+        pytest.skip("parts never overlapped in this window")
+
+    def test_bid_reattributes_tenant_id(self, composite):
+        for slot in range(SLOTS):
+            bid = composite.make_bid(slot)
+            if bid is not None:
+                assert bid.tenant_id == "MegaCorp"
+                assert all(
+                    rb.tenant_id == "MegaCorp" for rb in bid.rack_bids
+                )
+                return
+        pytest.fail("composite never bid")
+
+    def test_bid_bundles_both_classes_when_both_need(self, composite):
+        for slot in range(SLOTS):
+            needed = composite.needed_spot_w(slot)
+            if {"rack:Search-1", "rack:Count-1"} <= set(needed):
+                bid = composite.make_bid(slot)
+                if bid is not None and len(bid.rack_bids) == 2:
+                    return
+        pytest.skip("no slot with both parts bidding")
+
+    def test_execute_covers_all_racks(self, composite):
+        outcomes = composite.execute_slot(0, {}, 120.0)
+        assert set(outcomes) == {"rack:Search-1", "rack:Count-1"}
+        metrics = {perf.metric for perf in outcomes.values()}
+        assert metrics == {"latency_ms", "throughput"}
+
+    def test_value_curves_union(self, composite):
+        # Batch curves exist immediately; sprinting curves on demand.
+        curves = composite.value_curves(0)
+        assert "rack:Count-1" in curves
+
+    def test_prepare_gives_parts_independent_streams(self):
+        a_search, a_count, _ = parts_from_testbed()
+        composite = CompositeTenant("m", [a_search, a_count])
+        composite.prepare(50, make_rng(3))
+        search_rate = a_search.racks[0].workload.intensity(5)
+        count_rate = a_count.racks[0].workload.intensity(5)
+        assert search_rate != count_rate
+
+
+class TestCompositeInSimulation:
+    def test_composite_runs_in_engine(self):
+        from repro.sim.engine import run_simulation
+
+        scenario = build_testbed(seed=12)
+        by_id = {t.tenant_id: t for t in scenario.tenants}
+        merged = CompositeTenant(
+            "MegaCorp", [by_id["Search-1"], by_id["Count-1"]]
+        )
+        scenario.tenants = [
+            t
+            for t in scenario.tenants
+            if t.tenant_id not in ("Search-1", "Count-1")
+        ] + [merged]
+        result = run_simulation(scenario, 600)
+        # The composite is billed as one tenant across both rack classes.
+        assert "MegaCorp" in result.tenants
+        assert set(result.tenants["MegaCorp"].rack_ids) == {
+            "rack:Search-1", "rack:Count-1",
+        }
+        granted = sum(
+            result.collector.rack_granted_array(r).sum()
+            for r in result.tenants["MegaCorp"].rack_ids
+        )
+        assert granted > 0
+        assert result.tenant_spot_payment("MegaCorp") > 0
+
+    def test_composite_books_balance(self):
+        from repro.economics.settlement import reconcile
+        from repro.sim.engine import run_simulation
+
+        scenario = build_testbed(seed=12)
+        by_id = {t.tenant_id: t for t in scenario.tenants}
+        merged = CompositeTenant(
+            "MegaCorp", [by_id["Search-2"], by_id["Sort"]]
+        )
+        scenario.tenants = [
+            t
+            for t in scenario.tenants
+            if t.tenant_id not in ("Search-2", "Sort")
+        ] + [merged]
+        result = run_simulation(scenario, 400)
+        reconcile(result)

@@ -1,0 +1,88 @@
+"""Global configuration and randomness policy (repro.config)."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    DEFAULT_SEED,
+    MarketParameters,
+    make_rng,
+    spawn_rngs,
+)
+
+
+class TestMakeRng:
+    def test_default_seed_is_deterministic(self):
+        a = make_rng().random(5)
+        b = make_rng().random(5)
+        assert np.array_equal(a, b)
+
+    def test_explicit_seed_reproducible(self):
+        assert np.array_equal(make_rng(123).random(3), make_rng(123).random(3))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(make_rng(1).random(3), make_rng(2).random(3))
+
+    def test_none_falls_back_to_default(self):
+        assert np.array_equal(
+            make_rng(None).random(3), make_rng(DEFAULT_SEED).random(3)
+        )
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(make_rng(1), 4)) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(make_rng(1), 2)
+        assert not np.array_equal(children[0].random(5), children[1].random(5))
+
+    def test_children_reproducible(self):
+        a = [r.random(3) for r in spawn_rngs(make_rng(9), 3)]
+        b = [r.random(3) for r in spawn_rngs(make_rng(9), 3)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_prefix_stability(self):
+        # Adding more children must not perturb earlier streams.
+        short = spawn_rngs(make_rng(5), 2)
+        long = spawn_rngs(make_rng(5), 6)
+        for a, b in zip(short, long):
+            assert np.array_equal(a.random(4), b.random(4))
+
+    def test_zero_count(self):
+        assert spawn_rngs(make_rng(1), 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(make_rng(1), -1)
+
+
+class TestMarketParameters:
+    def test_defaults_valid(self):
+        params = MarketParameters()
+        assert params.price_step > 0
+        assert params.max_price > params.reserve_price
+
+    def test_rejects_nonpositive_slot(self):
+        with pytest.raises(ValueError):
+            MarketParameters(slot_seconds=0)
+
+    def test_rejects_nonpositive_step(self):
+        with pytest.raises(ValueError):
+            MarketParameters(price_step=0)
+
+    def test_rejects_inverted_price_range(self):
+        with pytest.raises(ValueError):
+            MarketParameters(max_price=0.1, reserve_price=0.2)
+
+    def test_rejects_bad_under_prediction(self):
+        with pytest.raises(ValueError):
+            MarketParameters(under_prediction_factor=0.0)
+        with pytest.raises(ValueError):
+            MarketParameters(under_prediction_factor=1.5)
+
+    def test_frozen(self):
+        params = MarketParameters()
+        with pytest.raises(Exception):
+            params.price_step = 0.5

@@ -1,0 +1,159 @@
+"""Demand functions: LinearBid, StepBid, FullBid."""
+
+import numpy as np
+import pytest
+
+from repro.core.demand import FullBid, LinearBid, StepBid
+from repro.errors import BidError
+
+
+class TestLinearBid:
+    def test_flat_segment(self):
+        bid = LinearBid(100.0, 0.1, 20.0, 0.4)
+        assert bid.demand_at(0.0) == 100.0
+        assert bid.demand_at(0.1) == 100.0
+
+    def test_linear_segment_midpoint(self):
+        bid = LinearBid(100.0, 0.1, 20.0, 0.4)
+        assert bid.demand_at(0.25) == pytest.approx(60.0)
+
+    def test_minimum_at_max_price(self):
+        bid = LinearBid(100.0, 0.1, 20.0, 0.4)
+        assert bid.demand_at(0.4) == pytest.approx(20.0)
+
+    def test_zero_above_max_price(self):
+        bid = LinearBid(100.0, 0.1, 20.0, 0.4)
+        assert bid.demand_at(0.41) == 0.0
+
+    def test_degenerate_step_via_equal_quantities(self):
+        bid = LinearBid(50.0, 0.1, 50.0, 0.3)
+        assert bid.demand_at(0.2) == 50.0
+        assert bid.demand_at(0.31) == 0.0
+
+    def test_degenerate_step_via_equal_prices(self):
+        bid = LinearBid(80.0, 0.2, 30.0, 0.2)
+        assert bid.demand_at(0.2) == 80.0
+        assert bid.demand_at(0.2000001) == 0.0
+
+    def test_grid_matches_scalar(self):
+        bid = LinearBid(100.0, 0.1, 20.0, 0.4)
+        prices = np.linspace(0, 0.5, 101)
+        grid = bid.demand_grid(prices)
+        scalar = np.array([bid.demand_at(float(p)) for p in prices])
+        assert np.allclose(grid, scalar)
+
+    def test_monotone_non_increasing(self):
+        bid = LinearBid(100.0, 0.1, 20.0, 0.4)
+        assert bid.validate_monotone(np.linspace(0, 1, 50))
+
+    def test_parameters_roundtrip(self):
+        bid = LinearBid(100.0, 0.1, 20.0, 0.4)
+        assert bid.as_parameters() == (100.0, 0.1, 20.0, 0.4)
+
+    def test_max_properties(self):
+        bid = LinearBid(100.0, 0.1, 20.0, 0.4)
+        assert bid.max_demand_w == 100.0
+        assert bid.max_price == 0.4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(d_max_w=-1.0, q_min=0.1, d_min_w=0.0, q_max=0.2),
+            dict(d_max_w=10.0, q_min=0.1, d_min_w=20.0, q_max=0.2),
+            dict(d_max_w=10.0, q_min=-0.1, d_min_w=5.0, q_max=0.2),
+            dict(d_max_w=10.0, q_min=0.3, d_min_w=5.0, q_max=0.2),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(BidError):
+            LinearBid(**kwargs)
+
+
+class TestStepBid:
+    def test_all_or_nothing(self):
+        bid = StepBid(60.0, 0.25)
+        assert bid.demand_at(0.25) == 60.0
+        assert bid.demand_at(0.2500001) == 0.0
+        assert bid.demand_at(0.0) == 60.0
+
+    def test_grid_matches_scalar(self):
+        bid = StepBid(60.0, 0.25)
+        prices = np.linspace(0, 0.5, 51)
+        assert np.allclose(
+            bid.demand_grid(prices),
+            [bid.demand_at(float(p)) for p in prices],
+        )
+
+    def test_rejects_negatives(self):
+        with pytest.raises(BidError):
+            StepBid(-1.0, 0.2)
+        with pytest.raises(BidError):
+            StepBid(10.0, -0.2)
+
+    def test_zero_demand_is_valid(self):
+        assert StepBid(0.0, 0.2).demand_at(0.1) == 0.0
+
+
+class TestFullBid:
+    @staticmethod
+    def concave_gain(d):
+        return 10.0 * (1.0 - np.exp(-d / 50.0))
+
+    def test_from_value_curve_monotone_in_price(self):
+        bid = FullBid.from_value_curve(self.concave_gain, 200.0)
+        prices = np.linspace(0.001, 300.0, 100)
+        demands = [bid.demand_at(float(p)) for p in prices]
+        assert all(a >= b for a, b in zip(demands, demands[1:]))
+
+    def test_demand_at_zero_price_is_max(self):
+        bid = FullBid.from_value_curve(self.concave_gain, 200.0)
+        assert bid.demand_at(0.0) == pytest.approx(200.0)
+
+    def test_demand_inverts_marginal_value(self):
+        # gain'(d) = (10/50) e^{-d/50} $/W/h -> at price q ($/kW/h),
+        # demand solves e^{-d/50} = q / 200.
+        bid = FullBid.from_value_curve(self.concave_gain, 400.0, grid_points=800)
+        q = 50.0
+        expected = -50.0 * np.log(q / 200.0)
+        assert bid.demand_at(q) == pytest.approx(expected, rel=0.05)
+
+    def test_grid_matches_scalar(self):
+        bid = FullBid.from_value_curve(self.concave_gain, 200.0)
+        prices = np.linspace(0, 250.0, 200)
+        assert np.allclose(
+            bid.demand_grid(prices),
+            [bid.demand_at(float(p)) for p in prices],
+        )
+
+    def test_price_cap_zeroes_demand_above(self):
+        bid = FullBid.from_value_curve(self.concave_gain, 200.0, price_cap=0.3)
+        assert bid.demand_at(0.30) > 0.0
+        assert bid.demand_at(0.31) == 0.0
+        assert bid.max_price == pytest.approx(0.3)
+
+    def test_price_cap_in_grid(self):
+        bid = FullBid.from_value_curve(self.concave_gain, 200.0, price_cap=0.3)
+        grid = bid.demand_grid(np.array([0.1, 0.3, 0.5]))
+        assert grid[0] > 0 and grid[1] > 0 and grid[2] == 0.0
+
+    def test_rejects_increasing_marginals(self):
+        with pytest.raises(BidError):
+            FullBid([10.0, 20.0], [0.1, 0.2])
+
+    def test_rejects_non_increasing_demands(self):
+        with pytest.raises(BidError):
+            FullBid([20.0, 10.0], [0.2, 0.1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(BidError):
+            FullBid([], [])
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(BidError):
+            FullBid([10.0, 20.0], [0.3])
+
+    def test_rejects_bad_construction_args(self):
+        with pytest.raises(BidError):
+            FullBid.from_value_curve(self.concave_gain, 0.0)
+        with pytest.raises(BidError):
+            FullBid.from_value_curve(self.concave_gain, 10.0, grid_points=1)

@@ -1,0 +1,176 @@
+"""Pricing, tenant cost models, and operator profit accounting."""
+
+import pytest
+
+from repro.economics.cost import OpportunisticCostModel, SprintingCostModel
+from repro.economics.pricing import PriceSheet
+from repro.economics.profit import OperatorLedger
+from repro.errors import ConfigurationError
+
+
+class TestPriceSheet:
+    def test_amortized_hourly_rate(self):
+        sheet = PriceSheet(guaranteed_rate_per_kw_month=146.0)
+        assert sheet.guaranteed_rate_per_kw_hour == pytest.approx(0.2)
+
+    def test_subscription_cost(self):
+        sheet = PriceSheet(guaranteed_rate_per_kw_month=146.0)
+        # 500 W for 10 hours at $0.2/kW/h = $1.
+        assert sheet.subscription_cost(500.0, 10.0) == pytest.approx(1.0)
+
+    def test_energy_charge(self):
+        sheet = PriceSheet(energy_tariff_per_kwh=0.1)
+        assert sheet.energy_charge(2000.0, 5.0) == pytest.approx(1.0)
+
+    def test_rack_capex_per_hour(self):
+        sheet = PriceSheet(
+            rack_capex_per_watt=0.4, rack_capex_amortization_years=15.0
+        )
+        per_hour = sheet.rack_capex_per_hour(1000.0)
+        total = per_hour * 15.0 * 12 * 730.0
+        assert total == pytest.approx(400.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PriceSheet(guaranteed_rate_per_kw_month=0.0)
+        with pytest.raises(ConfigurationError):
+            PriceSheet(energy_tariff_per_kwh=-0.1)
+        with pytest.raises(ConfigurationError):
+            PriceSheet().subscription_cost(-1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            PriceSheet().energy_charge(1.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            PriceSheet().rack_capex_per_hour(-1.0)
+
+
+class TestSprintingCostModel:
+    def test_linear_below_slo(self):
+        model = SprintingCostModel(a=0.001, b=0.01, slo_ms=100.0)
+        assert model.cost_per_job(50.0) == pytest.approx(0.05)
+
+    def test_quadratic_penalty_above_slo(self):
+        model = SprintingCostModel(a=0.001, b=0.01, slo_ms=100.0)
+        expected = 0.001 * 150.0 + 0.01 * 50.0**2
+        assert model.cost_per_job(150.0) == pytest.approx(expected)
+
+    def test_continuous_at_slo(self):
+        model = SprintingCostModel(a=0.001, b=0.01, slo_ms=100.0)
+        below = model.cost_per_job(100.0)
+        above = model.cost_per_job(100.0001)
+        assert above == pytest.approx(below, rel=1e-4)
+
+    def test_cost_rate_scales_with_traffic(self):
+        model = SprintingCostModel(a=0.001, b=0.0, slo_ms=100.0)
+        assert model.cost_rate_per_hour(50.0, 10.0) == pytest.approx(
+            0.05 * 10.0 * 3600.0
+        )
+
+    def test_violates_slo(self):
+        model = SprintingCostModel(a=1.0, b=1.0, slo_ms=100.0)
+        assert model.violates_slo(100.1)
+        assert not model.violates_slo(100.0)
+
+    def test_scaled(self):
+        model = SprintingCostModel(a=1.0, b=2.0).scaled(0.5)
+        assert model.a == 0.5 and model.b == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SprintingCostModel(a=-1.0, b=0.0)
+        with pytest.raises(ConfigurationError):
+            SprintingCostModel(a=1.0, b=0.0, slo_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            SprintingCostModel(a=1.0, b=1.0).cost_per_job(-1.0)
+
+
+class TestOpportunisticCostModel:
+    def test_linear_in_completion_time(self):
+        model = OpportunisticCostModel(rho=0.01)
+        assert model.cost_per_job(100.0) == pytest.approx(1.0)
+
+    def test_backlog_cost(self):
+        model = OpportunisticCostModel(rho=0.01)
+        # 500 units at 10 units/s -> 50 s -> $0.5.
+        assert model.backlog_cost(500.0, 10.0) == pytest.approx(0.5)
+
+    def test_backlog_cost_zero_work(self):
+        assert OpportunisticCostModel(rho=1.0).backlog_cost(0.0, 10.0) == 0.0
+
+    def test_backlog_cost_zero_rate_is_infinite(self):
+        assert OpportunisticCostModel(rho=1.0).backlog_cost(10.0, 0.0) == float(
+            "inf"
+        )
+
+    def test_spot_saves_money(self):
+        model = OpportunisticCostModel(rho=0.01)
+        slow = model.backlog_cost(500.0, 10.0)
+        fast = model.backlog_cost(500.0, 15.0)
+        assert fast < slow
+
+    def test_scaled(self):
+        assert OpportunisticCostModel(rho=2.0).scaled(0.25).rho == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OpportunisticCostModel(rho=-1.0)
+
+
+class TestOperatorLedger:
+    def make_ledger(self, **kwargs):
+        return OperatorLedger(price_sheet=PriceSheet(), **kwargs)
+
+    def test_accumulates_revenue(self):
+        ledger = self.make_ledger()
+        ledger.record_slot(1.0, 1000.0, spot_revenue=0.5, metered_energy_w=800.0)
+        assert ledger.spot_revenue == pytest.approx(0.5)
+        assert ledger.subscription_revenue == pytest.approx(
+            PriceSheet().guaranteed_rate_per_kw_hour
+        )
+
+    def test_energy_margin(self):
+        ledger = self.make_ledger(energy_margin=0.1)
+        ledger.record_slot(1.0, 1000.0, 0.0, metered_energy_w=1000.0)
+        assert ledger.energy_profit == pytest.approx(
+            0.1 * PriceSheet().energy_tariff_per_kwh
+        )
+
+    def test_rack_capex_accrues_with_hours(self):
+        ledger = self.make_ledger(overprovisioned_w=1000.0)
+        for _ in range(10):
+            ledger.record_slot(1.0, 1000.0, 0.0, 0.0)
+        assert ledger.rack_capex_cost == pytest.approx(
+            10 * PriceSheet().rack_capex_per_hour(1000.0)
+        )
+
+    def test_infrastructure_cost_reduces_profit(self):
+        with_infra = self.make_ledger(infrastructure_cost_per_hour=0.05)
+        without = self.make_ledger()
+        for ledger in (with_infra, without):
+            ledger.record_slot(2.0, 1000.0, 0.0, 0.0)
+        assert with_infra.net_profit == pytest.approx(
+            without.net_profit - 0.1
+        )
+
+    def test_profit_increase_vs(self):
+        base = self.make_ledger()
+        base.record_slot(1.0, 1000.0, 0.0, 0.0)
+        better = self.make_ledger()
+        better.record_slot(1.0, 1000.0, base.net_profit * 0.097, 0.0)
+        assert better.profit_increase_vs(base) == pytest.approx(0.097)
+
+    def test_profit_increase_requires_positive_baseline(self):
+        zero = self.make_ledger()
+        other = self.make_ledger()
+        with pytest.raises(ConfigurationError):
+            other.profit_increase_vs(zero)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.make_ledger(overprovisioned_w=-1.0)
+        with pytest.raises(ConfigurationError):
+            self.make_ledger(energy_margin=1.5)
+        with pytest.raises(ConfigurationError):
+            self.make_ledger(infrastructure_cost_per_hour=-1.0)
+        ledger = self.make_ledger()
+        with pytest.raises(ConfigurationError):
+            ledger.record_slot(0.0, 100.0, 0.0, 0.0)

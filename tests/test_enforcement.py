@@ -1,0 +1,137 @@
+"""Budget enforcement: warnings, power cuts, misbehaving tenants."""
+
+import pytest
+
+from repro.config import make_rng
+from repro.errors import ConfigurationError
+from repro.infrastructure.enforcement import EnforcementPolicy
+from repro.infrastructure.pdu import Pdu
+from repro.infrastructure.rack import Rack
+from repro.infrastructure.topology import PowerTopology
+from repro.infrastructure.ups import Ups
+from repro.sim.engine import SimulationEngine
+from repro.sim.scenario import testbed_scenario as build_testbed
+from repro.tenants.misbehaving import OverdrawingTenant
+
+
+def small_topology():
+    return PowerTopology.build(
+        Ups("u", 500.0),
+        [Pdu("p", 300.0)],
+        [
+            Rack("r1", "t1", "p", 100.0, 150.0),
+            Rack("r2", "t2", "p", 100.0, 150.0),
+        ],
+    )
+
+
+class TestEnforcementPolicy:
+    def test_no_action_within_budget(self):
+        topology = small_topology()
+        topology.rack("r1").record_power(99.0)
+        topology.rack("r2").record_power(50.0)
+        policy = EnforcementPolicy()
+        assert policy.review(topology, 0) == []
+
+    def test_warning_on_overdraw(self):
+        topology = small_topology()
+        topology.rack("r1").record_power(110.0)
+        topology.rack("r2").record_power(50.0)
+        policy = EnforcementPolicy(warnings_before_cut=3)
+        actions = policy.review(topology, 0)
+        assert len(actions) == 1
+        assert actions[0].kind == "warning"
+        assert actions[0].overdraw_w == pytest.approx(10.0)
+        assert policy.warning_count("r1") == 1
+
+    def test_escalates_to_cut(self):
+        topology = small_topology()
+        topology.rack("r1").record_power(115.0)
+        topology.rack("r2").record_power(50.0)
+        policy = EnforcementPolicy(warnings_before_cut=3, cut_slots=5)
+        kinds = []
+        for slot in range(3):
+            actions = policy.review(topology, slot)
+            kinds.extend(a.kind for a in actions)
+        assert kinds == ["warning", "warning", "power_cut"]
+        assert policy.is_barred("r1", 3)
+        assert policy.is_barred("r1", 7)
+        assert not policy.is_barred("r1", 8)
+        assert policy.barred_racks(3) == frozenset({"r1"})
+
+    def test_cut_resets_warning_count(self):
+        topology = small_topology()
+        topology.rack("r1").record_power(115.0)
+        topology.rack("r2").record_power(50.0)
+        policy = EnforcementPolicy(warnings_before_cut=2)
+        policy.review(topology, 0)
+        policy.review(topology, 1)  # cut
+        assert policy.warning_count("r1") == 0
+
+    def test_tolerance_suppresses_noise(self):
+        topology = small_topology()
+        topology.rack("r1").record_power(100.5)
+        topology.rack("r2").record_power(50.0)
+        policy = EnforcementPolicy(tolerance=0.01)
+        assert policy.review(topology, 0) == []
+
+    def test_budget_includes_spot_grant(self):
+        topology = small_topology()
+        topology.rack("r1").set_spot_budget(20.0)
+        topology.rack("r1").record_power(115.0)
+        topology.rack("r2").record_power(50.0)
+        policy = EnforcementPolicy(tolerance=0.0)
+        assert policy.review(topology, 0) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnforcementPolicy(tolerance=-0.1)
+        with pytest.raises(ConfigurationError):
+            EnforcementPolicy(warnings_before_cut=0)
+        with pytest.raises(ConfigurationError):
+            EnforcementPolicy(cut_slots=0)
+
+
+class TestMisbehavingTenantInSimulation:
+    def _run(self, overdraw_probability, slots=600, enforcement=None):
+        scenario = build_testbed(seed=66)
+        # Make Count-1 a chronic overdrawer.
+        rng = make_rng(777)
+        scenario.tenants = [
+            OverdrawingTenant(t, overdraw_probability, 0.15, rng)
+            if t.tenant_id == "Count-1"
+            else t
+            for t in scenario.tenants
+        ]
+        engine = SimulationEngine(scenario, enforcement=enforcement)
+        result = engine.run(slots)
+        rogue = next(
+            t for t in scenario.tenants if t.tenant_id == "Count-1"
+        )
+        return result, rogue
+
+    def test_wrapper_delegates_cleanly_at_zero_probability(self):
+        result, rogue = self._run(0.0, slots=200)
+        assert rogue.overdraw_slots == 0
+        assert result.slots == 200
+
+    def test_overdraws_show_up_as_rack_events(self):
+        policy = EnforcementPolicy(warnings_before_cut=3, cut_slots=20)
+        result, rogue = self._run(0.3, enforcement=policy)
+        assert rogue.overdraw_slots > 0
+        assert any(a.kind == "warning" for a in policy.actions)
+        assert any(a.kind == "power_cut" for a in policy.actions)
+
+    def test_barred_rack_receives_no_spot(self):
+        policy = EnforcementPolicy(warnings_before_cut=2, cut_slots=50)
+        result, _ = self._run(0.5, enforcement=policy)
+        cuts = [a for a in policy.actions if a.kind == "power_cut"]
+        assert cuts
+        granted = result.collector.rack_granted_array("rack:Count-1")
+        first_cut = cuts[0].slot
+        barred_window = granted[first_cut + 1 : first_cut + 1 + 50]
+        assert barred_window.sum() == 0.0
+
+    def test_enforcement_off_means_no_actions(self):
+        result, rogue = self._run(0.3, enforcement=None)
+        assert rogue.overdraw_slots > 0  # misbehaviour happens unpoliced

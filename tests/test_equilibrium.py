@@ -1,0 +1,126 @@
+"""Best-response bidding dynamics (core.equilibrium)."""
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import BestResponseSimulator, Bidder
+from repro.economics.valuation import SpotValueCurve
+from repro.errors import ConfigurationError
+
+
+def make_curve(scale=0.02, width=25.0, max_spot=60.0):
+    grid = np.linspace(0.0, max_spot, 121)
+    gains = scale * (1.0 - np.exp(-grid / width))
+    return SpotValueCurve.from_gain_samples(100.0, grid, gains)
+
+
+def make_bidder(rack="r0", pdu="p0", scale=0.02):
+    return Bidder(
+        rack_id=rack, pdu_id=pdu, rack_cap_w=60.0,
+        value_curve=make_curve(scale=scale),
+    )
+
+
+def simulator(bidders, supply=80.0, **kwargs):
+    pdus = {b.pdu_id for b in bidders}
+    return BestResponseSimulator(
+        bidders, {p: supply for p in pdus}, supply * len(pdus), **kwargs
+    )
+
+
+class TestBidder:
+    def test_net_benefit_zero_grant(self):
+        bidder = make_bidder()
+        assert bidder.net_benefit(0.0, 0.5) == 0.0
+
+    def test_net_benefit_decreases_with_price(self):
+        bidder = make_bidder()
+        assert bidder.net_benefit(30.0, 0.05) > bidder.net_benefit(30.0, 0.3)
+
+    def test_bid_for_builds_consistent_linear_bid(self):
+        bidder = make_bidder()
+        bid = bidder.bid_for(0.05, 0.3, 1.0)
+        assert bid.d_max_w >= bid.d_min_w
+        assert bid.d_max_w <= bidder.rack_cap_w
+
+    def test_shading_scales_quantities(self):
+        bidder = make_bidder()
+        full = bidder.bid_for(0.05, 0.3, 1.0)
+        shaded = bidder.bid_for(0.05, 0.3, 0.5)
+        assert shaded.d_max_w == pytest.approx(0.5 * full.d_max_w, rel=0.1)
+
+
+class TestDynamics:
+    def test_single_bidder_converges(self):
+        result = simulator([make_bidder()]).run()
+        assert result.converged
+        assert result.rounds <= 5
+
+    def test_symmetric_duopoly_converges(self):
+        bidders = [make_bidder("r0"), make_bidder("r1")]
+        result = simulator(bidders, supply=60.0).run()
+        assert result.converged
+        # Symmetric bidders end at (payoff-)symmetric outcomes.
+        b0, b1 = (result.net_benefits[r] for r in ("r0", "r1"))
+        assert b0 == pytest.approx(b1, rel=0.2, abs=1e-6)
+
+    def test_fixed_point_is_unilaterally_stable(self):
+        bidders = [make_bidder("r0"), make_bidder("r1", scale=0.01)]
+        sim = simulator(bidders, supply=50.0)
+        result = sim.run()
+        assert result.converged
+        # No bidder can improve by deviating within the strategy grid.
+        for bidder in bidders:
+            _, best = sim.best_response(bidder, result.strategies)
+            assert best <= result.net_benefits[bidder.rack_id] + 1e-9
+
+    def test_strategic_play_never_hurts_vs_default(self):
+        bidders = [make_bidder("r0"), make_bidder("r1")]
+        sim = simulator(bidders, supply=50.0)
+        anchors = sorted({q for (q, _, _) in sim.strategy_grid})
+        default = {b.rack_id: (anchors[0], anchors[-1], 1.0) for b in bidders}
+        default_benefits, _, _ = sim.evaluate(default)
+        result = sim.run()
+        for rack_id, benefit in result.net_benefits.items():
+            assert benefit >= default_benefits[rack_id] - 1e-9
+
+    def test_net_benefits_non_negative_at_fixed_point(self):
+        bidders = [make_bidder(f"r{i}") for i in range(3)]
+        result = simulator(bidders, supply=40.0).run()
+        for benefit in result.net_benefits.values():
+            assert benefit >= -1e-9
+
+    def test_price_history_recorded(self):
+        result = simulator([make_bidder()]).run()
+        assert len(result.prices) == len(result.total_granted_w)
+        assert len(result.prices) >= 1
+
+    def test_scarcity_raises_equilibrium_price(self):
+        bidders = [make_bidder("r0"), make_bidder("r1")]
+        tight = simulator(bidders, supply=20.0).run()
+        loose = simulator(
+            [make_bidder("r0"), make_bidder("r1")], supply=200.0
+        ).run()
+        assert tight.prices[-1] >= loose.prices[-1] - 1e-9
+
+
+class TestValidation:
+    def test_empty_bidders_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BestResponseSimulator([], {}, 10.0)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulator([make_bidder("r0"), make_bidder("r0")])
+
+    def test_bad_anchors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulator([make_bidder()], price_anchors=[-0.1])
+
+    def test_bad_shading_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulator([make_bidder()], shading_factors=[0.0])
+
+    def test_bad_rounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulator([make_bidder()]).run(max_rounds=0)

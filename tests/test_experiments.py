@@ -1,0 +1,181 @@
+"""Experiment runners: each figure's harness produces sane output.
+
+These run the per-figure experiments at reduced horizons and assert the
+structural/shape properties each figure reports; the full-size runs live
+in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+import repro.experiments as E
+
+
+class TestTable1:
+    def test_capacities_and_roster(self):
+        summary = E.run_table1()
+        assert len(summary.rows) == 10
+        assert summary.leased_w["pdu:0"] == pytest.approx(750.0)
+        assert summary.leased_w["pdu:1"] == pytest.approx(760.0)
+        assert summary.ups_capacity_w == pytest.approx(1370.0, abs=1.0)
+        text = E.render_table1(summary)
+        assert "Search-1" in text and "terasort" in text
+
+
+class TestFig02:
+    def test_areas_plausible(self):
+        result = E.run_fig02(slots=20_000)
+        assert 0.03 < result.utilization_gain < 0.35
+        assert 0.0 < result.emergency_fraction < 0.25
+        assert 0.05 < result.spot_fraction < 0.5
+        assert "area" in E.render_fig02(result)
+
+    def test_oversubscribed_cdf_shifted_right(self):
+        result = E.run_fig02(slots=20_000)
+        for x in (0.6, 0.8, 0.95):
+            assert result.oversubscribed_cdf.evaluate(
+                x
+            ) <= result.base_cdf.evaluate(x) + 1e-9
+
+
+class TestFig07:
+    def test_variation_within_paper_bound(self):
+        result = E.run_fig07a(slots=8000, pdus=2)
+        assert result.p99 < 0.025
+        assert result.p50 <= result.p90 <= result.p99 <= result.max
+
+    def test_clearing_time_scales_reasonably(self):
+        result = E.run_fig07b(
+            rack_counts=(100, 2000), price_steps=(0.001, 0.01), repeats=2
+        )
+        for step in result.price_steps:
+            times = result.mean_seconds[step]
+            # Wall-clock comparisons need slack against system noise: a
+            # 20x rack-count increase must cost visibly more than a
+            # scheduler hiccup, and stay well inside the paper's bound.
+            assert times[1] > 0.5 * times[0]
+            assert times[-1] < 2.0
+        # Coarser grids never cost dramatically more than fine ones.
+        assert (
+            result.mean_seconds[0.01][-1]
+            <= 1.5 * result.mean_seconds[0.001][-1]
+        )
+
+    def test_synthetic_bids_structure(self):
+        from repro.config import make_rng
+
+        bids, pdu_spot, ups_spot = E.fig07_prediction_and_scaling.make_synthetic_bids(
+            500, make_rng(0)
+        )
+        assert len(bids) == 500
+        assert len({b.rack_id for b in bids}) == 500
+        assert ups_spot > 0
+        assert all(v > 0 for v in pdu_spot.values())
+
+
+class TestFig08:
+    def test_profiles_monotone(self):
+        result = E.run_fig08(samples=25)
+        assert result.search.is_monotone()
+        assert result.web.is_monotone()
+        assert result.count.is_monotone()
+
+    def test_load_ordering(self):
+        result = E.run_fig08(samples=25)
+        curves = result.search.curves
+        peak_power = curves[0].power_w[-1]
+        latencies = [c.performance_at(peak_power) for c in curves]
+        assert latencies == sorted(latencies)
+
+    def test_render(self):
+        assert "Search-1" in E.render_fig08(E.run_fig08(samples=10))
+
+
+class TestFig09:
+    def test_value_curves_concave_positive(self):
+        result = E.run_fig09()
+        assert set(result.curves) == {"Search-1", "Web", "Count-1"}
+        for curve in result.curves.values():
+            assert curve.gain_per_hour(curve.max_spot_w) > 0
+            half = curve.gain_per_hour(curve.max_spot_w / 2)
+            assert half >= 0.5 * curve.gain_per_hour(curve.max_spot_w) - 1e-9
+
+    def test_render(self):
+        assert "$/h" in E.render_fig09(E.run_fig09())
+
+
+class TestFig10:
+    def test_trace_has_market_activity(self):
+        trace = E.run_fig10(search_slots=300)
+        total_alloc = trace.sprint_alloc_w + trace.opportunistic_alloc_w
+        assert total_alloc.max() > 0
+        assert (trace.price > 0).any()
+
+    def test_allocation_below_availability(self):
+        trace = E.run_fig10(search_slots=300)
+        total_alloc = trace.sprint_alloc_w + trace.opportunistic_alloc_w
+        assert np.all(total_alloc <= trace.available_spot_w + 1e-6)
+
+
+class TestFig11:
+    def test_spotdc_latency_no_worse(self):
+        trace = E.run_fig11(search_slots=300)
+        for rack, latency in trace.latency_ms.items():
+            assert np.all(latency <= trace.latency_ms_capped[rack] + 1e-6)
+
+    def test_throughput_improves_in_window(self):
+        trace = E.run_fig11(search_slots=300)
+        # SpotDC drains backlogs faster; near the window's end it may
+        # already be out of work (ratio < 1), so assert on the mean and
+        # the visible speed-up rather than slot-wise dominance.
+        ratios = np.concatenate(list(trace.throughput_ratio.values()))
+        assert ratios.mean() >= 0.95
+        assert ratios.max() >= 1.05
+
+
+class TestFig12:
+    def test_rows_and_headline(self):
+        result = E.run_fig12(slots=800)
+        assert len(result.rows) == 8
+        assert result.profit_increase > 0
+        for row in result.rows:
+            assert row.cost_ratio >= 1.0
+            assert row.perf_ratio >= 0.99
+            assert row.maxperf_ratio >= row.perf_ratio - 0.1
+        assert "operator" in E.render_fig12(result)
+
+
+class TestFig13:
+    def test_price_ordering(self):
+        result = E.run_fig13(slots=1200)
+        assert result.sprint_price_cdf.quantile(0.5) > (
+            result.opportunistic_price_cdf.quantile(0.5)
+        )
+
+    def test_opportunistic_price_cap(self):
+        result = E.run_fig13(slots=1200)
+        assert result.opportunistic_price_cdf.max <= 0.205 + 1e-9
+
+
+class TestSweeps:
+    def test_fig15_more_spot_helps(self):
+        sweep = E.run_fig15(
+            slots=700, oversubscription_ratios=(1.10, 1.0)
+        )
+        assert sweep.spot_fractions[0] < sweep.spot_fractions[1]
+        assert sweep.profit_increase[0] <= sweep.profit_increase[1] + 0.02
+        assert sweep.perf_improvement[0] <= sweep.perf_improvement[1] + 0.05
+
+    def test_fig17_underprediction_mild(self):
+        sweep = E.run_fig17(slots=700, factors=(1.0, 0.85))
+        base, under = sweep.profit_increase
+        assert under > 0.5 * base
+        assert sweep.perf_improvement[1] > 1.0
+
+    def test_fig18_scales(self):
+        sweep = E.run_fig18(slots=400, groups=(1, 3))
+        assert sweep.tenant_counts == [10, 30]
+        for profit in sweep.profit_increase:
+            assert profit > 0
+        for perf in sweep.perf_improvement:
+            assert perf > 1.0

@@ -1,0 +1,126 @@
+"""Oversubscription planning and emergency logging."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.infrastructure.emergencies import EmergencyLog
+from repro.infrastructure.oversubscription import OversubscriptionPlan
+from repro.infrastructure.pdu import Pdu
+from repro.infrastructure.rack import Rack
+from repro.infrastructure.topology import PowerTopology
+from repro.infrastructure.ups import Ups
+
+
+class TestOversubscriptionPlan:
+    def test_paper_testbed_arithmetic(self):
+        plan = OversubscriptionPlan(pdu_ratio=1.05, ups_ratio=1.05)
+        p1 = plan.pdu_capacity_w(750.0)
+        p2 = plan.pdu_capacity_w(760.0)
+        assert p1 == pytest.approx(714.29, abs=0.01)
+        assert p2 == pytest.approx(723.81, abs=0.01)
+        ups = plan.ups_capacity_w({"p1": p1, "p2": p2})
+        assert ups == pytest.approx(1369.6, abs=0.1)
+
+    def test_no_oversubscription_identity(self):
+        plan = OversubscriptionPlan(pdu_ratio=1.0, ups_ratio=1.0)
+        assert plan.pdu_capacity_w(500.0) == pytest.approx(500.0)
+
+    def test_rejects_ratio_below_one(self):
+        with pytest.raises(ConfigurationError):
+            OversubscriptionPlan(pdu_ratio=0.9)
+        with pytest.raises(ConfigurationError):
+            OversubscriptionPlan(ups_ratio=0.5)
+
+    def test_rejects_negative_leased(self):
+        with pytest.raises(ConfigurationError):
+            OversubscriptionPlan().pdu_capacity_w(-1.0)
+
+    def test_rejects_empty_pdus(self):
+        with pytest.raises(ConfigurationError):
+            OversubscriptionPlan().ups_capacity_w({})
+
+    def test_for_spot_fraction(self):
+        plan = OversubscriptionPlan.for_spot_fraction(0.15, 0.75)
+        # physical = 0.9 * leased -> ratio 1/0.9
+        assert plan.pdu_ratio == pytest.approx(1.0 / 0.9)
+
+    def test_for_spot_fraction_never_below_one(self):
+        plan = OversubscriptionPlan.for_spot_fraction(0.5, 0.9)
+        assert plan.pdu_ratio == 1.0
+
+    def test_for_spot_fraction_validates(self):
+        with pytest.raises(ConfigurationError):
+            OversubscriptionPlan.for_spot_fraction(1.5, 0.5)
+        with pytest.raises(ConfigurationError):
+            OversubscriptionPlan.for_spot_fraction(0.1, 0.0)
+
+
+def small_topology():
+    return PowerTopology.build(
+        Ups("u", 250.0),
+        [Pdu("p1", 150.0)],
+        [
+            Rack("r1", "t1", "p1", 80.0, 120.0),
+            Rack("r2", "t2", "p1", 80.0, 120.0),
+        ],
+    )
+
+
+class TestEmergencyLog:
+    def test_no_events_within_limits(self):
+        topology = small_topology()
+        topology.rack("r1").record_power(70.0)
+        topology.rack("r2").record_power(70.0)
+        log = EmergencyLog(tolerance=0.0)
+        assert log.scan(topology, slot=0) == []
+        assert log.count() == 0
+
+    def test_rack_over_budget_detected(self):
+        topology = small_topology()
+        topology.rack("r1").record_power(90.0)  # budget 80
+        topology.rack("r2").record_power(10.0)
+        log = EmergencyLog(tolerance=0.0)
+        events = log.scan(topology, slot=3)
+        levels = {e.level for e in events}
+        assert "rack" in levels
+        rack_event = next(e for e in events if e.level == "rack")
+        assert rack_event.overload_w == pytest.approx(10.0)
+        assert rack_event.slot == 3
+
+    def test_rack_budget_includes_spot_grant(self):
+        topology = small_topology()
+        topology.rack("r1").set_spot_budget(20.0)
+        topology.rack("r1").record_power(95.0)
+        topology.rack("r2").record_power(10.0)
+        log = EmergencyLog(tolerance=0.0)
+        assert log.scan(topology, slot=0) == []
+
+    def test_pdu_overload_detected(self):
+        topology = small_topology()
+        topology.rack("r1").set_spot_budget(40.0)
+        topology.rack("r2").set_spot_budget(40.0)
+        topology.rack("r1").record_power(80.0)
+        topology.rack("r2").record_power(80.0)
+        log = EmergencyLog(tolerance=0.0)
+        events = log.scan(topology, slot=1)
+        assert any(e.level == "pdu" for e in events)
+        pdu_event = next(e for e in events if e.level == "pdu")
+        assert pdu_event.overload_w == pytest.approx(10.0)
+
+    def test_tolerance_suppresses_small_excursions(self):
+        topology = small_topology()
+        topology.rack("r1").record_power(80.5)  # 0.6% over the 80 W budget
+        topology.rack("r2").record_power(10.0)
+        assert EmergencyLog(tolerance=0.01).scan(topology, 0) == []
+        assert len(EmergencyLog(tolerance=0.0).scan(topology, 0)) == 1
+
+    def test_count_filter_and_overload_slots(self):
+        topology = small_topology()
+        topology.rack("r1").record_power(90.0)
+        topology.rack("r2").record_power(10.0)
+        log = EmergencyLog(tolerance=0.0)
+        log.scan(topology, 0)
+        log.scan(topology, 1)
+        assert log.count("rack") == 2
+        assert log.count("ups") == 0
+        assert log.overload_slots("rack") == {0, 1}

@@ -1,0 +1,99 @@
+"""Rack model and intelligent rack-PDU budgets."""
+
+import pytest
+
+from repro.errors import CapacityError, TopologyError
+from repro.infrastructure.rack import Rack
+
+
+def make_rack(**overrides):
+    kwargs = dict(
+        rack_id="r1", tenant_id="t1", pdu_id="p1",
+        guaranteed_w=100.0, physical_w=150.0,
+    )
+    kwargs.update(overrides)
+    return Rack(**kwargs)
+
+
+class TestConstruction:
+    def test_max_spot_is_physical_minus_guaranteed(self):
+        assert make_rack().max_spot_w == pytest.approx(50.0)
+
+    def test_rejects_empty_id(self):
+        with pytest.raises(TopologyError):
+            make_rack(rack_id="")
+
+    def test_rejects_negative_guaranteed(self):
+        with pytest.raises(TopologyError):
+            make_rack(guaranteed_w=-1.0)
+
+    def test_rejects_physical_below_guaranteed(self):
+        with pytest.raises(TopologyError):
+            make_rack(physical_w=99.0)
+
+    def test_physical_equal_guaranteed_means_no_headroom(self):
+        rack = make_rack(physical_w=100.0)
+        assert rack.max_spot_w == 0.0
+
+
+class TestSpotBudget:
+    def test_initial_budget_is_guaranteed(self):
+        assert make_rack().budget_w == pytest.approx(100.0)
+
+    def test_grant_raises_budget(self):
+        rack = make_rack()
+        rack.set_spot_budget(30.0)
+        assert rack.spot_budget_w == pytest.approx(30.0)
+        assert rack.budget_w == pytest.approx(130.0)
+
+    def test_grant_at_exact_headroom_allowed(self):
+        rack = make_rack()
+        rack.set_spot_budget(50.0)
+        assert rack.budget_w == pytest.approx(150.0)
+
+    def test_grant_with_float_roundoff_tolerated(self):
+        rack = make_rack()
+        rack.set_spot_budget(50.0 + 5e-10)
+        assert rack.spot_budget_w == pytest.approx(50.0)
+
+    def test_grant_above_headroom_rejected(self):
+        with pytest.raises(CapacityError):
+            make_rack().set_spot_budget(51.0)
+
+    def test_negative_grant_rejected(self):
+        with pytest.raises(CapacityError):
+            make_rack().set_spot_budget(-1.0)
+
+    def test_clear_revokes(self):
+        rack = make_rack()
+        rack.set_spot_budget(20.0)
+        rack.clear_spot_budget()
+        assert rack.spot_budget_w == 0.0
+        assert rack.budget_w == pytest.approx(100.0)
+
+
+class TestPowerRecording:
+    def test_record_and_read(self):
+        rack = make_rack()
+        rack.record_power(80.0)
+        assert rack.power_w == pytest.approx(80.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(CapacityError):
+            make_rack().record_power(-5.0)
+
+    def test_over_budget_detection(self):
+        rack = make_rack()
+        rack.record_power(120.0)
+        assert rack.over_budget_w() == pytest.approx(20.0)
+
+    def test_over_budget_zero_when_within(self):
+        rack = make_rack()
+        rack.record_power(90.0)
+        assert rack.over_budget_w() == 0.0
+
+    def test_over_budget_respects_spot_grant(self):
+        rack = make_rack()
+        rack.set_spot_budget(30.0)
+        rack.record_power(125.0)
+        assert rack.over_budget_w() == 0.0

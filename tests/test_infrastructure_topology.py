@@ -1,0 +1,129 @@
+"""PDU/UPS models and the validated power topology."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.infrastructure.pdu import Pdu
+from repro.infrastructure.rack import Rack
+from repro.infrastructure.topology import PowerTopology
+from repro.infrastructure.ups import Ups
+
+
+def build_topology():
+    ups = Ups("ups", 1370.0)
+    pdus = [Pdu("p1", 715.0), Pdu("p2", 724.0)]
+    racks = [
+        Rack("r1", "tenantA", "p1", 145.0, 210.0),
+        Rack("r2", "tenantA", "p2", 125.0, 180.0),
+        Rack("r3", "tenantB", "p1", 250.0, 250.0),
+    ]
+    return PowerTopology.build(ups, pdus, racks)
+
+
+class TestPdu:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(TopologyError):
+            Pdu("p", 0.0)
+
+    def test_headroom(self):
+        pdu = Pdu("p", 700.0)
+        assert pdu.headroom_w(500.0) == pytest.approx(200.0)
+        assert pdu.headroom_w(800.0) == 0.0
+
+    def test_utilization_can_exceed_one(self):
+        pdu = Pdu("p", 700.0)
+        assert pdu.utilization(770.0) == pytest.approx(1.1)
+
+    def test_duplicate_rack_attachment_rejected(self):
+        pdu = Pdu("p", 700.0)
+        pdu.attach_rack("r1")
+        with pytest.raises(TopologyError):
+            pdu.attach_rack("r1")
+
+
+class TestUps:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(TopologyError):
+            Ups("u", -1.0)
+
+    def test_headroom_clamps_at_zero(self):
+        ups = Ups("u", 1000.0)
+        assert ups.headroom_w(1100.0) == 0.0
+        assert ups.headroom_w(900.0) == pytest.approx(100.0)
+
+
+class TestTopologyConstruction:
+    def test_build_validates(self):
+        topology = build_topology()
+        assert len(topology.pdus) == 2
+        assert len(topology.racks) == 3
+
+    def test_duplicate_pdu_rejected(self):
+        topology = PowerTopology(Ups("u", 100.0))
+        topology.add_pdu(Pdu("p1", 50.0))
+        with pytest.raises(TopologyError):
+            topology.add_pdu(Pdu("p1", 60.0))
+
+    def test_duplicate_rack_rejected(self):
+        topology = PowerTopology(Ups("u", 100.0))
+        topology.add_pdu(Pdu("p1", 50.0))
+        topology.add_rack(Rack("r1", "t", "p1", 10.0, 20.0))
+        with pytest.raises(TopologyError):
+            topology.add_rack(Rack("r1", "t", "p1", 10.0, 20.0))
+
+    def test_rack_with_unknown_pdu_rejected(self):
+        topology = PowerTopology(Ups("u", 100.0))
+        topology.add_pdu(Pdu("p1", 50.0))
+        with pytest.raises(TopologyError):
+            topology.add_rack(Rack("r1", "t", "nope", 10.0, 20.0))
+
+    def test_empty_topology_invalid(self):
+        topology = PowerTopology(Ups("u", 100.0))
+        with pytest.raises(TopologyError):
+            topology.validate()
+
+
+class TestTopologyLookups:
+    def test_racks_of_pdu(self):
+        topology = build_topology()
+        ids = [r.rack_id for r in topology.racks_of_pdu("p1")]
+        assert ids == ["r1", "r3"]
+
+    def test_racks_of_tenant_spans_pdus(self):
+        topology = build_topology()
+        ids = [r.rack_id for r in topology.racks_of_tenant("tenantA")]
+        assert ids == ["r1", "r2"]
+
+    def test_tenant_ids_in_first_seen_order(self):
+        assert build_topology().tenant_ids() == ["tenantA", "tenantB"]
+
+    def test_unknown_lookups_raise(self):
+        topology = build_topology()
+        with pytest.raises(TopologyError):
+            topology.pdu("nope")
+        with pytest.raises(TopologyError):
+            topology.rack("nope")
+
+
+class TestTopologyPower:
+    def test_pdu_power_sums_racks(self):
+        topology = build_topology()
+        topology.rack("r1").record_power(100.0)
+        topology.rack("r3").record_power(200.0)
+        assert topology.pdu_power_w("p1") == pytest.approx(300.0)
+        assert topology.pdu_power_w("p2") == 0.0
+
+    def test_ups_power_sums_everything(self):
+        topology = build_topology()
+        for rid, watts in (("r1", 10.0), ("r2", 20.0), ("r3", 30.0)):
+            topology.rack(rid).record_power(watts)
+        assert topology.ups_power_w() == pytest.approx(60.0)
+
+    def test_total_guaranteed(self):
+        assert build_topology().total_guaranteed_w() == pytest.approx(520.0)
+
+    def test_clear_all_spot_budgets(self):
+        topology = build_topology()
+        topology.rack("r1").set_spot_budget(10.0)
+        topology.clear_all_spot_budgets()
+        assert topology.rack("r1").spot_budget_w == 0.0

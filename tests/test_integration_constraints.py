@@ -1,0 +1,148 @@
+"""Integration: phase-balance and heat-zone constraints in a full run."""
+
+import numpy as np
+import pytest
+
+from repro.infrastructure.constraints import (
+    HeatZone,
+    PhaseAssignment,
+    zone_constraints,
+)
+from repro.sim.engine import SimulationEngine, run_simulation
+from repro.sim.scenario import testbed_scenario as build_testbed
+
+SLOTS = 600
+
+
+def run_with_phases(seed=31, imbalance_tolerance=0.2):
+    scenario = build_testbed(seed=seed)
+    phases = PhaseAssignment(scenario.topology)
+    engine = SimulationEngine(
+        scenario,
+        constraint_provider=lambda: phases.phase_headroom(
+            imbalance_tolerance=imbalance_tolerance
+        ),
+    )
+    return engine.run(SLOTS), phases, scenario
+
+
+class TestPhaseBalancedSimulation:
+    def test_runs_and_trades(self):
+        result, _, _ = run_with_phases()
+        assert result.collector.spot_granted_array().sum() > 0
+
+    def test_phase_grants_within_bounds(self):
+        result, phases, scenario = run_with_phases(imbalance_tolerance=0.2)
+        # Re-derive the static per-phase bound and check the granted spot
+        # within each phase never exceeded it (grants alone; the runtime
+        # headroom was draw-dependent and strictly tighter).
+        for constraint in phases.constraints(imbalance_tolerance=0.2):
+            granted = sum(
+                result.collector.rack_granted_array(rack_id)
+                for rack_id in constraint.rack_ids
+            )
+            assert np.all(granted <= constraint.cap_w + 1e-6)
+
+    def test_tighter_phases_sell_no_more(self):
+        loose, _, _ = run_with_phases(imbalance_tolerance=0.5)
+        tight, _, _ = run_with_phases(imbalance_tolerance=0.0)
+        assert (
+            tight.collector.spot_granted_array().sum()
+            <= loose.collector.spot_granted_array().sum() + 1e-6
+        )
+
+    def test_unconstrained_run_sells_at_least_as_much(self):
+        constrained, _, _ = run_with_phases(imbalance_tolerance=0.0)
+        free = run_simulation(build_testbed(seed=31), SLOTS)
+        assert (
+            free.collector.spot_granted_array().sum()
+            >= constrained.collector.spot_granted_array().sum() - 1e-6
+        )
+
+
+class TestHeatZoneSimulation:
+    def test_zone_cap_respected_within_thermal_tolerance(self):
+        scenario = build_testbed(seed=31)
+        # One aisle holding the two search racks with a tight cooling cap.
+        zone = HeatZone(
+            "aisle-1",
+            frozenset({"rack:Search-1", "rack:Search-2"}),
+            max_power_w=300.0,
+        )
+        engine = SimulationEngine(
+            scenario,
+            constraint_provider=lambda: zone_constraints(
+                [zone], scenario.topology
+            ),
+        )
+        result = engine.run(SLOTS)
+        power = sum(
+            result.collector.rack_power_array(r) for r in zone.rack_ids
+        )
+        # Guaranteed-capacity ramps between slots can briefly exceed the
+        # naive (instantaneous-draw) headroom; cooling thermal inertia
+        # absorbs ~2% excursions (the thermal analogue of breaker
+        # tolerance).
+        assert np.all(power <= zone.max_power_w * 1.02 + 1e-6)
+
+    def test_rolling_references_tighten_zone_enforcement(self):
+        scenario = build_testbed(seed=31)
+        zone = HeatZone(
+            "aisle-1",
+            frozenset({"rack:Search-1", "rack:Search-2"}),
+            max_power_w=300.0,
+        )
+        engine = SimulationEngine(scenario)
+        # Conservative references: each member rack's rolling peak.
+        engine.constraint_provider = lambda: zone_constraints(
+            [zone],
+            scenario.topology,
+            reference_power_w={
+                rack_id: engine.monitor.rack_recent_max_w(rack_id, 5)
+                for rack_id in zone.rack_ids
+            },
+            safety_margin=0.01,
+        )
+        result = engine.run(SLOTS)
+        power = sum(
+            result.collector.rack_power_array(r) for r in zone.rack_ids
+        )
+        assert np.all(power <= zone.max_power_w + 1e-6)
+
+    def test_zone_cap_strict_with_safety_margin(self):
+        scenario = build_testbed(seed=31)
+        zone = HeatZone(
+            "aisle-1",
+            frozenset({"rack:Search-1", "rack:Search-2"}),
+            max_power_w=300.0,
+        )
+        engine = SimulationEngine(
+            scenario,
+            constraint_provider=lambda: zone_constraints(
+                [zone], scenario.topology, safety_margin=0.03
+            ),
+        )
+        result = engine.run(SLOTS)
+        power = sum(
+            result.collector.rack_power_array(r) for r in zone.rack_ids
+        )
+        assert np.all(power <= zone.max_power_w + 1e-6)
+
+    def test_generous_zone_changes_nothing(self):
+        scenario = build_testbed(seed=31)
+        zone = HeatZone(
+            "whole-room",
+            frozenset(scenario.topology.racks),
+            max_power_w=10_000.0,
+        )
+        engine = SimulationEngine(
+            scenario,
+            constraint_provider=lambda: zone_constraints(
+                [zone], scenario.topology
+            ),
+        )
+        constrained = engine.run(SLOTS)
+        free = run_simulation(build_testbed(seed=31), SLOTS)
+        assert constrained.total_spot_revenue() == pytest.approx(
+            free.total_spot_revenue(), rel=1e-6
+        )

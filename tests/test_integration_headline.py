@@ -1,0 +1,176 @@
+"""Integration: the paper's headline claims as band checks.
+
+These are the load-bearing reproduction tests.  Each asserts the *shape*
+of a paper result — who wins, by roughly what factor — on a multi-day
+simulated horizon, not exact numbers (our substrate is a simulator, not
+the authors' testbed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import MaxPerfAllocator, PowerCappedAllocator
+from repro.sim.engine import run_simulation
+from repro.sim.scenario import testbed_scenario as build_testbed
+
+SLOTS = 2500
+SEED = 20180224
+
+
+@pytest.fixture(scope="module")
+def spotdc():
+    return run_simulation(build_testbed(seed=SEED), SLOTS)
+
+
+@pytest.fixture(scope="module")
+def powercapped():
+    return run_simulation(
+        build_testbed(seed=SEED), SLOTS, allocator=PowerCappedAllocator()
+    )
+
+
+@pytest.fixture(scope="module")
+def maxperf():
+    return run_simulation(
+        build_testbed(seed=SEED), SLOTS, allocator=MaxPerfAllocator()
+    )
+
+
+class TestOperatorHeadline:
+    def test_profit_increase_near_paper(self, spotdc, powercapped):
+        """Paper: operator net profit +9.7% vs PowerCapped."""
+        increase = spotdc.operator_profit_increase_vs(powercapped)
+        assert 0.05 < increase < 0.15
+
+    def test_spot_revenue_positive_but_small_vs_subscriptions(self, spotdc):
+        assert 0 < spotdc.total_spot_revenue() < (
+            0.2 * spotdc.ledger.subscription_revenue
+        )
+
+
+class TestTenantHeadline:
+    def test_performance_band(self, spotdc, powercapped):
+        """Paper: tenants improve performance 1.2-1.8x on average."""
+        ratios = [
+            spotdc.tenant_performance_improvement_vs(powercapped, t)
+            for t in spotdc.participating_tenant_ids()
+        ]
+        assert 1.15 < float(np.mean(ratios)) < 1.8
+        assert all(r > 1.05 for r in ratios)
+
+    def test_cost_increase_marginal(self, spotdc, powercapped):
+        """Paper: marginal cost increase (as low as 0.3%, a few % max)."""
+        for tenant_id in spotdc.participating_tenant_ids():
+            increase = spotdc.tenant_cost_increase_vs(powercapped, tenant_id)
+            assert 0.0 <= increase < 0.05
+
+    def test_sprinting_cheaper_than_opportunistic(self, spotdc, powercapped):
+        """Paper Fig. 12(a): opportunistic cost increase is higher."""
+        def mean_increase(kind):
+            values = [
+                spotdc.tenant_cost_increase_vs(powercapped, t)
+                for t in spotdc.participating_tenant_ids()
+                if spotdc.tenants[t].kind == kind
+            ]
+            return float(np.mean(values))
+
+        assert mean_increase("sprinting") < mean_increase("opportunistic")
+
+    def test_sprinting_uses_less_spot_fraction(self, spotdc):
+        """Paper Fig. 12(c): sprinting tenants receive less spot capacity
+        in percentage of their subscription."""
+        def mean_usage(kind):
+            values = [
+                spotdc.tenant_spot_usage_fraction(t)[0]
+                for t in spotdc.participating_tenant_ids()
+                if spotdc.tenants[t].kind == kind
+            ]
+            return float(np.mean(values))
+
+        assert mean_usage("sprinting") < mean_usage("opportunistic")
+
+    def test_slo_violations_reduced(self, spotdc, powercapped):
+        """Paper Fig. 11: sprinting tenants avoid SLO violations."""
+        for tenant_id in ("Search-1", "Web", "Search-2"):
+            assert spotdc.tenant_slo_violation_rate(tenant_id) < (
+                powercapped.tenant_slo_violation_rate(tenant_id)
+            )
+
+
+class TestBaselineOrdering:
+    def test_maxperf_upper_bounds_spotdc_performance(
+        self, spotdc, powercapped, maxperf
+    ):
+        """Paper Fig. 12(b): SpotDC is close to, but below, MaxPerf."""
+        for tenant_id in spotdc.participating_tenant_ids():
+            spot_ratio = spotdc.tenant_performance_improvement_vs(
+                powercapped, tenant_id
+            )
+            max_ratio = maxperf.tenant_performance_improvement_vs(
+                powercapped, tenant_id
+            )
+            assert max_ratio >= spot_ratio - 0.05
+        spot_mean = np.mean([
+            spotdc.tenant_performance_improvement_vs(powercapped, t)
+            for t in spotdc.participating_tenant_ids()
+        ])
+        max_mean = np.mean([
+            maxperf.tenant_performance_improvement_vs(powercapped, t)
+            for t in maxperf.participating_tenant_ids()
+        ])
+        # "close to MaxPerf": within 25% of the upper bound's gain.
+        assert spot_mean - 1.0 > 0.5 * (max_mean - 1.0)
+
+    def test_maxperf_allocates_more(self, spotdc, maxperf):
+        assert (
+            maxperf.collector.spot_granted_array().mean()
+            >= spotdc.collector.spot_granted_array().mean()
+        )
+
+
+class TestReliabilityInvariants:
+    def test_no_additional_emergencies(self, spotdc, powercapped):
+        """Paper Section V-B2: spot capacity introduces no additional
+        power emergencies."""
+        assert spotdc.emergencies.count() <= powercapped.emergencies.count() + 1
+
+    def test_ups_utilization_improves(self, spotdc, powercapped):
+        """Paper Fig. 13(b): SpotDC raises power infrastructure
+        utilization (top of the distribution shifts right)."""
+        spot_p95 = np.percentile(spotdc.collector.ups_power_array(), 95)
+        base_p95 = np.percentile(powercapped.collector.ups_power_array(), 95)
+        assert spot_p95 >= base_p95
+
+    def test_price_ordering_by_class(self, spotdc):
+        """Paper Fig. 13(a): sprinting tenants pay higher prices."""
+
+        def paid_prices(kind):
+            paid = []
+            for t in spotdc.participating_tenant_ids():
+                if spotdc.tenants[t].kind != kind:
+                    continue
+                for rack_id in spotdc.tenants[t].rack_ids:
+                    prices = spotdc.collector.pdu_price_array(
+                        spotdc.racks[rack_id].pdu_id
+                    )
+                    got = spotdc.collector.rack_granted_array(rack_id) > 0.5
+                    paid.append(prices[got])
+            return np.concatenate(paid)
+
+        assert np.median(paid_prices("sprinting")) > np.median(
+            paid_prices("opportunistic")
+        )
+
+    def test_opportunistic_never_pays_above_guaranteed_rate(self, spotdc):
+        """Paper: opportunistic tenants will not bid above the amortised
+        guaranteed-capacity rate (~US$0.2/kW/h)."""
+        for t in spotdc.participating_tenant_ids():
+            if spotdc.tenants[t].kind != "opportunistic":
+                continue
+            for rack_id in spotdc.tenants[t].rack_ids:
+                prices = spotdc.collector.pdu_price_array(
+                    spotdc.racks[rack_id].pdu_id
+                )
+                got = spotdc.collector.rack_granted_array(rack_id) > 0.5
+                if got.any():
+                    assert prices[got].max() <= 0.205 + 1e-9

@@ -1,0 +1,89 @@
+"""Long-horizon stability: a simulated week under every policy.
+
+These are the endurance checks: nothing drifts, leaks, or diverges when
+the simulation runs far past the calibration horizon.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import MaxPerfAllocator, PowerCappedAllocator
+from repro.economics.settlement import build_all_invoices, reconcile
+from repro.sim.engine import run_simulation
+from repro.sim.scenario import testbed_scenario as build_testbed
+
+#: One simulated week at 2-minute slots.
+WEEK_SLOTS = 7 * 24 * 30
+
+
+@pytest.fixture(scope="module")
+def week_spotdc():
+    return run_simulation(build_testbed(seed=314), WEEK_SLOTS)
+
+
+@pytest.fixture(scope="module")
+def week_capped():
+    return run_simulation(
+        build_testbed(seed=314), WEEK_SLOTS, allocator=PowerCappedAllocator()
+    )
+
+
+class TestWeekLongRun:
+    def test_all_series_finite(self, week_spotdc):
+        collector = week_spotdc.collector
+        for array in (
+            collector.price_array(),
+            collector.spot_granted_array(),
+            collector.ups_power_array(),
+            collector.forecast_ups_array(),
+        ):
+            assert np.all(np.isfinite(array))
+            assert array.shape == (WEEK_SLOTS,)
+
+    def test_no_drift_between_halves(self, week_spotdc):
+        # The market's behaviour in the second half should look like the
+        # first half (stationary workloads): mean granted within 30%.
+        granted = week_spotdc.collector.spot_granted_array()
+        first = granted[: WEEK_SLOTS // 2].mean()
+        second = granted[WEEK_SLOTS // 2 :].mean()
+        assert second == pytest.approx(first, rel=0.3)
+
+    def test_batch_backlogs_do_not_diverge(self, week_spotdc):
+        # Work-conserving batch tenants must keep up on average; their
+        # racks cannot sit pinned at the budget forever.
+        for tenant_id in ("Count-1", "Count-2", "Sort", "Graph-1", "Graph-2"):
+            for rack_id in week_spotdc.tenants[tenant_id].rack_ids:
+                wanted = week_spotdc.rack_wanted_mask(rack_id)
+                # Backlog pressure exists but is not permanent.
+                assert 0.0 < wanted.mean() < 0.8
+
+    def test_headline_holds_at_week_scale(self, week_spotdc, week_capped):
+        increase = week_spotdc.operator_profit_increase_vs(week_capped)
+        assert 0.05 < increase < 0.15
+        ratios = [
+            week_spotdc.tenant_performance_improvement_vs(week_capped, t)
+            for t in week_spotdc.participating_tenant_ids()
+        ]
+        assert 1.15 < float(np.mean(ratios)) < 1.8
+
+    def test_books_balance_at_week_scale(self, week_spotdc):
+        reconcile(week_spotdc)
+        invoices = build_all_invoices(week_spotdc)
+        assert all(inv.total > 0 for inv in invoices)
+
+    def test_no_emergencies_accumulate(self, week_spotdc, week_capped):
+        # Rate, not count: over a week the excursion rate stays tiny.
+        rate = week_spotdc.emergencies.count() / WEEK_SLOTS
+        assert rate < 0.002
+        assert week_spotdc.emergencies.count() <= (
+            week_capped.emergencies.count() + 3
+        )
+
+    def test_maxperf_week_runs_clean(self):
+        result = run_simulation(
+            build_testbed(seed=314),
+            WEEK_SLOTS // 2,
+            allocator=MaxPerfAllocator(),
+        )
+        assert result.total_spot_revenue() == 0.0
+        assert result.collector.spot_granted_array().sum() > 0

@@ -1,0 +1,125 @@
+"""Locational (per-PDU) clearing: apportioning, prices, payments."""
+
+import numpy as np
+import pytest
+
+from repro.config import MarketParameters
+from repro.core.allocation import verify_allocation
+from repro.core.bids import RackBid
+from repro.core.clearing import MarketClearing
+from repro.core.demand import LinearBid, StepBid
+
+
+def bid(rack, pdu, d_max=60.0, d_min=10.0, q_min=0.05, q_max=0.3, cap=100.0):
+    return RackBid(
+        rack_id=rack,
+        pdu_id=pdu,
+        tenant_id=f"tenant-{rack}",
+        demand=LinearBid(d_max, q_min, d_min, q_max),
+        rack_cap_w=cap,
+    )
+
+
+@pytest.fixture
+def engine():
+    return MarketClearing(params=MarketParameters(price_step=0.005))
+
+
+class TestLocalPrices:
+    def test_each_pdu_gets_its_own_price(self, engine):
+        bids = [
+            bid("r0", "scarce", d_max=100.0, d_min=40.0),
+            bid("r1", "plentiful", d_max=30.0, d_min=5.0),
+        ]
+        result = engine.clear_per_pdu(
+            bids, {"scarce": 50.0, "plentiful": 500.0}, 1000.0
+        )
+        assert set(result.pdu_prices) == {"scarce", "plentiful"}
+        # The scarce PDU must price higher to ration its demand.
+        assert result.pdu_prices["scarce"] > result.pdu_prices["plentiful"]
+
+    def test_headline_price_is_grant_weighted_mean(self, engine):
+        bids = [bid("r0", "a"), bid("r1", "b")]
+        result = engine.clear_per_pdu(bids, {"a": 200.0, "b": 200.0}, 400.0)
+        total = result.total_granted_w
+        expected = (
+            result.pdu_prices["a"] * result.grants_w["r0"]
+            + result.pdu_prices["b"] * result.grants_w["r1"]
+        ) / total
+        assert result.price == pytest.approx(expected)
+
+    def test_price_for_pdu_falls_back_to_headline(self, engine):
+        bids = [bid("r0", "a")]
+        result = engine.clear_per_pdu(bids, {"a": 200.0}, 200.0)
+        assert result.price_for_pdu("a") == result.pdu_prices["a"]
+        assert result.price_for_pdu("ghost") == result.price
+
+    def test_empty_bids(self, engine):
+        result = engine.clear_per_pdu([], {"a": 100.0}, 100.0)
+        assert result.total_granted_w == 0.0
+        assert result.pdu_prices == {}
+
+
+class TestUpsApportioning:
+    def test_total_never_exceeds_ups(self, engine):
+        bids = [bid(f"r{i}", f"p{i % 4}", d_max=80.0, d_min=40.0) for i in range(8)]
+        pdu_spot = {f"p{j}": 150.0 for j in range(4)}
+        result = engine.clear_per_pdu(bids, pdu_spot, 100.0)
+        assert result.total_granted_w <= 100.0 + 1e-6
+        verify_allocation(result, bids, pdu_spot, 100.0)
+
+    def test_ample_ups_leaves_pdus_independent(self, engine):
+        bids = [bid("r0", "a"), bid("r1", "b")]
+        independent_a = engine.clear(
+            [bids[0]], {"a": 120.0}, 120.0
+        )
+        joint = engine.clear_per_pdu(
+            bids, {"a": 120.0, "b": 120.0}, 10_000.0
+        )
+        assert joint.grants_w["r0"] == pytest.approx(
+            independent_a.grants_w["r0"]
+        )
+        assert joint.pdu_prices["a"] == pytest.approx(independent_a.price)
+
+    def test_apportioning_tracks_demand(self, engine):
+        # PDU 'big' carries 3x the demand of 'small'; under a binding UPS
+        # it should receive the larger share (elastic floors, so each
+        # local market can ration down to its apportioned cap).
+        bids = [
+            bid("r0", "big", d_max=90.0, d_min=5.0),
+            bid("r1", "big", d_max=90.0, d_min=5.0),
+            bid("r2", "small", d_max=60.0, d_min=5.0),
+        ]
+        result = engine.clear_per_pdu(
+            bids, {"big": 300.0, "small": 300.0}, 120.0
+        )
+        big = result.grants_w["r0"] + result.grants_w["r1"]
+        small = result.grants_w["r2"]
+        assert big > small
+
+
+class TestScaleBehaviour:
+    def test_per_pdu_beats_uniform_with_heterogeneous_scarcity(self, engine):
+        # One scarce PDU with inelastic demand wrecks the global price
+        # but not the locational one.
+        bids = [
+            bid("r0", "scarce", d_max=80.0, d_min=70.0, q_max=0.25),
+            bid("r1", "ok", d_max=40.0, d_min=5.0, q_max=0.2),
+            bid("r2", "ok2", d_max=40.0, d_min=5.0, q_max=0.2),
+        ]
+        pdu_spot = {"scarce": 30.0, "ok": 200.0, "ok2": 200.0}
+        uniform = engine.clear(bids, pdu_spot, 1000.0)
+        local = engine.clear_per_pdu(bids, pdu_spot, 1000.0)
+        assert local.revenue_rate >= uniform.revenue_rate - 1e-9
+        # The healthy PDUs keep trading under locational pricing.
+        assert local.grants_w["r1"] > 0
+        assert local.grants_w["r2"] > 0
+
+    def test_step_bids_work_per_pdu(self, engine):
+        bids = [
+            RackBid("r0", "a", "t0", StepBid(50.0, 0.2), 100.0),
+            RackBid("r1", "b", "t1", StepBid(50.0, 0.2), 100.0),
+        ]
+        result = engine.clear_per_pdu(bids, {"a": 60.0, "b": 30.0}, 200.0)
+        assert result.grants_w["r0"] == pytest.approx(50.0)
+        assert result.grants_w["r1"] == 0.0  # doesn't fit its PDU

@@ -1,0 +1,184 @@
+"""Server power, capping, latency, and throughput models."""
+
+import math
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.power.capping import apply_cap
+from repro.power.latency import LatencyModel
+from repro.power.server import ServerPowerModel
+from repro.power.throughput import ThroughputModel
+
+
+@pytest.fixture
+def power_model():
+    return ServerPowerModel(idle_w=60.0, peak_w=180.0)
+
+
+class TestServerPowerModel:
+    def test_endpoints(self, power_model):
+        assert power_model.power_at(0.0) == 60.0
+        assert power_model.power_at(1.0) == 180.0
+
+    def test_affine_midpoint(self, power_model):
+        assert power_model.power_at(0.5) == pytest.approx(120.0)
+
+    def test_clamps_utilization(self, power_model):
+        assert power_model.power_at(-0.5) == 60.0
+        assert power_model.power_at(1.5) == 180.0
+
+    def test_inverse(self, power_model):
+        for u in (0.0, 0.25, 0.5, 1.0):
+            power = power_model.power_at(u)
+            assert power_model.utilization_at(power) == pytest.approx(u)
+
+    def test_inverse_clamps(self, power_model):
+        assert power_model.utilization_at(10.0) == 0.0
+        assert power_model.utilization_at(500.0) == 1.0
+
+    def test_scaled(self, power_model):
+        scaled = power_model.scaled(2.0)
+        assert scaled.idle_w == 120.0
+        assert scaled.peak_w == 360.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServerPowerModel(idle_w=-1.0, peak_w=100.0)
+        with pytest.raises(ConfigurationError):
+            ServerPowerModel(idle_w=100.0, peak_w=100.0)
+        with pytest.raises(ConfigurationError):
+            ServerPowerModel(60.0, 180.0).scaled(0.0)
+
+
+class TestApplyCap:
+    def test_no_cap_needed(self):
+        decision = apply_cap(80.0, 100.0, idle_w=50.0)
+        assert decision.actual_w == 80.0
+        assert not decision.capped
+        assert decision.shortfall_w == 0.0
+
+    def test_cap_enforced(self):
+        decision = apply_cap(120.0, 100.0, idle_w=50.0)
+        assert decision.actual_w == 100.0
+        assert decision.capped
+        assert decision.shortfall_w == pytest.approx(20.0)
+
+    def test_budget_below_idle_draws_idle(self):
+        decision = apply_cap(120.0, 30.0, idle_w=50.0)
+        assert decision.actual_w == 50.0
+        assert decision.capped
+
+    def test_desired_below_idle_draws_desired(self):
+        decision = apply_cap(20.0, 100.0, idle_w=50.0)
+        assert decision.actual_w == 20.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(CapacityError):
+            apply_cap(-1.0, 10.0)
+        with pytest.raises(CapacityError):
+            apply_cap(1.0, -10.0)
+
+
+class TestLatencyModel:
+    @pytest.fixture
+    def model(self, power_model):
+        return LatencyModel(
+            power_model=power_model, mu_max_rps=120.0, d_min_ms=20.0,
+            tail_const_ms_rps=4000.0,
+        )
+
+    def test_latency_decreases_with_power(self, model):
+        rate = 60.0
+        latencies = [model.latency_ms(p, rate) for p in (100.0, 140.0, 180.0)]
+        assert latencies[0] > latencies[1] > latencies[2]
+
+    def test_latency_increases_with_load(self, model):
+        power = 160.0
+        latencies = [model.latency_ms(power, r) for r in (20.0, 60.0, 100.0)]
+        assert latencies[0] < latencies[1] < latencies[2]
+
+    def test_saturation_at_overload(self, model):
+        assert model.latency_ms(180.0, 500.0) == model.saturated_latency_ms
+
+    def test_zero_load_floor(self, model):
+        assert model.latency_ms(180.0, 0.0) == pytest.approx(model.d_min_ms)
+
+    def test_frequency_range(self, model):
+        assert model.frequency(60.0) == model.min_frequency
+        assert model.frequency(180.0) == 1.0
+        assert model.min_frequency < model.frequency(120.0) < 1.0
+
+    def test_frequency_power_law(self, model):
+        # alpha = 2: half the dynamic range -> sqrt(0.5) frequency.
+        assert model.frequency(120.0) == pytest.approx(math.sqrt(0.5))
+
+    def test_power_for_latency_meets_target(self, model):
+        rate = 60.0
+        target = 80.0
+        power = model.power_for_latency(target, rate)
+        assert model.latency_ms(power, rate) <= target + 0.5
+
+    def test_power_for_latency_is_minimal(self, model):
+        rate = 60.0
+        target = 80.0
+        power = model.power_for_latency(target, rate, tolerance_w=0.01)
+        assert model.latency_ms(power - 1.0, rate) > target
+
+    def test_unreachable_target_returns_peak(self, model):
+        assert model.power_for_latency(5.0, 110.0) == model.power_model.peak_w
+
+    def test_validation(self, power_model):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(power_model, mu_max_rps=0.0)
+        with pytest.raises(ConfigurationError):
+            LatencyModel(power_model, mu_max_rps=10.0, d_min_ms=0.0)
+        model = LatencyModel(power_model, mu_max_rps=10.0)
+        with pytest.raises(ConfigurationError):
+            model.latency_ms(100.0, -1.0)
+
+
+class TestThroughputModel:
+    @pytest.fixture
+    def model(self, power_model):
+        return ThroughputModel(power_model=power_model, rate_max=60.0)
+
+    def test_rate_linear_in_dynamic_power(self, model):
+        assert model.rate_at(60.0) == 0.0
+        assert model.rate_at(120.0) == pytest.approx(30.0)
+        assert model.rate_at(180.0) == pytest.approx(60.0)
+
+    def test_rate_clamps(self, model):
+        assert model.rate_at(10.0) == 0.0
+        assert model.rate_at(400.0) == pytest.approx(60.0)
+
+    def test_sublinear_exponent(self, power_model):
+        model = ThroughputModel(power_model, rate_max=60.0, scaling_exponent=0.5)
+        assert model.rate_at(120.0) == pytest.approx(60.0 * math.sqrt(0.5))
+
+    def test_completion_time(self, model):
+        assert model.completion_time_s(300.0, 120.0) == pytest.approx(10.0)
+
+    def test_completion_time_zero_work(self, model):
+        assert model.completion_time_s(0.0, 120.0) == 0.0
+
+    def test_completion_time_infinite_below_idle(self, model):
+        assert model.completion_time_s(10.0, 60.0) == float("inf")
+
+    def test_power_for_rate_inverts(self, model):
+        for rate in (10.0, 30.0, 59.0):
+            assert model.rate_at(model.power_for_rate(rate)) == pytest.approx(rate)
+
+    def test_power_for_rate_above_max_is_peak(self, model):
+        assert model.power_for_rate(100.0) == 180.0
+
+    def test_validation(self, power_model):
+        with pytest.raises(ConfigurationError):
+            ThroughputModel(power_model, rate_max=0.0)
+        with pytest.raises(ConfigurationError):
+            ThroughputModel(power_model, rate_max=10.0, scaling_exponent=2.0)
+        model = ThroughputModel(power_model, rate_max=10.0)
+        with pytest.raises(ConfigurationError):
+            model.completion_time_s(-1.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            model.power_for_rate(-1.0)

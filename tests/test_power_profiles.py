@@ -1,0 +1,95 @@
+"""Power-performance profiling (Fig. 8 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.latency import LatencyModel
+from repro.power.profiles import PowerPerformanceProfile, ProfileCurve
+from repro.power.server import ServerPowerModel
+from repro.power.throughput import ThroughputModel
+
+
+@pytest.fixture
+def latency_model():
+    return LatencyModel(
+        power_model=ServerPowerModel(60.0, 180.0), mu_max_rps=120.0
+    )
+
+
+@pytest.fixture
+def throughput_model():
+    return ThroughputModel(
+        power_model=ServerPowerModel(60.0, 180.0), rate_max=50.0
+    )
+
+
+class TestLatencyProfile:
+    def test_curve_count_and_order(self, latency_model):
+        profile = PowerPerformanceProfile.profile_latency(
+            latency_model, [90.0, 30.0, 60.0]
+        )
+        assert [c.intensity for c in profile.curves] == [30.0, 60.0, 90.0]
+
+    def test_monotone_decreasing_in_power(self, latency_model):
+        profile = PowerPerformanceProfile.profile_latency(latency_model, [60.0])
+        assert profile.is_monotone()
+
+    def test_higher_load_higher_latency(self, latency_model):
+        profile = PowerPerformanceProfile.profile_latency(
+            latency_model, [30.0, 90.0]
+        )
+        low, high = profile.curves
+        assert high.performance_at(170.0) > low.performance_at(170.0)
+
+    def test_performance_at_interpolates(self, latency_model):
+        profile = PowerPerformanceProfile.profile_latency(
+            latency_model, [60.0], samples=10
+        )
+        curve = profile.curves[0]
+        mid = 0.5 * (curve.power_w[3] + curve.power_w[4])
+        value = curve.performance_at(mid)
+        assert (
+            min(curve.performance[3], curve.performance[4])
+            <= value
+            <= max(curve.performance[3], curve.performance[4])
+        )
+
+    def test_curve_for_picks_nearest(self, latency_model):
+        profile = PowerPerformanceProfile.profile_latency(
+            latency_model, [30.0, 90.0]
+        )
+        assert profile.curve_for(40.0).intensity == 30.0
+        assert profile.curve_for(75.0).intensity == 90.0
+
+
+class TestThroughputProfile:
+    def test_monotone_increasing_in_power(self, throughput_model):
+        profile = PowerPerformanceProfile.profile_throughput(throughput_model)
+        assert profile.is_monotone()
+        curve = profile.curves[0]
+        assert curve.performance[-1] > curve.performance[0]
+
+    def test_metric_label(self, throughput_model):
+        profile = PowerPerformanceProfile.profile_throughput(throughput_model)
+        assert profile.metric == "throughput"
+
+
+class TestValidation:
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerPerformanceProfile([])
+
+    def test_mixed_metrics_rejected(self):
+        grid = np.array([1.0, 2.0])
+        a = ProfileCurve(1.0, grid, np.array([1.0, 2.0]), "latency_ms")
+        b = ProfileCurve(1.0, grid, np.array([1.0, 2.0]), "throughput")
+        with pytest.raises(ConfigurationError):
+            PowerPerformanceProfile([a, b])
+
+    def test_is_monotone_catches_violation(self):
+        grid = np.array([1.0, 2.0, 3.0])
+        bad = ProfileCurve(
+            1.0, grid, np.array([10.0, 12.0, 11.0]), "latency_ms"
+        )
+        assert not PowerPerformanceProfile([bad]).is_monotone()

@@ -1,0 +1,99 @@
+"""Property-based tests: demand functions (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.demand import FullBid, LinearBid, StepBid
+
+prices = st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+
+
+@st.composite
+def linear_bids(draw):
+    d_min = draw(st.floats(min_value=0.0, max_value=100.0))
+    d_extra = draw(st.floats(min_value=0.0, max_value=100.0))
+    q_min = draw(st.floats(min_value=0.0, max_value=1.0))
+    q_extra = draw(st.floats(min_value=0.0, max_value=1.0))
+    return LinearBid(d_min + d_extra, q_min, d_min, q_min + q_extra)
+
+
+@st.composite
+def step_bids(draw):
+    return StepBid(
+        draw(st.floats(min_value=0.0, max_value=200.0)),
+        draw(st.floats(min_value=0.0, max_value=1.0)),
+    )
+
+
+@st.composite
+def full_bids(draw):
+    scale = draw(st.floats(min_value=0.1, max_value=20.0))
+    width = draw(st.floats(min_value=5.0, max_value=200.0))
+    max_d = draw(st.floats(min_value=10.0, max_value=300.0))
+    return FullBid.from_value_curve(
+        lambda d: scale * (1.0 - np.exp(-d / width)), max_d, grid_points=50
+    )
+
+
+class TestLinearBidProperties:
+    @given(bid=linear_bids(), p1=prices, p2=prices)
+    @settings(max_examples=200)
+    def test_monotone_non_increasing(self, bid, p1, p2):
+        lo, hi = min(p1, p2), max(p1, p2)
+        assert bid.demand_at(lo) >= bid.demand_at(hi) - 1e-9
+
+    @given(bid=linear_bids(), p=prices)
+    def test_demand_bounded(self, bid, p):
+        assert 0.0 <= bid.demand_at(p) <= bid.max_demand_w + 1e-9
+
+    @given(bid=linear_bids(), p=prices)
+    def test_zero_above_max_price(self, bid, p):
+        if p > bid.max_price:
+            assert bid.demand_at(p) == 0.0
+
+    @given(bid=linear_bids())
+    def test_grid_agrees_with_scalar(self, bid):
+        grid = np.linspace(0.0, 2.0, 37)
+        assert np.allclose(
+            bid.demand_grid(grid), [bid.demand_at(float(p)) for p in grid]
+        )
+
+    @given(bid=linear_bids())
+    def test_endpoints(self, bid):
+        assert bid.demand_at(0.0) == bid.d_max_w
+        assert bid.demand_at(bid.q_max) >= bid.d_min_w - 1e-9
+
+
+class TestStepBidProperties:
+    @given(bid=step_bids(), p1=prices, p2=prices)
+    def test_monotone(self, bid, p1, p2):
+        lo, hi = min(p1, p2), max(p1, p2)
+        assert bid.demand_at(lo) >= bid.demand_at(hi)
+
+    @given(bid=step_bids(), p=prices)
+    def test_binary_outcome(self, bid, p):
+        assert bid.demand_at(p) in (0.0, bid.demand_w)
+
+
+class TestFullBidProperties:
+    @given(bid=full_bids(), p1=prices, p2=prices)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone(self, bid, p1, p2):
+        # Scale prices into the curve's meaningful range.
+        hi_price = bid.max_price * 1.2
+        a, b = sorted((p1 * hi_price / 2.0, p2 * hi_price / 2.0))
+        assert bid.demand_at(a) >= bid.demand_at(b) - 1e-9
+
+    @given(bid=full_bids())
+    @settings(max_examples=50, deadline=None)
+    def test_grid_agrees_with_scalar(self, bid):
+        grid = np.linspace(0.0, bid.max_price * 1.5, 29)
+        assert np.allclose(
+            bid.demand_grid(grid), [bid.demand_at(float(p)) for p in grid]
+        )
+
+    @given(bid=full_bids(), p=prices)
+    @settings(max_examples=100, deadline=None)
+    def test_demand_bounded(self, bid, p):
+        assert 0.0 <= bid.demand_at(p) <= bid.max_demand_w + 1e-9

@@ -1,0 +1,119 @@
+"""Bring-your-own-trace adapters (workloads.replay)."""
+
+import numpy as np
+import pytest
+
+from repro.config import make_rng
+from repro.errors import WorkloadError
+from repro.workloads.base import TracePowerWorkload
+from repro.workloads.replay import ReplayTrace, load_csv_column
+
+
+class TestReplayTrace:
+    def test_exact_replay(self):
+        trace = ReplayTrace([1.0, 2.0, 3.0])
+        assert np.array_equal(trace.generate(3, make_rng(0)), [1.0, 2.0, 3.0])
+
+    def test_truncates_long_series(self):
+        trace = ReplayTrace([1.0, 2.0, 3.0, 4.0])
+        assert np.array_equal(trace.generate(2, make_rng(0)), [1.0, 2.0])
+
+    def test_wraps_periodically(self):
+        trace = ReplayTrace([1.0, 2.0])
+        assert np.array_equal(
+            trace.generate(5, make_rng(0)), [1.0, 2.0, 1.0, 2.0, 1.0]
+        )
+
+    def test_no_wrap_raises(self):
+        trace = ReplayTrace([1.0, 2.0], wrap=False)
+        with pytest.raises(WorkloadError):
+            trace.generate(3, make_rng(0))
+
+    def test_scale(self):
+        trace = ReplayTrace([1.0, 2.0], scale=10.0)
+        assert np.array_equal(trace.generate(2, make_rng(0)), [10.0, 20.0])
+
+    def test_jitter_uses_caller_rng(self):
+        trace = ReplayTrace([100.0] * 50, jitter_sigma=0.1)
+        a = trace.generate(50, make_rng(1))
+        b = trace.generate(50, make_rng(1))
+        c = trace.generate(50, make_rng(2))
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert a.std() > 0
+
+    def test_jitter_never_negative(self):
+        trace = ReplayTrace([1.0] * 200, jitter_sigma=2.0)
+        assert trace.generate(200, make_rng(3)).min() >= 0.0
+
+    def test_feeds_trace_power_workload(self):
+        trace = ReplayTrace([100.0, 150.0, 120.0])
+        workload = TracePowerWorkload("measured", trace)
+        workload.prepare(3, make_rng(0))
+        assert workload.execute(0, 1000.0, 120.0).power_w == 100.0
+        assert workload.execute(1, 1000.0, 120.0).power_w == 150.0
+
+    @pytest.mark.parametrize(
+        "samples,kwargs",
+        [
+            ([], {}),
+            ([1.0, float("nan")], {}),
+            ([-1.0], {}),
+            ([1.0], {"scale": 0.0}),
+            ([1.0], {"jitter_sigma": -0.1}),
+        ],
+    )
+    def test_validation(self, samples, kwargs):
+        with pytest.raises(WorkloadError):
+            ReplayTrace(samples, **kwargs)
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(WorkloadError):
+            ReplayTrace([1.0]).generate(0, make_rng(0))
+
+
+class TestLoadCsvColumn:
+    def test_by_name(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("time,power\n0,100.5\n1,102.0\n")
+        assert np.array_equal(load_csv_column(path, "power"), [100.5, 102.0])
+
+    def test_by_index_with_header(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("time,power\n0,100.5\n1,102.0\n")
+        assert np.array_equal(load_csv_column(path, 1), [100.5, 102.0])
+
+    def test_by_index_headerless(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("100.5\n102.0\n")
+        assert np.array_equal(load_csv_column(path, 0), [100.5, 102.0])
+
+    def test_unknown_column_name(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(WorkloadError):
+            load_csv_column(path, "c")
+
+    def test_non_numeric_value(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1\noops\n")
+        with pytest.raises(WorkloadError):
+            load_csv_column(path, "a")
+
+    def test_missing_column(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(WorkloadError):
+            load_csv_column(path, "b")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("")
+        with pytest.raises(WorkloadError):
+            load_csv_column(path, 0)
+
+    def test_roundtrip_into_replay(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("power\n10\n20\n30\n")
+        trace = ReplayTrace(load_csv_column(path, "power"))
+        assert trace.length == 3

@@ -1,0 +1,147 @@
+"""Result summaries: costs, performance ratios, spot-usage metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import PowerCappedAllocator
+from repro.errors import SimulationError
+from repro.sim.engine import run_simulation
+from repro.sim.scenario import testbed_scenario as build_testbed
+
+SLOTS = 400
+
+
+@pytest.fixture(scope="module")
+def results():
+    spotdc = run_simulation(build_testbed(seed=77), SLOTS)
+    capped = run_simulation(
+        build_testbed(seed=77), SLOTS, allocator=PowerCappedAllocator()
+    )
+    return spotdc, capped
+
+
+class TestCosts:
+    def test_total_cost_components(self, results):
+        spotdc, _ = results
+        for tenant_id in spotdc.participating_tenant_ids():
+            total = spotdc.tenant_total_cost(tenant_id)
+            parts = (
+                spotdc.tenant_subscription_cost(tenant_id)
+                + spotdc.tenant_energy_cost(tenant_id)
+                + spotdc.tenant_spot_payment(tenant_id)
+            )
+            assert total == pytest.approx(parts)
+
+    def test_subscription_cost_dominates(self, results):
+        spotdc, _ = results
+        for tenant_id in spotdc.participating_tenant_ids():
+            assert spotdc.tenant_subscription_cost(
+                tenant_id
+            ) > spotdc.tenant_spot_payment(tenant_id)
+
+    def test_baseline_pays_no_spot(self, results):
+        _, capped = results
+        for tenant_id in capped.participating_tenant_ids():
+            assert capped.tenant_spot_payment(tenant_id) == 0.0
+
+    def test_cost_increase_is_marginal(self, results):
+        spotdc, capped = results
+        for tenant_id in spotdc.participating_tenant_ids():
+            increase = spotdc.tenant_cost_increase_vs(capped, tenant_id)
+            assert 0.0 <= increase < 0.10
+
+    def test_unknown_tenant_rejected(self, results):
+        spotdc, _ = results
+        with pytest.raises(SimulationError):
+            spotdc.tenant_total_cost("ghost")
+
+
+class TestPerformance:
+    def test_improvement_at_least_one(self, results):
+        spotdc, capped = results
+        for tenant_id in spotdc.participating_tenant_ids():
+            ratio = spotdc.tenant_performance_improvement_vs(capped, tenant_id)
+            assert ratio >= 0.99
+
+    def test_self_comparison_is_unity(self, results):
+        spotdc, _ = results
+        for tenant_id in spotdc.participating_tenant_ids():
+            assert spotdc.tenant_performance_improvement_vs(
+                spotdc, tenant_id
+            ) == pytest.approx(1.0)
+
+    def test_latency_score_is_inverse_latency(self, results):
+        spotdc, _ = results
+        rack_id = "rack:Search-1"
+        mask = np.ones(SLOTS, dtype=bool)
+        score = spotdc.rack_performance_score(rack_id, mask)
+        latencies = spotdc.collector.rack_perf_array(rack_id)
+        assert score == pytest.approx(float(np.mean(1.0 / latencies)))
+
+    def test_throughput_score_is_mean_rate(self, results):
+        spotdc, _ = results
+        rack_id = "rack:Count-1"
+        mask = np.ones(SLOTS, dtype=bool)
+        score = spotdc.rack_performance_score(rack_id, mask)
+        rates = spotdc.collector.rack_perf_array(rack_id)
+        assert score == pytest.approx(float(np.mean(rates)))
+
+    def test_empty_mask_is_nan(self, results):
+        spotdc, _ = results
+        mask = np.zeros(SLOTS, dtype=bool)
+        assert np.isnan(spotdc.rack_performance_score("rack:Web", mask))
+
+    def test_bad_mask_length_rejected(self, results):
+        spotdc, _ = results
+        with pytest.raises(SimulationError):
+            spotdc.rack_performance_score(
+                "rack:Web", np.ones(SLOTS + 1, dtype=bool)
+            )
+
+    def test_slo_violation_rate_lower_with_spot(self, results):
+        spotdc, capped = results
+        for tenant_id in ("Search-1", "Web", "Search-2"):
+            assert spotdc.tenant_slo_violation_rate(
+                tenant_id
+            ) <= capped.tenant_slo_violation_rate(tenant_id) + 1e-9
+
+
+class TestSpotUsage:
+    def test_usage_fractions_bounded(self, results):
+        spotdc, _ = results
+        for tenant_id in spotdc.participating_tenant_ids():
+            use_max, use_mean = spotdc.tenant_spot_usage_fraction(tenant_id)
+            assert 0.0 <= use_mean <= use_max <= 0.6
+
+    def test_average_spot_fraction_in_plausible_band(self, results):
+        spotdc, _ = results
+        assert 0.0 < spotdc.average_spot_fraction() < 0.4
+
+    def test_participating_ids(self, results):
+        spotdc, _ = results
+        ids = spotdc.participating_tenant_ids()
+        assert len(ids) == 8
+        assert "Other-1" not in ids
+
+
+class TestFacilityCapacities:
+    def test_result_carries_capacities(self, results):
+        spotdc, _ = results
+        assert spotdc.ups_capacity_w == pytest.approx(1370.0, abs=1.0)
+        assert set(spotdc.pdu_capacities_w) == {"pdu:0", "pdu:1"}
+
+    def test_ups_utilization_normalised(self, results):
+        spotdc, _ = results
+        utilization = spotdc.ups_utilization_series()
+        raw = spotdc.ups_power_series()
+        assert np.allclose(utilization * spotdc.ups_capacity_w, raw)
+        assert 0.5 < utilization.mean() < 1.0
+
+    def test_utilization_requires_capacity(self, results):
+        spotdc, _ = results
+        import copy
+
+        stripped = copy.copy(spotdc)
+        stripped.ups_capacity_w = 0.0
+        with pytest.raises(SimulationError):
+            stripped.ups_utilization_series()

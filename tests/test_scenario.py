@@ -1,0 +1,139 @@
+"""Scenario builders: Table I testbed and scaled variants."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.scenario import (
+    TABLE1_SPECS,
+    scaled_scenario,
+    testbed_scenario as build_testbed,
+)
+from repro.tenants.bidding import StepStrategy
+
+
+class TestTable1Testbed:
+    def test_tenant_roster_matches_table1(self):
+        scenario = build_testbed()
+        names = [t.tenant_id for t in scenario.tenants]
+        assert names == [spec.name for spec in TABLE1_SPECS]
+
+    def test_subscriptions_match_table1(self):
+        scenario = build_testbed()
+        subs = {
+            t.tenant_id: t.total_guaranteed_w for t in scenario.tenants
+        }
+        for spec in TABLE1_SPECS:
+            assert subs[spec.name] == pytest.approx(spec.subscription_w)
+
+    def test_pdu_capacities_match_paper(self):
+        scenario = build_testbed()
+        caps = {p: pdu.capacity_w for p, pdu in scenario.topology.pdus.items()}
+        assert caps["pdu:0"] == pytest.approx(750.0 / 1.05)
+        assert caps["pdu:1"] == pytest.approx(760.0 / 1.05)
+
+    def test_ups_capacity_matches_paper(self):
+        scenario = build_testbed()
+        expected = (750.0 / 1.05 + 760.0 / 1.05) / 1.05
+        assert scenario.topology.ups.capacity_w == pytest.approx(expected)
+        assert scenario.topology.ups.capacity_w == pytest.approx(1370.0, abs=1.0)
+
+    def test_tenant_kinds(self):
+        scenario = build_testbed()
+        kinds = {t.tenant_id: t.kind for t in scenario.tenants}
+        assert kinds["Search-1"] == "sprinting"
+        assert kinds["Web"] == "sprinting"
+        assert kinds["Count-1"] == "opportunistic"
+        assert kinds["Other-1"] == "non-participating"
+
+    def test_participating_count(self):
+        scenario = build_testbed()
+        assert len(scenario.participating_tenants()) == 8
+
+    def test_total_guaranteed(self):
+        assert build_testbed().total_guaranteed_w() == pytest.approx(1510.0)
+
+    def test_overprovisioned_only_counts_participants(self):
+        scenario = build_testbed()
+        expected = 0.5 * (1510.0 - 500.0)  # headroom on non-"Other" racks
+        assert scenario.overprovisioned_w() == pytest.approx(expected)
+
+    def test_same_seed_same_traces(self):
+        a = build_testbed(seed=11)
+        b = build_testbed(seed=11)
+        a.prepare(50)
+        b.prepare(50)
+        tenant_a = a.tenants[0].racks[0].workload
+        tenant_b = b.tenants[0].racks[0].workload
+        assert tenant_a.intensity(7) == tenant_b.intensity(7)
+
+    def test_different_seed_different_traces(self):
+        a = build_testbed(seed=11)
+        b = build_testbed(seed=12)
+        a.prepare(50)
+        b.prepare(50)
+        assert (
+            a.tenants[0].racks[0].workload.intensity(7)
+            != b.tenants[0].racks[0].workload.intensity(7)
+        )
+
+    def test_oversubscription_sweep_changes_capacity(self):
+        tight = build_testbed(pdu_oversubscription=1.10)
+        loose = build_testbed(pdu_oversubscription=1.0)
+        assert (
+            tight.topology.pdus["pdu:0"].capacity_w
+            < loose.topology.pdus["pdu:0"].capacity_w
+        )
+
+    def test_strategy_factory_applied(self):
+        scenario = build_testbed(strategy_factory=lambda kind: StepStrategy())
+        tenant = scenario.participating_tenants()[0]
+        assert isinstance(tenant.strategy, StepStrategy)
+
+    def test_rejects_bad_oversubscription(self):
+        with pytest.raises(ConfigurationError):
+            build_testbed(pdu_oversubscription=0.9)
+
+    def test_rack_infos_cover_all_racks(self):
+        scenario = build_testbed()
+        infos = scenario.rack_infos()
+        assert len(infos) == 10
+        assert {i.metric for i in infos} == {
+            "latency_ms", "throughput", "power_w",
+        }
+
+
+class TestScaledScenario:
+    def test_group_replication(self):
+        scenario = scaled_scenario(groups=3)
+        assert len(scenario.tenants) == 30
+        assert len(scenario.topology.pdus) == 6
+
+    def test_first_group_is_exact_table1(self):
+        scenario = scaled_scenario(groups=2)
+        subs = {t.tenant_id: t.total_guaranteed_w for t in scenario.tenants}
+        for spec in TABLE1_SPECS:
+            assert subs[spec.name] == pytest.approx(spec.subscription_w)
+
+    def test_jitter_applied_to_later_groups(self):
+        scenario = scaled_scenario(groups=2, jitter=0.2)
+        subs = {t.tenant_id: t.total_guaranteed_w for t in scenario.tenants}
+        jittered = [
+            subs[f"{spec.name}@1"] / spec.subscription_w
+            for spec in TABLE1_SPECS
+        ]
+        assert any(abs(j - 1.0) > 0.01 for j in jittered)
+        assert all(0.8 - 1e-9 <= j <= 1.2 + 1e-9 for j in jittered)
+
+    def test_capacity_scales_with_subscriptions(self):
+        scenario = scaled_scenario(groups=2, jitter=0.0)
+        assert scenario.topology.ups.capacity_w == pytest.approx(
+            2 * build_testbed().topology.ups.capacity_w, rel=1e-6
+        )
+
+    def test_thousand_tenants_buildable(self):
+        scenario = scaled_scenario(groups=100)
+        assert len(scenario.tenants) == 1000
+
+    def test_rejects_zero_groups(self):
+        with pytest.raises(ConfigurationError):
+            scaled_scenario(groups=0)

@@ -1,0 +1,96 @@
+"""Tenant invoices and market settlement."""
+
+import pytest
+
+from repro.core.baselines import PowerCappedAllocator
+from repro.economics.settlement import (
+    build_all_invoices,
+    build_invoice,
+    reconcile,
+    render_invoices,
+)
+from repro.errors import SimulationError
+from repro.sim.engine import run_simulation
+from repro.sim.scenario import testbed_scenario as build_testbed
+
+SLOTS = 400
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_simulation(build_testbed(seed=99), SLOTS)
+
+
+class TestInvoice:
+    def test_total_is_sum_of_lines(self, result):
+        invoice = build_invoice(result, "Search-1")
+        assert invoice.total == pytest.approx(
+            invoice.subscription_charge
+            + invoice.energy_charge
+            + invoice.spot_charge
+        )
+
+    def test_matches_result_accessors(self, result):
+        invoice = build_invoice(result, "Count-1")
+        assert invoice.subscription_charge == pytest.approx(
+            result.tenant_subscription_cost("Count-1")
+        )
+        assert invoice.energy_charge == pytest.approx(
+            result.tenant_energy_cost("Count-1")
+        )
+        assert invoice.spot_charge == pytest.approx(
+            result.tenant_spot_payment("Count-1")
+        )
+        assert invoice.total == pytest.approx(
+            result.tenant_total_cost("Count-1")
+        )
+
+    def test_spot_usage_counts(self, result):
+        invoice = build_invoice(result, "Count-1")
+        granted = result.collector.rack_granted_array("rack:Count-1")
+        assert invoice.spot_slots == int((granted > 0).sum())
+        assert invoice.spot_watt_hours == pytest.approx(
+            float(granted.sum()) * result.slot_hours
+        )
+
+    def test_effective_spot_rate_in_bid_range(self, result):
+        invoice = build_invoice(result, "Count-1")
+        if invoice.spot_watt_hours > 0:
+            assert 0.0 < invoice.effective_spot_rate <= 0.205 + 1e-9
+
+    def test_non_participant_pays_no_spot(self, result):
+        invoice = build_invoice(result, "Other-1")
+        assert invoice.spot_charge == 0.0
+        assert invoice.spot_slots == 0
+        assert invoice.effective_spot_rate == 0.0
+
+    def test_unknown_tenant_rejected(self, result):
+        with pytest.raises(SimulationError):
+            build_invoice(result, "ghost")
+
+    def test_all_invoices_cover_roster(self, result):
+        invoices = build_all_invoices(result)
+        assert {i.tenant_id for i in invoices} == set(result.tenants)
+
+    def test_render(self, result):
+        text = render_invoices(build_all_invoices(result))
+        assert "Search-1" in text and "total [$]" in text
+
+
+class TestReconciliation:
+    def test_books_balance_under_spotdc(self, result):
+        reconcile(result)  # must not raise
+
+    def test_books_balance_under_powercapped(self):
+        result = run_simulation(
+            build_testbed(seed=99), 200, allocator=PowerCappedAllocator()
+        )
+        reconcile(result)
+        assert all(
+            build_invoice(result, t).spot_charge == 0.0
+            for t in result.tenants
+        )
+
+    def test_imbalance_detected(self, result):
+        with pytest.raises(SimulationError):
+            reconcile(result, tolerance=-1.0)  # impossible tolerance

@@ -1,0 +1,136 @@
+"""Time-series diagnostics (analysis.timeseries)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries import (
+    autocorrelation,
+    decompose_diurnal,
+    dominant_period,
+    duty_cycle,
+    slot_variation_quantile,
+)
+from repro.config import make_rng
+from repro.errors import ConfigurationError
+from repro.workloads.traces import ColoPowerTrace
+
+
+class TestAutocorrelation:
+    def test_periodic_signal(self):
+        t = np.arange(400)
+        x = np.sin(2 * np.pi * t / 100)
+        assert autocorrelation(x, 100) == pytest.approx(1.0, abs=0.02)
+        assert autocorrelation(x, 50) == pytest.approx(-1.0, abs=0.02)
+
+    def test_white_noise_near_zero(self):
+        x = make_rng(0).normal(size=5000)
+        assert abs(autocorrelation(x, 10)) < 0.05
+
+    def test_constant_series(self):
+        assert autocorrelation([5.0] * 10, 3) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            autocorrelation([1.0], 1)
+        with pytest.raises(ConfigurationError):
+            autocorrelation([1.0, 2.0, 3.0], 0)
+        with pytest.raises(ConfigurationError):
+            autocorrelation([1.0, np.nan, 2.0], 1)
+
+
+class TestDominantPeriod:
+    def test_finds_sine_period(self):
+        t = np.arange(1000)
+        x = np.sin(2 * np.pi * t / 125) + 0.05 * make_rng(1).normal(size=1000)
+        assert dominant_period(x) == pytest.approx(125, abs=2)
+
+    def test_finds_colo_trace_day(self):
+        trace = ColoPowerTrace(
+            subscription_w=100.0, slots_per_day=200.0, noise_sigma=0.0
+        )
+        power = trace.generate(1200, make_rng(2))
+        assert dominant_period(power, min_period=50) == pytest.approx(
+            200, abs=5
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            dominant_period([1.0, 2.0, 3.0])
+        with pytest.raises(ConfigurationError):
+            dominant_period(np.arange(100.0), min_period=60, max_period=50)
+
+
+class TestDutyCycle:
+    def test_basic(self):
+        assert duty_cycle([1, 3, 5, 7], 4) == pytest.approx(0.5)
+
+    def test_strict_inequality(self):
+        assert duty_cycle([4.0, 4.0], 4.0) == 0.0
+
+    def test_matches_scenario_calibration(self):
+        # The search workload's duty cycle against its subscription must
+        # sit near the paper's ~15% (the scenario calibration target).
+        from repro.power.server import ServerPowerModel
+        from repro.workloads.search import make_search_workload
+
+        power = ServerPowerModel(0.45 * 145, 1.25 * 145)
+        workload = make_search_workload("s", power, slots_per_day=720)
+        workload.prepare(5000, make_rng(3))
+        desired = np.array(
+            [workload.desired_power_w(s) for s in range(5000)]
+        )
+        assert 0.08 < duty_cycle(desired, 145.0) < 0.25
+
+
+class TestDiurnalDecomposition:
+    def test_pure_periodic_fully_explained(self):
+        t = np.arange(600)
+        x = 10 + np.sin(2 * np.pi * t / 100)
+        decomposition = decompose_diurnal(x, 100)
+        assert decomposition.seasonal_strength > 0.99
+        assert decomposition.profile.shape == (100,)
+        assert np.allclose(decomposition.residual, 0.0, atol=1e-9)
+
+    def test_noise_unexplained(self):
+        x = make_rng(4).normal(size=1000)
+        decomposition = decompose_diurnal(x, 100)
+        assert decomposition.seasonal_strength < 0.25
+
+    def test_residual_reconstructs(self):
+        x = make_rng(5).normal(10, 1, size=500)
+        decomposition = decompose_diurnal(x, 50)
+        indices = np.arange(500) % 50
+        reconstructed = decomposition.profile[indices] + decomposition.residual
+        assert np.allclose(reconstructed, x)
+
+    def test_colo_trace_is_strongly_diurnal(self):
+        trace = ColoPowerTrace(
+            subscription_w=100.0, slots_per_day=144.0, noise_sigma=0.005
+        )
+        power = trace.generate(144 * 10, make_rng(6))
+        decomposition = decompose_diurnal(power, 144)
+        assert decomposition.seasonal_strength > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            decompose_diurnal([1.0, 2.0], 3)
+        with pytest.raises(ConfigurationError):
+            decompose_diurnal([1.0, 2.0, 3.0], 1)
+
+
+class TestSlotVariation:
+    def test_constant_series_zero(self):
+        assert slot_variation_quantile([10.0] * 20) == 0.0
+
+    def test_step_detected(self):
+        series = [100.0] * 10 + [110.0] * 10
+        assert slot_variation_quantile(series, 1.0) == pytest.approx(0.1)
+
+    def test_requires_positive(self):
+        with pytest.raises(ConfigurationError):
+            slot_variation_quantile([0.0, 1.0])
+
+    def test_colo_trace_satisfies_paper_bound(self):
+        trace = ColoPowerTrace(subscription_w=250.0)
+        power = trace.generate(10_000, make_rng(7))
+        assert slot_variation_quantile(power, 0.99) < 0.025

@@ -1,0 +1,135 @@
+"""Synthetic trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.config import make_rng
+from repro.errors import WorkloadError
+from repro.workloads.traces import (
+    BatchBacklogTrace,
+    ColoPowerTrace,
+    GoogleStyleArrivalTrace,
+    VolatilePowerTrace,
+)
+
+
+class TestColoPowerTrace:
+    def test_reproducible(self):
+        trace = ColoPowerTrace(subscription_w=250.0)
+        a = trace.generate(500, make_rng(1))
+        b = trace.generate(500, make_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_bounded_by_subscription(self):
+        trace = ColoPowerTrace(subscription_w=250.0)
+        power = trace.generate(5000, make_rng(2))
+        assert power.max() <= 250.0
+        assert power.min() > 0.0
+
+    def test_mean_near_mean_fraction(self):
+        trace = ColoPowerTrace(subscription_w=100.0, mean_fraction=0.7)
+        power = trace.generate(50_000, make_rng(3))
+        assert power.mean() / 100.0 == pytest.approx(0.7, abs=0.05)
+
+    def test_slow_slot_to_slot_variation(self):
+        # The predictor's core assumption (paper Fig. 7a): the p99 of
+        # |dP|/P stays small.
+        trace = ColoPowerTrace(subscription_w=250.0)
+        power = trace.generate(20_000, make_rng(4))
+        rel = np.abs(np.diff(power)) / power[:-1]
+        assert np.quantile(rel, 0.99) < 0.025
+
+    def test_diurnal_period_visible(self):
+        trace = ColoPowerTrace(
+            subscription_w=100.0, slots_per_day=100.0, noise_sigma=0.0
+        )
+        power = trace.generate(400, make_rng(5))
+        # Autocorrelation at one full period should be strongly positive.
+        x = power - power.mean()
+        corr = np.corrcoef(x[:-100], x[100:])[0, 1]
+        assert corr > 0.9
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ColoPowerTrace(subscription_w=0.0)
+        with pytest.raises(WorkloadError):
+            ColoPowerTrace(subscription_w=10.0, mean_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            ColoPowerTrace(subscription_w=10.0).generate(0, make_rng(0))
+
+
+class TestVolatilePowerTrace:
+    def test_bounds(self):
+        trace = VolatilePowerTrace(subscription_w=250.0)
+        power = trace.generate(500, make_rng(1))
+        assert power.min() >= 0.45 * 250.0 - 1e-9
+        assert power.max() <= 0.95 * 250.0 + 1e-9
+
+    def test_is_more_volatile_than_colo(self):
+        rng1, rng2 = make_rng(1), make_rng(1)
+        colo = ColoPowerTrace(subscription_w=250.0).generate(2000, rng1)
+        volatile = VolatilePowerTrace(subscription_w=250.0).generate(2000, rng2)
+        colo_var = np.abs(np.diff(colo)).mean()
+        volatile_var = np.abs(np.diff(volatile)).mean()
+        assert volatile_var > 3 * colo_var
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            VolatilePowerTrace(subscription_w=10.0, low_fraction=0.9, high_fraction=0.5)
+
+
+class TestGoogleStyleArrivalTrace:
+    def test_bounded_by_max_rate(self):
+        trace = GoogleStyleArrivalTrace(max_rate_rps=100.0)
+        rate = trace.generate(5000, make_rng(1))
+        assert rate.max() <= 100.0
+        assert rate.min() >= 0.0
+
+    def test_surges_present(self):
+        calm = GoogleStyleArrivalTrace(
+            max_rate_rps=100.0, surge_probability=0.0
+        ).generate(5000, make_rng(2))
+        surging = GoogleStyleArrivalTrace(
+            max_rate_rps=100.0, surge_probability=0.05
+        ).generate(5000, make_rng(2))
+        assert surging.max() > calm.max()
+
+    def test_reproducible(self):
+        trace = GoogleStyleArrivalTrace(max_rate_rps=100.0)
+        assert np.array_equal(
+            trace.generate(200, make_rng(7)), trace.generate(200, make_rng(7))
+        )
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            GoogleStyleArrivalTrace(max_rate_rps=0.0)
+        with pytest.raises(WorkloadError):
+            GoogleStyleArrivalTrace(max_rate_rps=10.0, base_fraction=1.0)
+
+
+class TestBatchBacklogTrace:
+    def test_long_run_mean_near_target(self):
+        trace = BatchBacklogTrace(mean_rate_units_per_s=10.0)
+        arrivals = trace.generate(50_000, make_rng(1))
+        assert arrivals.mean() == pytest.approx(10.0, rel=0.15)
+
+    def test_bursts_create_bimodality(self):
+        trace = BatchBacklogTrace(
+            mean_rate_units_per_s=10.0, burst_multiplier=2.0, noise_sigma=0.0
+        )
+        arrivals = trace.generate(20_000, make_rng(2))
+        # Rate during bursts ~2x the mean: some slots clearly high.
+        assert (arrivals > 15.0).mean() > 0.1
+        assert (arrivals < 8.0).mean() > 0.2
+
+    def test_non_negative(self):
+        trace = BatchBacklogTrace(mean_rate_units_per_s=5.0)
+        assert trace.generate(5000, make_rng(3)).min() >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            BatchBacklogTrace(mean_rate_units_per_s=0.0)
+        with pytest.raises(WorkloadError):
+            BatchBacklogTrace(mean_rate_units_per_s=1.0, burst_duty_cycle=1.0)
+        with pytest.raises(WorkloadError):
+            BatchBacklogTrace(mean_rate_units_per_s=1.0, burst_multiplier=1.0)

@@ -1,0 +1,92 @@
+"""Unit-conversion helpers (repro.units)."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestPowerConversions:
+    def test_watts_to_kilowatts(self):
+        assert units.watts_to_kilowatts(1500.0) == pytest.approx(1.5)
+
+    def test_kilowatts_to_watts(self):
+        assert units.kilowatts_to_watts(2.5) == pytest.approx(2500.0)
+
+    def test_roundtrip(self):
+        assert units.kilowatts_to_watts(
+            units.watts_to_kilowatts(123.4)
+        ) == pytest.approx(123.4)
+
+    def test_zero(self):
+        assert units.watts_to_kilowatts(0.0) == 0.0
+
+
+class TestRateConversions:
+    def test_per_kw_month_to_hour_uses_730_hours(self):
+        assert units.per_kw_month_to_per_kw_hour(730.0) == pytest.approx(1.0)
+
+    def test_paper_guaranteed_rate_range(self):
+        # US$120-250/kW/month -> roughly $0.16-0.34/kW/h.
+        low = units.per_kw_month_to_per_kw_hour(120.0)
+        high = units.per_kw_month_to_per_kw_hour(250.0)
+        assert 0.15 < low < 0.17
+        assert 0.33 < high < 0.35
+
+    def test_roundtrip(self):
+        rate = 150.0
+        assert units.per_kw_hour_to_per_kw_month(
+            units.per_kw_month_to_per_kw_hour(rate)
+        ) == pytest.approx(rate)
+
+    def test_dollars_per_watt_to_per_kw(self):
+        assert units.dollars_per_watt_to_per_kw(0.4) == pytest.approx(400.0)
+
+
+class TestSlotAndPayments:
+    def test_slot_hours(self):
+        assert units.slot_hours(3600.0) == pytest.approx(1.0)
+        assert units.slot_hours(120.0) == pytest.approx(1.0 / 30.0)
+
+    def test_spot_payment_basic(self):
+        # 1000 W at $1/kW/h for one hour costs $1.
+        assert units.spot_payment(1000.0, 1.0, 3600.0) == pytest.approx(1.0)
+
+    def test_spot_payment_scales_linearly_in_each_factor(self):
+        base = units.spot_payment(500.0, 0.2, 120.0)
+        assert units.spot_payment(1000.0, 0.2, 120.0) == pytest.approx(2 * base)
+        assert units.spot_payment(500.0, 0.4, 120.0) == pytest.approx(2 * base)
+        assert units.spot_payment(500.0, 0.2, 240.0) == pytest.approx(2 * base)
+
+    def test_energy_cost(self):
+        # 2 kW for 30 minutes at $0.10/kWh = 1 kWh * 0.10.
+        assert units.energy_cost(2000.0, 0.10, 1800.0) == pytest.approx(0.10)
+
+
+class TestAmortization:
+    def test_amortized_capex_recovers_total(self):
+        per_hour = units.amortized_capex_per_hour(100.0, amortization_years=1.0)
+        total_hours = units.MONTHS_PER_YEAR * units.HOURS_PER_MONTH
+        assert per_hour * total_hours == pytest.approx(100.0)
+
+    def test_fifteen_year_default(self):
+        per_hour = units.amortized_capex_per_hour(15.0 * 12 * 730.0)
+        assert per_hour == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_horizon(self):
+        with pytest.raises(ValueError):
+            units.amortized_capex_per_hour(10.0, amortization_years=0.0)
+
+    def test_zero_capex_is_free(self):
+        assert units.amortized_capex_per_hour(0.0) == 0.0
+
+
+class TestConstants:
+    def test_month_is_730_hours(self):
+        assert units.HOURS_PER_MONTH == 730.0
+
+    def test_year_math_is_consistent(self):
+        assert math.isclose(
+            units.MONTHS_PER_YEAR * units.HOURS_PER_MONTH, 8760.0
+        )

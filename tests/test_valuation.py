@@ -1,0 +1,190 @@
+"""Spot-capacity value curves (Fig. 9 machinery) and cost calibration."""
+
+import numpy as np
+import pytest
+
+from repro.economics.cost import OpportunisticCostModel, SprintingCostModel
+from repro.economics.valuation import (
+    SpotValueCurve,
+    opportunistic_value_curve,
+    sprinting_value_curve,
+)
+from repro.errors import ConfigurationError
+from repro.power.latency import LatencyModel
+from repro.power.server import ServerPowerModel
+from repro.power.throughput import ThroughputModel
+from repro.tenants.calibration import (
+    calibrate_opportunistic_cost,
+    calibrate_sprinting_cost,
+)
+
+
+@pytest.fixture
+def latency_model():
+    return LatencyModel(
+        power_model=ServerPowerModel(65.0, 181.0), mu_max_rps=139.0,
+        tail_const_ms_rps=5000.0, d_min_ms=25.0,
+    )
+
+
+@pytest.fixture
+def throughput_model():
+    return ThroughputModel(
+        power_model=ServerPowerModel(56.0, 194.0), rate_max=69.0
+    )
+
+
+class TestSpotValueCurveShape:
+    def test_from_gain_samples_enforces_monotone_concave(self):
+        grid = np.linspace(0.0, 100.0, 11)
+        noisy = np.array([0, 5, 4, 9, 12, 11, 15, 16, 16, 17, 17.5])
+        curve = SpotValueCurve.from_gain_samples(100.0, grid, noisy)
+        gains = [curve.gain_per_hour(float(d)) for d in grid]
+        assert all(b >= a - 1e-9 for a, b in zip(gains, gains[1:]))
+        marginals = np.diff(gains)
+        assert all(b <= a + 1e-9 for a, b in zip(marginals, marginals[1:]))
+
+    def test_gain_zero_at_zero(self):
+        grid = np.linspace(0.0, 50.0, 6)
+        curve = SpotValueCurve.from_gain_samples(100.0, grid, grid * 0.1)
+        assert curve.gain_per_hour(0.0) == 0.0
+        assert curve.gain_per_hour(-5.0) == 0.0
+
+    def test_optimal_demand_decreasing_in_price(self):
+        grid = np.linspace(0.0, 100.0, 101)
+        curve = SpotValueCurve.from_gain_samples(
+            100.0, grid, 10 * (1 - np.exp(-grid / 30.0))
+        )
+        demands = [curve.optimal_demand_w(q) for q in (0.01, 0.1, 1.0, 10.0)]
+        assert all(a >= b for a, b in zip(demands, demands[1:]))
+
+    def test_optimal_demand_zero_when_price_exceeds_marginal(self):
+        grid = np.linspace(0.0, 100.0, 101)
+        curve = SpotValueCurve.from_gain_samples(100.0, grid, grid * 0.0001)
+        # marginal value = 0.0001 $/W/h = 0.1 $/kW/h
+        assert curve.optimal_demand_w(0.2) == 0.0
+        assert curve.optimal_demand_w(0.05) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SpotValueCurve.from_gain_samples(1.0, np.array([1.0, 2.0]), np.array([0.0, 1.0]))
+        with pytest.raises(ConfigurationError):
+            SpotValueCurve.from_gain_samples(1.0, np.array([0.0]), np.array([0.0]))
+        with pytest.raises(ConfigurationError):
+            SpotValueCurve.from_gain_samples(
+                1.0, np.array([0.0, 1.0]), np.array([0.0])
+            )
+        grid = np.linspace(0.0, 10.0, 5)
+        curve = SpotValueCurve.from_gain_samples(1.0, grid, grid)
+        with pytest.raises(ConfigurationError):
+            curve.marginal_gain_per_hour(1.0, delta_w=0.0)
+
+
+class TestSprintingValueCurve:
+    def test_positive_when_capped(self, latency_model):
+        cost = SprintingCostModel(a=1e-6, b=1e-6, slo_ms=100.0)
+        # High load: the guaranteed budget forces SLO violation.
+        curve = sprinting_value_curve(
+            latency_model, cost, base_power_w=145.0, arrival_rps=100.0,
+            max_spot_w=36.0,
+        )
+        assert curve.gain_per_hour(30.0) > 0.0
+
+    def test_zero_when_unconstrained(self, latency_model):
+        cost = SprintingCostModel(a=1e-6, b=1e-6, slo_ms=100.0)
+        # Tiny load: full latency floor already met at base budget.
+        curve = sprinting_value_curve(
+            latency_model, cost, base_power_w=181.0, arrival_rps=5.0,
+            max_spot_w=20.0,
+        )
+        assert curve.gain_per_hour(20.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concave_increasing(self, latency_model):
+        cost = SprintingCostModel(a=1e-6, b=1e-6, slo_ms=100.0)
+        curve = sprinting_value_curve(
+            latency_model, cost, 145.0, 100.0, 36.0
+        )
+        gains = [curve.gain_per_hour(d) for d in np.linspace(0, 36, 10)]
+        assert all(b >= a - 1e-12 for a, b in zip(gains, gains[1:]))
+
+    def test_requires_positive_headroom(self, latency_model):
+        cost = SprintingCostModel(a=1.0, b=1.0)
+        with pytest.raises(ConfigurationError):
+            sprinting_value_curve(latency_model, cost, 145.0, 100.0, 0.0)
+
+
+class TestOpportunisticValueCurve:
+    def test_positive_gain_with_backlog(self, throughput_model):
+        cost = OpportunisticCostModel(rho=0.001)
+        curve = opportunistic_value_curve(
+            throughput_model, cost, base_power_w=125.0, backlog_units=100.0,
+            max_spot_w=60.0,
+        )
+        assert curve.gain_per_hour(40.0) > 0.0
+
+    def test_zero_gain_without_backlog(self, throughput_model):
+        cost = OpportunisticCostModel(rho=0.001)
+        curve = opportunistic_value_curve(
+            throughput_model, cost, 125.0, 0.0, 60.0
+        )
+        assert curve.gain_per_hour(60.0) == 0.0
+
+    def test_gain_scales_with_rho(self, throughput_model):
+        lo = opportunistic_value_curve(
+            throughput_model, OpportunisticCostModel(rho=0.001),
+            125.0, 1.0, 60.0,
+        )
+        hi = opportunistic_value_curve(
+            throughput_model, OpportunisticCostModel(rho=0.002),
+            125.0, 1.0, 60.0,
+        )
+        assert hi.gain_per_hour(30.0) == pytest.approx(
+            2 * lo.gain_per_hour(30.0)
+        )
+
+
+class TestCalibration:
+    def test_sprinting_marginal_hits_target(self, latency_model):
+        target = 0.25
+        model = calibrate_sprinting_cost(
+            latency_model,
+            guaranteed_w=145.0,
+            reference_rps=100.0,
+            max_spot_w=36.0,
+            target_marginal_per_kw_hour=target,
+        )
+        curve = sprinting_value_curve(
+            latency_model, model, 145.0, 100.0, 36.0
+        )
+        marginal = curve.marginal_gain_per_hour(0.3 * 36.0)
+        assert marginal * 1000.0 == pytest.approx(target, rel=0.05)
+
+    def test_opportunistic_marginal_hits_target(self, throughput_model):
+        target = 0.12
+        model = calibrate_opportunistic_cost(
+            throughput_model,
+            guaranteed_w=125.0,
+            max_spot_w=60.0,
+            target_marginal_per_kw_hour=target,
+        )
+        curve = opportunistic_value_curve(
+            throughput_model, model, 125.0, 1.0, 60.0
+        )
+        marginal = curve.marginal_gain_per_hour(0.3 * 60.0)
+        assert marginal * 1000.0 == pytest.approx(target, rel=0.05)
+
+    def test_sprinting_calibration_fails_when_unconstrained(self, latency_model):
+        with pytest.raises(ConfigurationError):
+            calibrate_sprinting_cost(
+                latency_model,
+                guaranteed_w=181.0,  # peak power: never capped
+                reference_rps=5.0,
+                max_spot_w=10.0,
+                target_marginal_per_kw_hour=0.2,
+            )
+
+    def test_calibration_validates_inputs(self, latency_model, throughput_model):
+        with pytest.raises(ConfigurationError):
+            calibrate_sprinting_cost(latency_model, 145.0, 100.0, 36.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            calibrate_opportunistic_cost(throughput_model, 125.0, 0.0, 0.1)

@@ -1,0 +1,96 @@
+"""Sanity of the workload calibration constants (docs/calibration.md)."""
+
+import numpy as np
+import pytest
+
+from repro.config import make_rng
+from repro.power.server import ServerPowerModel
+from repro.sim.scenario import PRICE_ANCHORS, TABLE1_SPECS
+from repro.workloads.graph import GRAPH_DEFAULTS, make_graph_workload
+from repro.workloads.hadoop import (
+    TERASORT_DEFAULTS,
+    WORDCOUNT_DEFAULTS,
+    make_terasort_workload,
+)
+from repro.workloads.search import SEARCH_DEFAULTS
+from repro.workloads.web import WEB_DEFAULTS
+
+
+class TestDefaultDictionaries:
+    @pytest.mark.parametrize(
+        "defaults", [SEARCH_DEFAULTS, WEB_DEFAULTS], ids=["search", "web"]
+    )
+    def test_interactive_defaults_sane(self, defaults):
+        assert defaults["mu_max_per_watt"] > 0
+        assert 0 < defaults["base_fraction"] < 1
+        assert 0 < defaults["surge_probability"] < 0.2
+        assert defaults["d_min_ms"] > 0
+        assert defaults["tail_const_ms_rps"] > 0
+
+    @pytest.mark.parametrize(
+        "defaults",
+        [WORDCOUNT_DEFAULTS, TERASORT_DEFAULTS, GRAPH_DEFAULTS],
+        ids=["wordcount", "terasort", "graph"],
+    )
+    def test_batch_defaults_sane(self, defaults):
+        assert 0 < defaults["mean_load_fraction"] < 1
+        assert 0 < defaults["burst_duty_cycle"] < 1
+        assert defaults["burst_multiplier"] > 1
+        assert 0 < defaults["scaling_exponent"] <= 1.0
+
+    def test_percentile_tails_ordered(self):
+        # p99 (search) must have a heavier tail constant than p90 (web).
+        assert (
+            SEARCH_DEFAULTS["tail_const_ms_rps"]
+            > WEB_DEFAULTS["tail_const_ms_rps"]
+        )
+
+    def test_terasort_heavier_than_wordcount(self):
+        # Shuffle-bound TeraSort processes fewer MB per watt.
+        assert (
+            TERASORT_DEFAULTS["rate_max_mb_per_watt"]
+            < WORDCOUNT_DEFAULTS["rate_max_mb_per_watt"]
+        )
+
+
+class TestPriceAnchors:
+    def test_every_participating_class_has_anchors(self):
+        classes = {
+            spec.workload for spec in TABLE1_SPECS if spec.workload != "other"
+        }
+        assert classes <= set(PRICE_ANCHORS)
+
+    def test_anchor_ordering_within_class(self):
+        for q_low, q_high, target in PRICE_ANCHORS.values():
+            assert 0 < q_low < q_high
+            assert q_low < target
+
+    def test_class_price_hierarchy(self):
+        # Search bids highest, web medium, opportunistic lowest,
+        # with opportunistic capped at the amortised guaranteed rate.
+        assert PRICE_ANCHORS["search"][1] > PRICE_ANCHORS["web"][1]
+        for cls in ("wordcount", "terasort", "graph"):
+            assert PRICE_ANCHORS[cls][1] == pytest.approx(0.205)
+            assert PRICE_ANCHORS[cls][1] < PRICE_ANCHORS["web"][1]
+
+
+class TestDutyCycles:
+    def test_batch_duty_cycle_near_paper(self):
+        # Run a batch workload under its guaranteed budget and confirm
+        # the sprint-wanted duty lands near the paper's ~30%.
+        power = ServerPowerModel(0.45 * 125, 1.55 * 125)
+        workload = make_terasort_workload("t", power)
+        workload.prepare(4000, make_rng(17))
+        wanted = 0
+        for slot in range(4000):
+            wanted += workload.execute(slot, 125.0, 120.0).wanted_spot
+        assert 0.10 < wanted / 4000 < 0.45
+
+    def test_graph_duty_cycle_in_band(self):
+        power = ServerPowerModel(0.45 * 115, 1.55 * 115)
+        workload = make_graph_workload("g", power)
+        workload.prepare(4000, make_rng(18))
+        wanted = 0
+        for slot in range(4000):
+            wanted += workload.execute(slot, 115.0, 120.0).wanted_spot
+        assert 0.10 < wanted / 4000 < 0.45

@@ -1,0 +1,185 @@
+"""Workload behaviour: interactive, batch, and trace-replay."""
+
+import numpy as np
+import pytest
+
+from repro.config import make_rng
+from repro.errors import WorkloadError
+from repro.power.server import ServerPowerModel
+from repro.workloads.base import TracePowerWorkload
+from repro.workloads.graph import make_graph_workload
+from repro.workloads.hadoop import make_terasort_workload, make_wordcount_workload
+from repro.workloads.search import make_search_workload
+from repro.workloads.traces import ColoPowerTrace
+from repro.workloads.web import make_web_workload
+
+SEARCH_POWER = ServerPowerModel(0.45 * 145, 1.25 * 145)
+COUNT_POWER = ServerPowerModel(0.45 * 125, 1.55 * 125)
+
+
+@pytest.fixture
+def search():
+    workload = make_search_workload("Search-1", SEARCH_POWER, slots_per_day=720)
+    workload.prepare(600, make_rng(1))
+    return workload
+
+
+@pytest.fixture
+def count():
+    workload = make_wordcount_workload("Count-1", COUNT_POWER)
+    workload.prepare(600, make_rng(2))
+    return workload
+
+
+class TestLifecycle:
+    def test_execute_before_prepare_rejected(self):
+        workload = make_search_workload("s", SEARCH_POWER)
+        with pytest.raises(WorkloadError):
+            workload.execute(0, 145.0, 120.0)
+
+    def test_out_of_order_execution_rejected(self, search):
+        search.execute(0, 145.0, 120.0)
+        with pytest.raises(WorkloadError):
+            search.execute(2, 145.0, 120.0)
+
+    def test_double_execution_rejected(self, search):
+        search.execute(0, 145.0, 120.0)
+        with pytest.raises(WorkloadError):
+            search.execute(0, 145.0, 120.0)
+
+    def test_slot_out_of_range_rejected(self, search):
+        with pytest.raises(WorkloadError):
+            search.intensity(600)
+
+    def test_prepare_resets_state(self, count):
+        for slot in range(50):
+            count.execute(slot, 125.0, 120.0)
+        count.prepare(100, make_rng(9))
+        assert count.backlog_units == 0.0
+        count.execute(0, 125.0, 120.0)  # slot counter reset
+
+
+class TestInteractiveWorkload:
+    def test_more_budget_never_hurts_latency(self, search):
+        rate = search.intensity(0)
+        low = search.latency_model.latency_ms(130.0, rate)
+        high = search.latency_model.latency_ms(160.0, rate)
+        assert high <= low
+
+    def test_capped_execution_flags(self, search):
+        slot = next(
+            s for s in range(600) if search.desired_power_w(s) > 145.0
+        )
+        for s in range(slot):
+            search.execute(s, 1000.0, 120.0)
+        perf = search.execute(slot, 145.0, 120.0)
+        assert perf.capped
+        assert perf.wanted_spot
+        assert perf.power_w == pytest.approx(145.0)
+
+    def test_uncapped_execution(self, search):
+        slot = next(
+            s for s in range(600) if search.desired_power_w(s) <= 140.0
+        )
+        for s in range(slot):
+            search.execute(s, 1000.0, 120.0)
+        perf = search.execute(slot, 145.0, 120.0)
+        assert not perf.capped
+        assert perf.power_w == pytest.approx(search.desired_power_w(slot))
+
+    def test_spot_budget_restores_slo(self, search):
+        # Wherever the SLO is reachable at all (desired power below the
+        # rack's peak), granting the desired budget must meet it.  Slots
+        # where even full power cannot meet the SLO (extreme surges) are
+        # genuine overload, not a budgeting failure.
+        peak = search.latency_model.power_model.peak_w
+        violations = 0
+        reachable = 0
+        for s in range(600):
+            desired = search.desired_power_w(s)
+            perf = search.execute(s, max(145.0, desired), 120.0)
+            if desired < peak - 1e-9:
+                reachable += 1
+                if perf.slo_violated:
+                    violations += 1
+        assert reachable > 0
+        assert violations == 0
+
+    def test_web_variant_builds(self):
+        workload = make_web_workload("Web", ServerPowerModel(0.45 * 115, 1.25 * 115))
+        workload.prepare(10, make_rng(0))
+        perf = workload.execute(0, 115.0, 120.0)
+        assert perf.metric == "latency_ms"
+
+
+class TestBatchWorkload:
+    def test_backlog_accumulates_when_capped(self, count):
+        # Starve the rack: backlog must grow.
+        idle = COUNT_POWER.idle_w
+        for slot in range(100):
+            count.execute(slot, idle, 120.0)
+        assert count.backlog_units > 0.0
+
+    def test_backlog_conservation(self, count):
+        total_arrivals = sum(count.intensity(s) * 120.0 for s in range(200))
+        processed = 0.0
+        for slot in range(200):
+            perf = count.execute(slot, 125.0, 120.0)
+            processed += perf.value * 120.0
+        assert processed + count.backlog_units == pytest.approx(
+            total_arrivals, rel=1e-6
+        )
+
+    def test_sprint_budget_drains_faster(self):
+        slow = make_wordcount_workload("a", COUNT_POWER)
+        fast = make_wordcount_workload("b", COUNT_POWER)
+        slow.prepare(300, make_rng(11))
+        fast.prepare(300, make_rng(11))
+        for slot in range(300):
+            slow.execute(slot, 125.0, 120.0)
+            fast.execute(slot, COUNT_POWER.peak_w, 120.0)
+        assert fast.backlog_units <= slow.backlog_units
+
+    def test_wants_sprint_tracks_backlog(self, count):
+        assert not count.wants_sprint(0)
+        idle = COUNT_POWER.idle_w
+        slot = 0
+        while not count.wants_sprint(slot) and slot < 400:
+            count.execute(slot, idle, 120.0)
+            slot += 1
+        assert count.wants_sprint(slot)
+        assert count.desired_power_w(slot) == COUNT_POWER.peak_w
+
+    def test_throughput_capped_by_budget(self, count):
+        rate_cap = count.throughput_model.rate_at(125.0)
+        for slot in range(100):
+            perf = count.execute(slot, 125.0, 120.0)
+            assert perf.value <= rate_cap + 1e-9
+
+    def test_terasort_and_graph_variants(self):
+        for factory in (make_terasort_workload, make_graph_workload):
+            workload = factory("x", COUNT_POWER)
+            workload.prepare(10, make_rng(0))
+            perf = workload.execute(0, 125.0, 120.0)
+            assert perf.metric == "throughput"
+            assert perf.value >= 0.0
+
+
+class TestTracePowerWorkload:
+    def test_replays_trace(self):
+        trace = ColoPowerTrace(subscription_w=250.0)
+        workload = TracePowerWorkload("other", trace)
+        workload.prepare(50, make_rng(3))
+        expected = trace.generate(50, make_rng(3))
+        for slot in range(50):
+            perf = workload.execute(slot, 250.0, 120.0)
+            assert perf.power_w == pytest.approx(expected[slot])
+            assert not perf.wanted_spot
+
+    def test_budget_caps_trace(self):
+        trace = ColoPowerTrace(subscription_w=250.0, mean_fraction=0.9)
+        workload = TracePowerWorkload("other", trace)
+        workload.prepare(50, make_rng(3))
+        perf = workload.execute(0, 10.0, 120.0)
+        assert perf.power_w <= 10.0
+        assert perf.capped
