@@ -1,6 +1,17 @@
-"""Fig. 7: (a) PDU power variation; (b) clearing time at scale."""
+"""Fig. 7: (a) PDU power variation; (b) clearing time at scale.
+
+Besides the paper-style text archive, the clearing benchmark emits
+machine-readable timings (``results/BENCH_clearing.json``: racks x
+price-step x wall-ms for both the columnar BidFrame path and the legacy
+object path) so future PRs can track the perf trajectory.
+"""
+
+import json
+import pathlib
 
 from repro.experiments import render_fig07, run_fig07a, run_fig07b
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def test_fig07a_pdu_variation(benchmark, archive):
@@ -20,12 +31,14 @@ def test_fig07b_clearing_time(benchmark, archive):
             "rack_counts": (100, 1000, 5000, 15000),
             "price_steps": (0.001, 0.01),
             "repeats": 2,
+            "compare_object_path": True,
         },
         rounds=1,
         iterations=1,
     )
     variation = run_fig07a(slots=5000, pdus=2)
     archive("fig07b_clearing_time", render_fig07(variation, result))
+    _write_clearing_json(result)
     # Paper: < 1 s at 15,000 racks with a 0.1 cent/kW step; < 100 ms-ish
     # with a 1 cent/kW step (we allow slack for slower machines).
     fine = result.mean_seconds[0.001][-1]
@@ -34,3 +47,30 @@ def test_fig07b_clearing_time(benchmark, archive):
     assert coarse <= 1.2 * fine  # coarse grids never meaningfully slower
     # Clearing time grows with the number of racks (150x more racks).
     assert result.mean_seconds[0.001][0] < result.mean_seconds[0.001][-1]
+    # The columnar BidFrame path must beat the seed's object path by >= 5x
+    # on the paper's headline cell (15,000 racks, 0.1 cent/kW step).
+    assert result.object_seconds[0.001][-1] >= 5.0 * fine
+
+
+def _write_clearing_json(result) -> None:
+    """Persist racks x step x wall-ms for both paths (perf trajectory)."""
+    cells = []
+    for i, racks in enumerate(result.rack_counts):
+        for step in result.price_steps:
+            cells.append(
+                {
+                    "racks": racks,
+                    "price_step": step,
+                    "frame_ms": result.mean_seconds[step][i] * 1e3,
+                    "object_ms": result.object_seconds[step][i] * 1e3,
+                    "speedup": (
+                        result.object_seconds[step][i]
+                        / result.mean_seconds[step][i]
+                    ),
+                    "frame_build_ms": result.frame_build_seconds[i] * 1e3,
+                }
+            )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_clearing.json").write_text(
+        json.dumps({"bench": "clearing", "cells": cells}, indent=2) + "\n"
+    )

@@ -1,7 +1,5 @@
 """Fig. 13: CDFs of market price (by tenant class) and UPS utilization."""
 
-import numpy as np
-
 from repro.experiments import render_fig13, run_fig13
 
 

@@ -21,6 +21,7 @@ Quickstart::
 from repro.config import MarketParameters, make_rng
 from repro.core import (
     AllocationResult,
+    BidFrame,
     FullBid,
     LinearBid,
     MarketClearing,
@@ -46,6 +47,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AllocationResult",
+    "BidFrame",
     "FullBid",
     "LinearBid",
     "MarketClearing",

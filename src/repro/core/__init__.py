@@ -8,12 +8,14 @@ from repro.core.bids import RackBid, TenantBid, bundle_linear_bid, flatten_bids
 from repro.core.clearing import MarketClearing, clear_market
 from repro.core.demand import DemandFunction, FullBid, LinearBid, StepBid
 from repro.core.equilibrium import BestResponseSimulator, Bidder, EquilibriumResult
+from repro.core.frame import BidFrame
 from repro.core.market import Allocator, SlotMarketRecord, SpotDCAllocator
 
 __all__ = [
     "AllocationResult",
     "Allocator",
     "BestResponseSimulator",
+    "BidFrame",
     "Bidder",
     "EquilibriumResult",
     "DemandFunction",

@@ -18,6 +18,8 @@ import heapq
 import itertools
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.core.allocation import AllocationResult
 from repro.core.market import Allocator, SlotMarketRecord
 from repro.errors import ConfigurationError
@@ -100,54 +102,79 @@ class MaxPerfAllocator(Allocator):
                 result=AllocationResult.empty(), bids=(), payments={}
             )
 
-        pdu_room = dict(forecast.pdu_spot_w)
-        ups_room = forecast.ups_spot_w
-        extra_room = [
-            [constraint.rack_ids, constraint.cap_w]
-            for constraint in extra_constraints
-        ]
-        grants = {rack_id: 0.0 for rack_id, *_ in candidates}
-        info = {rack_id: (pdu_id, curve, cap) for rack_id, pdu_id, curve, cap in candidates}
+        # Columnar bookkeeping: candidates become index-addressed columns
+        # (grant, cap, PDU code, constraint memberships) so each greedy
+        # step is O(1) array updates plus only the constraint groups that
+        # actually contain the rack — no dict hops, no full group scans.
+        n = len(candidates)
+        rack_ids = [c[0] for c in candidates]
+        curves = [c[2] for c in candidates]
+        caps = np.fromiter((c[3] for c in candidates), dtype=float, count=n)
+        grants = np.zeros(n)
 
-        # Max-heap of (-marginal, tiebreak, rack_id).
+        pdu_ids = sorted(
+            {c[1] for c in candidates} | set(forecast.pdu_spot_w)
+        )
+        pdu_index = {p: i for i, p in enumerate(pdu_ids)}
+        pdu_code = np.fromiter(
+            (pdu_index[c[1]] for c in candidates), dtype=np.intp, count=n
+        )
+        pdu_room = np.fromiter(
+            (forecast.pdu_spot_w.get(p, 0.0) for p in pdu_ids),
+            dtype=float,
+            count=len(pdu_ids),
+        )
+        ups_room = forecast.ups_spot_w
+        group_room = np.fromiter(
+            (c.cap_w for c in extra_constraints),
+            dtype=float,
+            count=len(extra_constraints),
+        )
+        groups_of = [
+            [
+                k
+                for k, constraint in enumerate(extra_constraints)
+                if rack_ids[i] in constraint.rack_ids
+            ]
+            for i in range(n)
+        ]
+
+        # Max-heap of (-marginal, tiebreak, candidate index).
         counter = itertools.count()
-        heap: list[tuple[float, int, str]] = []
-        for rack_id, _, curve, cap in candidates:
-            marginal = curve.marginal_gain_per_hour(0.0, self.increment_w)
+        heap: list[tuple[float, int, int]] = []
+        for i in range(n):
+            marginal = curves[i].marginal_gain_per_hour(0.0, self.increment_w)
             if marginal > 0:
-                heapq.heappush(heap, (-marginal, next(counter), rack_id))
+                heapq.heappush(heap, (-marginal, next(counter), i))
 
         steps = 0
         while heap and ups_room > 1e-9 and steps < self.max_steps:
             steps += 1
-            neg_marginal, _, rack_id = heapq.heappop(heap)
+            neg_marginal, _, i = heapq.heappop(heap)
             if -neg_marginal <= 0:
                 break
-            pdu_id, curve, cap = info[rack_id]
-            room = min(
-                cap - grants[rack_id],
-                pdu_room.get(pdu_id, 0.0),
-                ups_room,
-            )
-            for group in extra_room:
-                if rack_id in group[0]:
-                    room = min(room, group[1])
+            code = pdu_code[i]
+            room = min(caps[i] - grants[i], pdu_room[code], ups_room)
+            for k in groups_of[i]:
+                room = min(room, group_room[k])
             if room <= 1e-9:
                 continue  # this rack is blocked; drop it
             step = min(self.increment_w, room)
-            grants[rack_id] += step
-            pdu_room[pdu_id] = pdu_room.get(pdu_id, 0.0) - step
+            grants[i] += step
+            pdu_room[code] -= step
             ups_room -= step
-            for group in extra_room:
-                if rack_id in group[0]:
-                    group[1] -= step
-            if grants[rack_id] < cap - 1e-9:
-                marginal = curve.marginal_gain_per_hour(
-                    grants[rack_id], self.increment_w
+            for k in groups_of[i]:
+                group_room[k] -= step
+            if grants[i] < caps[i] - 1e-9:
+                marginal = curves[i].marginal_gain_per_hour(
+                    grants[i], self.increment_w
                 )
                 if marginal > 0:
-                    heapq.heappush(heap, (-marginal, next(counter), rack_id))
+                    heapq.heappush(heap, (-marginal, next(counter), i))
 
-        grants = {rid: g for rid, g in grants.items() if g > 0}
-        result = AllocationResult(price=0.0, grants_w=grants, revenue_rate=0.0)
+        granted = {
+            rack_ids[i]: float(grants[i])
+            for i in np.flatnonzero(grants > 0)
+        }
+        result = AllocationResult(price=0.0, grants_w=granted, revenue_rate=0.0)
         return SlotMarketRecord(result=result, bids=(), payments={})

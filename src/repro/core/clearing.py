@@ -12,15 +12,23 @@ favour).
 
 Implementation notes:
 
-* Demand is evaluated with each bid's vectorised
-  :meth:`~repro.core.demand.DemandFunction.demand_grid`, clipped to the
-  rack's physical headroom, and accumulated into per-PDU totals — memory
-  is O(#PDUs x #prices), independent of the number of racks, which is
-  what makes 15,000-rack scans fast (Fig. 7b).
+* The default pipeline is **columnar**: bids are viewed through a
+  :class:`~repro.core.frame.BidFrame` (built once per slot), demand is
+  evaluated as an ``(n_bids, n_prices)`` ndarray kernel
+  (:func:`repro.core.demand.demand_matrix`), per-PDU totals are
+  contiguous segment sums over the PDU-sorted rows, and grants are
+  extracted as one demand-vector evaluation at the clearing price.
+  Memory stays O(#bids x price-chunk); clearing cost stays in ndarray
+  time, which is what makes 15,000-rack scans fast (Fig. 7b).
+* The pre-frame object-at-a-time path is retained behind
+  ``columnar=False`` as the parity/benchmark reference (see
+  ``tests/test_bidframe_parity.py`` and ``BENCH_clearing.json``).
 * Grid resolution is the operator knob ``price_step`` (the paper reports
   clearing times at 0.1 and 1 cent/kW steps).  The scan optionally
   augments the grid with each bid's breakpoints (``q_min``/``q_max``) so
-  coarse grids do not miss profit kinks.
+  coarse grids do not miss profit kinks; the grid is built overshoot-free
+  and breakpoints within float epsilon of a grid point are deduplicated
+  with a tolerance.
 """
 
 from __future__ import annotations
@@ -35,12 +43,50 @@ from repro.config import MarketParameters
 from repro.core.allocation import AllocationResult
 from repro.core.bids import RackBid
 from repro.core.demand import LinearBid
+from repro.core.frame import BidFrame
 from repro.errors import ClearingError
 
 if typing.TYPE_CHECKING:
     from repro.infrastructure.constraints import CapacityConstraint
 
 __all__ = ["MarketClearing", "clear_market"]
+
+#: Feasibility slack for float comparisons against capacity bounds.
+_TOL = 1e-9
+
+
+def _base_grid(lo: float, hi: float, step: float) -> np.ndarray:
+    """The fixed-step scan grid over ``[lo, hi]``, overshoot-free.
+
+    ``np.arange(lo, hi + step, step)`` can overshoot ``hi`` by a whole
+    extra element under float error; counting the steps explicitly keeps
+    the last grid point at ``hi`` (up to epsilon).
+    """
+    if hi < lo:
+        return np.array([lo])
+    n = int(np.floor((hi - lo) / step * (1.0 + 1e-12) + 1e-9)) + 1
+    return lo + step * np.arange(n)
+
+
+def _augment_grid(
+    grid: np.ndarray, points: np.ndarray, lo: float, hi: float, step: float
+) -> np.ndarray:
+    """Merge bid breakpoints into the grid, deduplicating with tolerance.
+
+    Breakpoints that land within float epsilon of an existing grid point
+    would otherwise survive ``np.unique`` as distinct candidates; merged
+    values within ``step * 1e-9`` collapse onto the *smaller* one, which
+    at a ``q_max`` kink is the breakpoint itself (keeping the kink's
+    revenue in the scan).
+    """
+    points = points[(points >= lo) & (points <= hi)]
+    if points.size == 0:
+        return grid
+    merged = np.unique(np.concatenate([grid, points]))
+    keep = np.empty(merged.size, dtype=bool)
+    keep[0] = True
+    np.greater(np.diff(merged), step * 1e-9, out=keep[1:])
+    return merged[keep]
 
 
 @dataclasses.dataclass
@@ -53,38 +99,53 @@ class MarketClearing:
             the candidate grid.  Improves profit at coarse steps for a
             small cost; disabled when reproducing the paper's pure
             fixed-step scan timings.
+        columnar: Clear through the :class:`BidFrame` columnar pipeline
+            (the default).  ``False`` selects the legacy object-at-a-time
+            path, kept as the parity and benchmark reference.
     """
 
     params: MarketParameters = dataclasses.field(default_factory=MarketParameters)
     include_breakpoints: bool = True
+    columnar: bool = True
 
-    def candidate_prices(self, bids: Sequence[RackBid]) -> np.ndarray:
+    def candidate_prices(
+        self, bids: "Sequence[RackBid] | BidFrame"
+    ) -> np.ndarray:
         """The ascending price grid the scan will evaluate."""
         lo = self.params.reserve_price
         hi = self.params.max_price
         # No bid demands anything above the highest acceptable price, so
         # scanning beyond it only wastes work.
-        if bids:
-            highest_bid = max(b.demand.max_price for b in bids)
-            hi = min(hi, highest_bid)
-        if hi < lo:
-            return np.array([lo])
-        grid = np.arange(lo, hi + self.params.price_step, self.params.price_step)
-        if self.include_breakpoints and bids:
-            points = []
+        n_bids = len(bids)
+        if isinstance(bids, BidFrame):
+            if n_bids:
+                hi = min(hi, bids.max_acceptable_price())
+            points = bids.breakpoints
+        else:
+            if n_bids:
+                hi = min(hi, max(b.demand.max_price for b in bids))
+            collected = []
             for bid in bids:
                 demand = bid.demand
                 for attr in ("q_min", "q_max", "price_cap"):
                     value = getattr(demand, attr, None)
-                    if value is not None and lo <= value <= hi:
-                        points.append(value)
-            if points:
-                grid = np.unique(np.concatenate([grid, np.asarray(points)]))
+                    if value is not None:
+                        collected.append(float(value))
+            points = np.asarray(collected, dtype=float)
+        if hi < lo:
+            return np.array([lo])
+        grid = _base_grid(lo, hi, self.params.price_step)
+        if self.include_breakpoints and n_bids:
+            grid = _augment_grid(grid, points, lo, hi, self.params.price_step)
         return grid
+
+    # ------------------------------------------------------------------
+    # Facility-wide uniform price
+    # ------------------------------------------------------------------
 
     def clear(
         self,
-        bids: Sequence[RackBid],
+        bids: "Sequence[RackBid] | BidFrame",
         pdu_spot_w: Mapping[str, float],
         ups_spot_w: float,
         extra_constraints: Sequence["CapacityConstraint"] = (),
@@ -92,7 +153,9 @@ class MarketClearing:
         """Clear one slot's market.
 
         Args:
-            bids: Flattened per-rack bids for this slot.
+            bids: Flattened per-rack bids for this slot — either a
+                :class:`BidFrame` (preferred on hot paths; built once
+                per slot) or a sequence of :class:`RackBid`.
             pdu_spot_w: Predicted spot capacity per PDU, watts (``P_m``).
                 PDUs hosting bidding racks but absent from this mapping
                 are treated as offering zero spot capacity.
@@ -108,6 +171,23 @@ class MarketClearing:
         Raises:
             ClearingError: On negative capacities (inconsistent inputs).
         """
+        self._validate_capacities(pdu_spot_w, ups_spot_w, extra_constraints)
+        if not len(bids):
+            return AllocationResult.empty()
+        if isinstance(bids, BidFrame):
+            return self._clear_frame(bids, pdu_spot_w, ups_spot_w, extra_constraints)
+        if self.columnar:
+            return self._clear_frame(
+                BidFrame.from_bids(bids), pdu_spot_w, ups_spot_w, extra_constraints
+            )
+        return self._clear_objects(bids, pdu_spot_w, ups_spot_w, extra_constraints)
+
+    @staticmethod
+    def _validate_capacities(
+        pdu_spot_w: Mapping[str, float],
+        ups_spot_w: float,
+        extra_constraints: Sequence["CapacityConstraint"],
+    ) -> None:
         if ups_spot_w < 0:
             raise ClearingError(f"negative UPS spot capacity {ups_spot_w}")
         for pdu_id, cap in pdu_spot_w.items():
@@ -118,40 +198,130 @@ class MarketClearing:
                 raise ClearingError(
                     f"negative capacity for constraint {constraint.name}"
                 )
-        if not bids:
-            return AllocationResult.empty()
 
-        tol = 1e-9
+    # -- columnar path --------------------------------------------------
+
+    def _clear_frame(
+        self,
+        frame: BidFrame,
+        pdu_spot_w: Mapping[str, float],
+        ups_spot_w: float,
+        extra_constraints: Sequence["CapacityConstraint"],
+    ) -> AllocationResult:
+        prices = self.candidate_prices(frame)
+        pdu_caps = np.array([pdu_spot_w.get(p, 0.0) for p in frame.pdu_ids])
+
+        # Bid admission (vectorised): a bid whose demand exceeds the
+        # per-grant ceiling min(rack headroom, PDU spot, UPS spot) at
+        # EVERY acceptable price can never be satisfied; reject up front
+        # so one hopeless bid does not blank the whole market.
+        ceiling = np.minimum(frame.rack_cap_w, pdu_caps[frame.pdu_code])
+        np.minimum(ceiling, ups_spot_w, out=ceiling)
+        for constraint in extra_constraints:
+            rows = frame.rows_for(constraint.rack_ids)
+            if rows.size:
+                ceiling[rows] = np.minimum(ceiling[rows], constraint.cap_w)
+        rejected = frame.floor_w > ceiling + _TOL
+        if rejected.all():
+            # Priced out, not silent: every rejected rack still appears
+            # with a zero grant.
+            return AllocationResult(
+                price=float(prices[-1]) + self.params.price_step,
+                grants_w={rid: 0.0 for rid in frame.rack_ids},
+                revenue_rate=0.0,
+                candidate_prices=int(prices.size),
+                feasible_prices=0,
+            )
+        if rejected.any():
+            rejected_ids = [
+                frame.rack_ids[int(i)] for i in np.flatnonzero(rejected)
+            ]
+            admitted = frame.select(np.flatnonzero(~rejected))
+        else:
+            rejected_ids = []
+            admitted = frame
+
+        # Demand accumulation: a breakpoint sweep over the price grid —
+        # O(n log P) scatter + one cumsum per aggregate — instead of
+        # materialising the (n_bids, n_prices) demand matrix (see
+        # BidFrame.demand_totals).  Constraint groups accumulate
+        # alongside the per-PDU totals.
+        extra_caps = np.array([c.cap_w for c in extra_constraints])
+        member_rows = [admitted.rows_for(c.rack_ids) for c in extra_constraints]
+        pdu_demand, extra_demand = admitted.demand_totals(prices, member_rows)
+        total_demand = pdu_demand.sum(axis=0)
+
+        feasible = (total_demand <= ups_spot_w + _TOL) & np.all(
+            pdu_demand <= pdu_caps[:, None] + _TOL, axis=0
+        )
+        if extra_constraints:
+            feasible &= np.all(
+                extra_demand <= extra_caps[:, None] + _TOL, axis=0
+            )
+        n_feasible = int(feasible.sum())
+        if n_feasible == 0:
+            # The scan grid ends at the highest acceptable bid price where
+            # demand may still be positive; above it demand is zero, which
+            # is always feasible.  Profit there is zero.
+            return AllocationResult.empty(
+                price=float(prices[-1]) + self.params.price_step
+            )
+
+        revenue_rate = prices * total_demand / 1000.0  # $/h
+        revenue_rate = np.where(feasible, revenue_rate, -np.inf)
+        best = int(np.argmax(revenue_rate))  # argmax returns lowest index on ties
+        best_price = float(prices[best])
+
+        # Grant extraction: one demand-vector evaluation at the clearing
+        # price, zipped straight into the result.
+        granted = admitted.demand_at(best_price)
+        grants = dict(zip(admitted.rack_ids, granted.tolist()))
+        # Rejected bids appear with a zero grant (priced out, not silent).
+        for rack_id in rejected_ids:
+            grants[rack_id] = 0.0
+        return AllocationResult(
+            price=best_price,
+            grants_w=grants,
+            revenue_rate=float(max(revenue_rate[best], 0.0)),
+            candidate_prices=int(prices.size),
+            feasible_prices=n_feasible,
+        )
+
+    # -- legacy object path ---------------------------------------------
+
+    def _clear_objects(
+        self,
+        bids: Sequence[RackBid],
+        pdu_spot_w: Mapping[str, float],
+        ups_spot_w: float,
+        extra_constraints: Sequence["CapacityConstraint"],
+    ) -> AllocationResult:
         prices = self.candidate_prices(bids)
         pdu_ids = sorted({bid.pdu_id for bid in bids})
         pdu_index = {pdu_id: i for i, pdu_id in enumerate(pdu_ids)}
         pdu_caps = np.array([pdu_spot_w.get(p, 0.0) for p in pdu_ids])
 
-        # Bid admission: a bid whose demand exceeds the per-grant ceiling
-        # min(rack headroom, PDU spot, UPS spot) at EVERY acceptable price
-        # can never be satisfied (all-or-nothing or floor-bound demand
-        # bigger than the headroom).  Such bids are rejected up front —
-        # otherwise no price would be feasible and the single uniform
-        # price would blank the whole market, including other PDUs.
+        # Bid admission; the per-PDU grant ceilings min(PDU spot, UPS
+        # spot) are hoisted out of the per-bid loop.
+        pdu_ceiling = {
+            pdu_id: min(pdu_spot_w.get(pdu_id, 0.0), ups_spot_w)
+            for pdu_id in pdu_ids
+        }
         admitted = []
         rejected_ids = []
         for bid in bids:
-            ceiling = min(
-                bid.rack_cap_w, pdu_spot_w.get(bid.pdu_id, 0.0), ups_spot_w
-            )
+            ceiling = min(bid.rack_cap_w, pdu_ceiling[bid.pdu_id])
             for constraint in extra_constraints:
                 if bid.rack_id in constraint.rack_ids:
                     ceiling = min(ceiling, constraint.cap_w)
             floor_demand = min(
                 bid.demand.demand_at(bid.demand.max_price), bid.rack_cap_w
             )
-            if floor_demand > ceiling + tol:
+            if floor_demand > ceiling + _TOL:
                 rejected_ids.append(bid.rack_id)
             else:
                 admitted.append(bid)
         if not admitted:
-            # Priced out, not silent: every rejected rack still appears
-            # with a zero grant.
             return AllocationResult(
                 price=float(prices[-1]) + self.params.price_step,
                 grants_w={rack_id: 0.0 for rack_id in rejected_ids},
@@ -162,9 +332,6 @@ class MarketClearing:
 
         # Accumulate rack demand into per-PDU totals across the whole
         # grid; extra constraint groups (phase/heat) accumulate alongside.
-        # LinearBids (the overwhelmingly common case) take a fully
-        # vectorised path — all bids at once, chunked to bound memory —
-        # which is what keeps 15,000-rack scans sub-second (Fig. 7b).
         pdu_demand = np.zeros((len(pdu_ids), prices.size))
         extra_demand = np.zeros((len(extra_constraints), prices.size))
         extra_caps = np.array([c.cap_w for c in extra_constraints])
@@ -189,18 +356,15 @@ class MarketClearing:
                     extra_demand[k] += demand
         total_demand = pdu_demand.sum(axis=0)
 
-        feasible = (total_demand <= ups_spot_w + tol) & np.all(
-            pdu_demand <= pdu_caps[:, None] + tol, axis=0
+        feasible = (total_demand <= ups_spot_w + _TOL) & np.all(
+            pdu_demand <= pdu_caps[:, None] + _TOL, axis=0
         )
         if extra_constraints:
             feasible &= np.all(
-                extra_demand <= extra_caps[:, None] + tol, axis=0
+                extra_demand <= extra_caps[:, None] + _TOL, axis=0
             )
         n_feasible = int(feasible.sum())
         if n_feasible == 0:
-            # The scan grid ends at the highest acceptable bid price where
-            # demand may still be positive; above it demand is zero, which
-            # is always feasible.  Profit there is zero.
             return AllocationResult.empty(
                 price=float(prices[-1]) + self.params.price_step
             )
@@ -216,7 +380,6 @@ class MarketClearing:
             )
             for bid in admitted
         }
-        # Rejected bids appear with a zero grant (priced out, not silent).
         for rack_id in rejected_ids:
             grants[rack_id] = 0.0
         return AllocationResult(
@@ -226,7 +389,6 @@ class MarketClearing:
             candidate_prices=int(prices.size),
             feasible_prices=n_feasible,
         )
-
 
     @staticmethod
     def _accumulate_linear(
@@ -238,7 +400,7 @@ class MarketClearing:
         extra_demand: np.ndarray,
         chunk: int = 2048,
     ) -> None:
-        """Vectorised demand accumulation for LinearBid bids.
+        """Vectorised demand accumulation for LinearBid bids (object path).
 
         Evaluates all bids' piece-wise linear curves over the whole price
         grid with one broadcasted expression per chunk (memory is bounded
@@ -281,9 +443,13 @@ class MarketClearing:
                 if local.size:
                     extra_demand[k] += demand[local - start].sum(axis=0)
 
+    # ------------------------------------------------------------------
+    # Locational (per-PDU) pricing
+    # ------------------------------------------------------------------
+
     def clear_per_pdu(
         self,
-        bids: Sequence[RackBid],
+        bids: "Sequence[RackBid] | BidFrame",
         pdu_spot_w: Mapping[str, float],
         ups_spot_w: float,
         extra_constraints: Sequence["CapacityConstraint"] = (),
@@ -305,6 +471,9 @@ class MarketClearing:
         apportioned caps never exceeds ``P_o`` (Eq. 4 holds by
         construction).
 
+        On the columnar path each PDU's market is a contiguous *frame
+        slice*; no per-slot object regrouping happens.
+
         Returns:
             A combined allocation whose ``pdu_prices`` carries each
             PDU's clearing price; the headline ``price`` is the
@@ -312,11 +481,114 @@ class MarketClearing:
         """
         if ups_spot_w < 0:
             raise ClearingError(f"negative UPS spot capacity {ups_spot_w}")
-        if not bids:
+        if not len(bids):
             return AllocationResult.empty()
+        if isinstance(bids, BidFrame):
+            return self._clear_per_pdu_frame(
+                bids, pdu_spot_w, ups_spot_w, extra_constraints
+            )
+        if self.columnar:
+            return self._clear_per_pdu_frame(
+                BidFrame.from_bids(bids), pdu_spot_w, ups_spot_w, extra_constraints
+            )
+        return self._clear_per_pdu_objects(
+            bids, pdu_spot_w, ups_spot_w, extra_constraints
+        )
+
+    def _clear_per_pdu_frame(
+        self,
+        frame: BidFrame,
+        pdu_spot_w: Mapping[str, float],
+        ups_spot_w: float,
+        extra_constraints: Sequence["CapacityConstraint"],
+    ) -> AllocationResult:
+        servable = np.minimum(frame.max_demand_w, frame.rack_cap_w)
+        max_demand = (
+            {rid: float(v) for rid, v in zip(frame.rack_ids, servable)}
+            if extra_constraints
+            else {}
+        )
+        starts, seg_codes = frame.segments()
+        local_interest = np.add.reduceat(servable, starts)
+        interest = {
+            frame.pdu_ids[int(seg)]: min(
+                pdu_spot_w.get(frame.pdu_ids[int(seg)], 0.0), float(total)
+            )
+            for seg, total in zip(seg_codes, local_interest)
+        }
+        total_interest = sum(interest.values())
+
+        grants: dict[str, float] = {}
+        pdu_prices: dict[str, float] = {}
+        revenue_rate = 0.0
+        candidates = 0
+        feasible = 0
+        for pdu_id, sub in frame.pdu_slices():
+            local_cap = pdu_spot_w.get(pdu_id, 0.0)
+            if total_interest > ups_spot_w and total_interest > 0:
+                local_cap = min(
+                    local_cap, ups_spot_w * interest[pdu_id] / total_interest
+                )
+            local_constraints = (
+                _localize_constraints(
+                    extra_constraints,
+                    set(sub.rack_ids),
+                    max_demand,
+                )
+                if extra_constraints
+                else ()
+            )
+            local = self._clear_frame(
+                sub, {pdu_id: local_cap}, local_cap, local_constraints
+            )
+            grants.update(local.grants_w)
+            pdu_prices[pdu_id] = local.price
+            revenue_rate += local.revenue_rate
+            candidates += local.candidate_prices
+            feasible += local.feasible_prices
+
+        granted = np.fromiter(
+            (grants.get(rid, 0.0) for rid in frame.rack_ids),
+            dtype=float,
+            count=len(frame),
+        )
+        total = float(granted.sum())
+        if total > 0:
+            row_prices = np.fromiter(
+                (pdu_prices[p] for p in frame.pdu_ids),
+                dtype=float,
+                count=len(frame.pdu_ids),
+            )[frame.pdu_code]
+            headline = float((row_prices * granted).sum()) / total
+        else:
+            headline = 0.0
+        return AllocationResult(
+            price=headline,
+            grants_w=grants,
+            revenue_rate=revenue_rate,
+            candidate_prices=candidates,
+            feasible_prices=feasible,
+            pdu_prices=pdu_prices,
+        )
+
+    def _clear_per_pdu_objects(
+        self,
+        bids: Sequence[RackBid],
+        pdu_spot_w: Mapping[str, float],
+        ups_spot_w: float,
+        extra_constraints: Sequence["CapacityConstraint"],
+    ) -> AllocationResult:
         by_pdu: dict[str, list[RackBid]] = {}
         for bid in bids:
             by_pdu.setdefault(bid.pdu_id, []).append(bid)
+        max_demand = (
+            {
+                bid.rack_id: min(bid.demand.max_demand_w, bid.rack_cap_w)
+                for bid in bids
+            }
+            if extra_constraints
+            else {}
+        )
 
         interest = {
             pdu_id: min(
@@ -340,10 +612,16 @@ class MarketClearing:
                 local_cap = min(
                     local_cap, ups_spot_w * interest[pdu_id] / total_interest
                 )
-            local_constraints = _localize_constraints(
-                extra_constraints, pdu_bids, bids
+            local_constraints = (
+                _localize_constraints(
+                    extra_constraints,
+                    {bid.rack_id for bid in pdu_bids},
+                    max_demand,
+                )
+                if extra_constraints
+                else ()
             )
-            local = self.clear(
+            local = self._clear_objects(
                 pdu_bids, {pdu_id: local_cap}, local_cap, local_constraints
             )
             grants.update(local.grants_w)
@@ -373,23 +651,20 @@ class MarketClearing:
 
 def _localize_constraints(
     extra_constraints: Sequence["CapacityConstraint"],
-    pdu_bids: Sequence[RackBid],
-    all_bids: Sequence[RackBid],
+    local_ids: set[str],
+    max_demand: Mapping[str, float],
 ):
     """Restrict rack-set constraints to one PDU's local market.
 
     Phase-balance constraints live within a single PDU, so they localize
     exactly.  A heat zone spanning several PDUs is apportioned by local
     maximum-demand share — a conservative decomposition (the per-PDU
-    shares always sum to at most the zone cap).
+    shares always sum to at most the zone cap).  Both clearing paths
+    call this with the same rack → servable-demand mapping, so the
+    apportioned caps are bit-identical.
     """
     from repro.infrastructure.constraints import CapacityConstraint
 
-    local_ids = {bid.rack_id for bid in pdu_bids}
-    max_demand = {
-        bid.rack_id: min(bid.demand.max_demand_w, bid.rack_cap_w)
-        for bid in all_bids
-    }
     localized = []
     for constraint in extra_constraints:
         members_here = constraint.rack_ids & local_ids
@@ -414,7 +689,7 @@ def _localize_constraints(
 
 
 def clear_market(
-    bids: Sequence[RackBid],
+    bids: "Sequence[RackBid] | BidFrame",
     pdu_spot_w: Mapping[str, float],
     ups_spot_w: float,
     params: MarketParameters | None = None,
@@ -424,7 +699,7 @@ def clear_market(
     """Convenience one-shot clearing with default engine settings.
 
     Args:
-        bids: Flattened per-rack bids.
+        bids: Flattened per-rack bids (sequence or :class:`BidFrame`).
         pdu_spot_w: Predicted spot capacity per PDU.
         ups_spot_w: Predicted facility spot capacity.
         params: Market knobs.

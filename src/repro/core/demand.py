@@ -27,7 +27,13 @@ import numpy as np
 
 from repro.errors import BidError
 
-__all__ = ["DemandFunction", "LinearBid", "StepBid", "FullBid"]
+__all__ = [
+    "DemandFunction",
+    "LinearBid",
+    "StepBid",
+    "FullBid",
+    "demand_matrix",
+]
 
 
 class DemandFunction(abc.ABC):
@@ -299,3 +305,65 @@ class FullBid(DemandFunction):
             f"FullBid(points={self._demands.size}, "
             f"max_demand_w={self.max_demand_w:.1f}, max_price={self.max_price:.4f})"
         )
+
+
+def demand_matrix(
+    d_max_w: np.ndarray,
+    q_min: np.ndarray,
+    d_min_w: np.ndarray,
+    q_max: np.ndarray,
+    rack_cap_w: np.ndarray,
+    prices: np.ndarray,
+    sampled_rows: np.ndarray | None = None,
+    sampled_demands: Sequence[DemandFunction] = (),
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Evaluate a whole bid column-set over a price grid in one kernel.
+
+    This is the market core's hot demand kernel: given the columnar bid
+    parameters of a :class:`~repro.core.frame.BidFrame`, it produces the
+    rack-clipped ``(n_bids, n_prices)`` demand matrix with the *exact*
+    arithmetic of :meth:`LinearBid.demand_grid` / :meth:`StepBid.demand_grid`
+    (StepBid rows are encoded as the degenerate ``q_min == q_max`` linear
+    curve, which evaluates identically).  Rows whose demand has no closed
+    form (``FullBid`` and custom :class:`DemandFunction` subclasses) are
+    listed in ``sampled_rows`` and sampled through their own
+    :meth:`~DemandFunction.demand_grid`.
+
+    Args:
+        d_max_w / q_min / d_min_w / q_max: Piece-wise linear parameters,
+            one entry per bid row (values for sampled rows are ignored).
+        rack_cap_w: Physical rack headroom per row; clips every demand.
+        prices: Ascending price grid, shape ``(n_prices,)``.
+        sampled_rows: Row indices evaluated through ``sampled_demands``.
+        sampled_demands: Demand objects aligned with ``sampled_rows``.
+        out: Optional preallocated ``(n_bids, n_prices)`` output buffer —
+            reused across price chunks to avoid re-allocation.
+
+    Returns:
+        The clipped demand matrix (``out`` when provided).
+    """
+    n = d_max_w.shape[0]
+    prices = np.asarray(prices, dtype=float)
+    if out is None:
+        out = np.empty((n, prices.size))
+    span = q_max - q_min
+    degenerate = span <= 0
+    # Mirrors LinearBid.demand_grid / the legacy vectorised path step for
+    # step: same operations in the same order, so the two clearing paths
+    # produce bit-identical per-bid demand.
+    with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+        frac = np.clip(
+            (prices[None, :] - q_min[:, None])
+            / np.where(degenerate, 1.0, span)[:, None],
+            0.0,
+            1.0,
+        )
+    demand = d_max_w[:, None] + frac * (d_min_w - d_max_w)[:, None]
+    demand = np.where(degenerate[:, None], d_max_w[:, None], demand)
+    demand = np.where(prices[None, :] <= q_max[:, None], demand, 0.0)
+    np.minimum(demand, rack_cap_w[:, None], out=out)
+    if sampled_rows is not None and sampled_rows.size:
+        for row, fn in zip(sampled_rows, sampled_demands):
+            np.minimum(fn.demand_grid(prices), rack_cap_w[row], out=out[row])
+    return out

@@ -1,0 +1,730 @@
+"""Columnar bid representation: the ``BidFrame`` struct-of-arrays.
+
+The clearing engine's hot path used to walk Python :class:`RackBid`
+objects one at a time — admission, PDU grouping, demand accumulation,
+and grant extraction all scaled with rack count in *interpreter* time.
+A :class:`BidFrame` stores one slot's bids as flat, aligned ndarrays
+(struct-of-arrays) so every stage of the pipeline — candidate-grid
+construction, admission masking, the ``(n_bids, n_prices)`` demand
+kernel, per-PDU segment sums, and grant extraction — runs in ndarray
+time instead (paper Fig. 7b: 15,000 racks cleared in well under a
+second at a 0.1 ¢/kW price step).
+
+Design points:
+
+* **Rows are sorted by PDU** (stably, preserving submission order within
+  a PDU), so per-PDU demand totals are contiguous segment sums
+  (``np.add.reduceat``) rather than scattered ``np.add.at`` updates, and
+  per-PDU locational clearing slices the frame instead of regrouping
+  objects.
+* **The object API stays**: :meth:`BidFrame.from_bids` /
+  :meth:`BidFrame.to_bids` form a thin adapter, so tenants, enforcement,
+  faults, and settlement keep speaking :class:`RackBid`.
+* ``LinearBid`` and ``StepBid`` rows evaluate through the exact
+  closed-form kernel (:func:`repro.core.demand.demand_matrix`);
+  ``FullBid`` and custom demand functions are *sampled* onto the price
+  grid through their own ``demand_grid``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.bids import RackBid
+from repro.core.demand import (
+    DemandFunction,
+    LinearBid,
+    StepBid,
+    demand_matrix,
+)
+
+__all__ = ["BidFrame"]
+
+#: Row kinds: closed-form rows evaluate through the vectorised kernel;
+#: sampled rows go through their demand object's ``demand_grid``.
+KIND_CLOSED = 0
+KIND_SAMPLED = 1
+
+
+class BidFrame:
+    """One slot's rack bids as aligned columns, sorted by PDU.
+
+    Build with :meth:`from_bids` (adapter from the object API) or
+    :meth:`from_arrays` (directly columnar, e.g. synthetic benchmark
+    fleets).  All columns share row order; rows are grouped by PDU.
+
+    Attributes:
+        rack_ids: Rack id per row.
+        pdu_ids: Unique PDU ids (sorted); ``pdu_code`` indexes into it.
+        pdu_code: Per-row index into ``pdu_ids``.
+        tenant_ids: Unique tenant ids; ``tenant_code`` indexes into it.
+        tenant_code: Per-row index into ``tenant_ids``.
+        kind: Per-row evaluation kind (closed-form vs sampled).
+        d_max_w / q_min / d_min_w / q_max: Piece-wise linear bid columns
+            (StepBid encoded as the degenerate ``q_min == q_max`` curve;
+            for sampled rows only ``q_max`` — the max acceptable price —
+            is meaningful).
+        rack_cap_w: Physical rack spot headroom per row (Eq. 2 clip).
+        max_demand_w: Demand at zero price per row.
+        floor_w: Rack-clipped demand at the row's own maximum acceptable
+            price — the least capacity the bid must receive at *any*
+            acceptable price (drives admission).
+    """
+
+    __slots__ = (
+        "rack_ids",
+        "pdu_ids",
+        "pdu_code",
+        "tenant_ids",
+        "tenant_code",
+        "kind",
+        "d_max_w",
+        "q_min",
+        "d_min_w",
+        "q_max",
+        "rack_cap_w",
+        "max_demand_w",
+        "floor_w",
+        "breakpoints",
+        "_demands",
+        "_bids",
+        "_row_of",
+        "_segments",
+        "_sampled_rows",
+    )
+
+    def __init__(
+        self,
+        rack_ids: tuple[str, ...],
+        pdu_ids: tuple[str, ...],
+        pdu_code: np.ndarray,
+        tenant_ids: tuple[str, ...],
+        tenant_code: np.ndarray,
+        kind: np.ndarray,
+        d_max_w: np.ndarray,
+        q_min: np.ndarray,
+        d_min_w: np.ndarray,
+        q_max: np.ndarray,
+        rack_cap_w: np.ndarray,
+        max_demand_w: np.ndarray,
+        floor_w: np.ndarray,
+        breakpoints: np.ndarray,
+        demands: tuple[DemandFunction | None, ...],
+        bids: tuple[RackBid, ...] | None,
+    ) -> None:
+        self.rack_ids = rack_ids
+        self.pdu_ids = pdu_ids
+        self.pdu_code = pdu_code
+        self.tenant_ids = tenant_ids
+        self.tenant_code = tenant_code
+        self.kind = kind
+        self.d_max_w = d_max_w
+        self.q_min = q_min
+        self.d_min_w = d_min_w
+        self.q_max = q_max
+        self.rack_cap_w = rack_cap_w
+        self.max_demand_w = max_demand_w
+        self.floor_w = floor_w
+        self.breakpoints = breakpoints
+        self._demands = demands
+        self._bids = bids
+        self._row_of: dict[str, int] | None = None
+        self._segments: tuple[np.ndarray, np.ndarray] | None = None
+        self._sampled_rows: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_bids(cls, bids: Sequence[RackBid]) -> "BidFrame":
+        """Build the columnar frame from object bids (the slot adapter).
+
+        Called once per slot; every downstream stage (admission, demand
+        evaluation, clearing, billing) then reads columns instead of
+        objects.
+        """
+        n = len(bids)
+        pdu_ids = tuple(sorted({b.pdu_id for b in bids}))
+        pdu_index = {p: i for i, p in enumerate(pdu_ids)}
+        raw_code = np.fromiter(
+            (pdu_index[b.pdu_id] for b in bids), dtype=np.intp, count=n
+        )
+        order = np.argsort(raw_code, kind="stable")
+        ordered = [bids[int(i)] for i in order]
+
+        tenant_ids = tuple(dict.fromkeys(b.tenant_id for b in ordered))
+        tenant_index = {t: i for i, t in enumerate(tenant_ids)}
+
+        kind = np.empty(n, dtype=np.uint8)
+        d_max = np.empty(n)
+        q_min = np.empty(n)
+        d_min = np.empty(n)
+        q_max = np.empty(n)
+        caps = np.empty(n)
+        max_demand = np.empty(n)
+        floor = np.empty(n)
+        demands: list[DemandFunction | None] = []
+        points: list[float] = []
+        for i, b in enumerate(ordered):
+            fn = b.demand
+            caps[i] = b.rack_cap_w
+            # The type checks are deliberately exact: subclasses may
+            # override demand_at/demand_grid, so they must be sampled.
+            if type(fn) is LinearBid:
+                kind[i] = KIND_CLOSED
+                d_max[i] = fn.d_max_w
+                q_min[i] = fn.q_min
+                d_min[i] = fn.d_min_w
+                q_max[i] = fn.q_max
+                max_demand[i] = fn.d_max_w
+                demands.append(None)
+            elif type(fn) is StepBid:
+                kind[i] = KIND_CLOSED
+                d_max[i] = fn.demand_w
+                d_min[i] = fn.demand_w
+                q_min[i] = fn.price_cap
+                q_max[i] = fn.price_cap
+                max_demand[i] = fn.demand_w
+                demands.append(None)
+            else:
+                kind[i] = KIND_SAMPLED
+                d_max[i] = 0.0
+                d_min[i] = 0.0
+                q_min[i] = 0.0
+                q_max[i] = fn.max_price
+                max_demand[i] = fn.max_demand_w
+                demands.append(fn)
+            # Grid augmentation points, collected exactly as the object
+            # path does (public curve attributes only).
+            for attr in ("q_min", "q_max", "price_cap"):
+                value = getattr(fn, attr, None)
+                if value is not None:
+                    points.append(float(value))
+        # Rack-clipped demand at each row's own max acceptable price,
+        # with the same float arithmetic as demand_at(max_price).
+        for i, b in enumerate(ordered):
+            if kind[i] == KIND_CLOSED:
+                at_cap = (
+                    d_max[i]
+                    if q_max[i] <= q_min[i]
+                    else d_max[i] + (d_min[i] - d_max[i])
+                )
+            else:
+                at_cap = b.demand.demand_at(b.demand.max_price)
+            floor[i] = min(at_cap, caps[i])
+        return cls(
+            rack_ids=tuple(b.rack_id for b in ordered),
+            pdu_ids=pdu_ids,
+            pdu_code=raw_code[order],
+            tenant_ids=tenant_ids,
+            tenant_code=np.fromiter(
+                (tenant_index[b.tenant_id] for b in ordered),
+                dtype=np.intp,
+                count=n,
+            ),
+            kind=kind,
+            d_max_w=d_max,
+            q_min=q_min,
+            d_min_w=d_min,
+            q_max=q_max,
+            rack_cap_w=caps,
+            max_demand_w=max_demand,
+            floor_w=floor,
+            breakpoints=np.asarray(points, dtype=float),
+            demands=tuple(demands),
+            bids=tuple(ordered),
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        rack_ids: Sequence[str],
+        pdu_ids: Sequence[str],
+        tenant_ids: Sequence[str],
+        d_max_w: Iterable[float],
+        q_min: Iterable[float],
+        d_min_w: Iterable[float],
+        q_max: Iterable[float],
+        rack_cap_w: Iterable[float],
+    ) -> "BidFrame":
+        """Build a frame of LinearBid rows directly from columns.
+
+        ``pdu_ids`` / ``tenant_ids`` here are *per-row* (parallel to
+        ``rack_ids``); the frame deduplicates them into its code tables.
+        No :class:`RackBid` objects are materialised — :meth:`to_bids`
+        creates them lazily if ever asked.
+        """
+        d_max = np.ascontiguousarray(d_max_w, dtype=float)
+        n = d_max.shape[0]
+        unique_pdus = tuple(sorted(set(pdu_ids)))
+        pdu_index = {p: i for i, p in enumerate(unique_pdus)}
+        raw_code = np.fromiter(
+            (pdu_index[p] for p in pdu_ids), dtype=np.intp, count=n
+        )
+        order = np.argsort(raw_code, kind="stable")
+        rack_col = tuple(rack_ids[int(i)] for i in order)
+        tenant_col = [tenant_ids[int(i)] for i in order]
+        unique_tenants = tuple(dict.fromkeys(tenant_col))
+        tenant_index = {t: i for i, t in enumerate(unique_tenants)}
+        d_max = d_max[order]
+        q_lo = np.ascontiguousarray(q_min, dtype=float)[order]
+        d_min = np.ascontiguousarray(d_min_w, dtype=float)[order]
+        q_hi = np.ascontiguousarray(q_max, dtype=float)[order]
+        caps = np.ascontiguousarray(rack_cap_w, dtype=float)[order]
+        floor = np.minimum(
+            np.where(q_hi <= q_lo, d_max, d_max + (d_min - d_max)), caps
+        )
+        return cls(
+            rack_ids=rack_col,
+            pdu_ids=unique_pdus,
+            pdu_code=raw_code[order],
+            tenant_ids=unique_tenants,
+            tenant_code=np.fromiter(
+                (tenant_index[t] for t in tenant_col), dtype=np.intp, count=n
+            ),
+            kind=np.zeros(n, dtype=np.uint8),
+            d_max_w=d_max,
+            q_min=q_lo,
+            d_min_w=d_min,
+            q_max=q_hi,
+            rack_cap_w=caps,
+            max_demand_w=d_max,
+            floor_w=floor,
+            breakpoints=np.concatenate([q_lo, q_hi]),
+            demands=(None,) * n,
+            bids=None,
+        )
+
+    # ------------------------------------------------------------------
+    # Adapter back to the object API
+    # ------------------------------------------------------------------
+
+    def to_bids(self) -> tuple[RackBid, ...]:
+        """The frame's rows as :class:`RackBid` objects (frame row order).
+
+        Frames built by :meth:`from_bids` return the original objects;
+        array-built frames materialise equivalent ``LinearBid`` rows.
+        """
+        if self._bids is None:
+            self._bids = tuple(
+                RackBid(
+                    rack_id=self.rack_ids[i],
+                    pdu_id=self.pdu_ids[int(self.pdu_code[i])],
+                    tenant_id=self.tenant_ids[int(self.tenant_code[i])],
+                    demand=(
+                        self._demands[i]
+                        if self._demands[i] is not None
+                        else LinearBid(
+                            float(self.d_max_w[i]),
+                            float(self.q_min[i]),
+                            float(self.d_min_w[i]),
+                            float(self.q_max[i]),
+                        )
+                    ),
+                    rack_cap_w=float(self.rack_cap_w[i]),
+                )
+                for i in range(len(self))
+            )
+        return self._bids
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rack_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"BidFrame(bids={len(self)}, pdus={len(self.pdu_ids)}, "
+            f"tenants={len(self.tenant_ids)})"
+        )
+
+    @property
+    def row_of(self) -> dict[str, int]:
+        """Rack id → row index (built lazily, cached)."""
+        if self._row_of is None:
+            self._row_of = {rid: i for i, rid in enumerate(self.rack_ids)}
+        return self._row_of
+
+    def rows_for(self, rack_ids: Iterable[str]) -> np.ndarray:
+        """Sorted row indices of the racks present in this frame."""
+        row_of = self.row_of
+        rows = [row_of[r] for r in rack_ids if r in row_of]
+        rows.sort()
+        return np.asarray(rows, dtype=np.intp)
+
+    def segments(self) -> tuple[np.ndarray, np.ndarray]:
+        """Contiguous per-PDU row segments: ``(starts, segment_codes)``.
+
+        ``starts`` are the first-row indices of each non-empty PDU run
+        (suitable for ``np.add.reduceat``); ``segment_codes`` maps each
+        run back to its index in :attr:`pdu_ids`.
+        """
+        if self._segments is None:
+            boundaries = np.flatnonzero(np.diff(self.pdu_code)) + 1
+            starts = np.concatenate([[0], boundaries])
+            self._segments = (starts, self.pdu_code[starts])
+        return self._segments
+
+    @property
+    def sampled_rows(self) -> np.ndarray:
+        """Row indices that must be sampled through their demand object."""
+        if self._sampled_rows is None:
+            self._sampled_rows = np.flatnonzero(self.kind == KIND_SAMPLED)
+        return self._sampled_rows
+
+    def max_acceptable_price(self) -> float:
+        """Highest price any row still demands at (scan upper bound)."""
+        return float(self.q_max.max()) if len(self) else 0.0
+
+    # ------------------------------------------------------------------
+    # Demand evaluation
+    # ------------------------------------------------------------------
+
+    def demand_matrix(
+        self, prices: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Rack-clipped ``(n_bids, n_prices)`` demand over a price grid."""
+        rows = self.sampled_rows
+        return demand_matrix(
+            self.d_max_w,
+            self.q_min,
+            self.d_min_w,
+            self.q_max,
+            self.rack_cap_w,
+            prices,
+            sampled_rows=rows,
+            sampled_demands=tuple(self._demands[int(r)] for r in rows),
+            out=out,
+        )
+
+    def demand_at(self, price: float) -> np.ndarray:
+        """Rack-clipped demand vector at one price (grant extraction)."""
+        return self.demand_matrix(np.array([float(price)]))[:, 0]
+
+    def pdu_demand(
+        self, demand: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Per-PDU totals of a ``(n_bids, n_prices)`` demand block.
+
+        Rows are PDU-sorted, so this is a contiguous segment sum — the
+        columnar replacement for the object path's per-bid scatter adds.
+        """
+        if out is None:
+            out = np.zeros((len(self.pdu_ids), demand.shape[1]))
+        starts, seg_codes = self.segments()
+        out[seg_codes] = np.add.reduceat(demand, starts, axis=0)
+        return out
+
+    def demand_totals(
+        self,
+        prices: np.ndarray,
+        group_rows: "Sequence[np.ndarray]" = (),
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Aggregate rack-clipped demand over an ascending price grid.
+
+        This is the clearing scan's workhorse.  Materialising the full
+        ``(n_bids, n_prices)`` demand matrix and summing it is O(n x P)
+        in both time and memory traffic; but each closed-form row is
+        piece-wise *linear* in price — flat at ``min(d_max, cap)``, one
+        descending segment, then zero — so its contribution to a total
+        is three breakpoints.  The totals are therefore built as
+        difference arrays over the grid (slope/intercept increments at
+        each row's breakpoint indices) and integrated with one
+        ``cumsum`` per aggregate: O(n log P + n_aggregates x P).
+
+        An exact integer count of active rows per grid cell pins totals
+        to exactly 0.0 where no row demands anything — float cancellation
+        noise there could otherwise masquerade as revenue.  Sampled rows
+        (``FullBid`` and custom curves) are evaluated through their own
+        ``demand_grid`` and added in.
+
+        Args:
+            prices: Ascending candidate price grid, shape ``(P,)``.
+            group_rows: For each extra constraint group, the frame row
+                indices of its member racks.
+
+        Returns:
+            ``(pdu_demand, group_demand)`` with shapes
+            ``(n_pdus, P)`` and ``(len(group_rows), P)``.
+        """
+        prices = np.asarray(prices, dtype=float)
+        n_prices = prices.size
+        n_pdu = len(self.pdu_ids)
+        n_groups = len(group_rows)
+        pdu_demand = np.zeros((n_pdu, n_prices))
+        group_demand = np.zeros((n_groups, n_prices))
+        if not len(self):
+            return pdu_demand, group_demand
+
+        closed = np.flatnonzero(self.kind == KIND_CLOSED)
+        if closed.size:
+            d_max = self.d_max_w[closed]
+            d_min = self.d_min_w[closed]
+            q_lo = self.q_min[closed]
+            q_hi = self.q_max[closed]
+            cap = self.rack_cap_w[closed]
+
+            flat_w = np.minimum(d_max, cap)
+            # Demand is zero strictly above q_max: first grid index past it.
+            j_end = np.searchsorted(prices, q_hi, side="right")
+            span = q_hi - q_lo
+            safe_span = np.where(span > 0, span, 1.0)
+            slope = np.where(span > 0, (d_min - d_max) / safe_span, 0.0)
+            # A descending segment exists only when the curve actually
+            # falls and the rack cap does not flatten it entirely.
+            sloped = (slope < 0) & (cap > d_min)
+            intercept = d_max - slope * q_lo
+            # Where the rack cap cuts the descending segment, the row
+            # stays flat (at the cap) until the line drops below it.
+            safe_slope = np.where(slope < 0, slope, -1.0)
+            # Near-flat curves make this quotient overflow to +/-inf;
+            # searchsorted and the clamp below absorb either extreme.
+            with np.errstate(over="ignore"):
+                crossing = np.where(
+                    sloped & (cap < d_max),
+                    (cap - intercept) / safe_slope,
+                    q_lo,
+                )
+            j_start = np.minimum(
+                np.searchsorted(
+                    prices, np.maximum(q_lo, crossing), side="right"
+                ),
+                j_end,
+            )
+            # For cap-clipped rows the division can land the crossing a
+            # float-ulp on the wrong side of a grid point; classify the
+            # boundary point by value (j_start must be the first index
+            # where the line is below the cap) so flat cells are exactly
+            # `cap`, matching the object path's min() bit for bit.
+            # Unclipped rows break at q_lo, which searchsorted gets exact.
+            clipped = sloped & (cap < d_max)
+            at_prev = intercept + slope * prices[np.maximum(j_start - 1, 0)]
+            j_start = np.where(
+                clipped & (j_start > 0) & (at_prev < cap),
+                j_start - 1,
+                j_start,
+            )
+            at_here = intercept + slope * prices[np.minimum(j_start, n_prices - 1)]
+            j_start = np.where(
+                clipped & (j_start < j_end) & (at_here >= cap),
+                j_start + 1,
+                j_start,
+            )
+            j_start = np.minimum(j_start, j_end)
+            j_start = np.where(sloped, j_start, j_end)
+            # The active count pins totals to exactly 0.0 where *no row
+            # can demand anything* — so it must exclude zero-size rows
+            # and, for curves falling to d_min == 0, the q_max grid
+            # point itself (demand there is exactly zero).  Otherwise
+            # cumsum cancellation residue (~1e-16) from other rows'
+            # add/remove pairs survives the mask and masquerades as
+            # revenue in empty regions of the scan.
+            counted = flat_w > 0
+            j_count = np.where(
+                sloped & (d_min == 0.0),
+                np.searchsorted(prices, q_hi, side="left"),
+                j_end,
+            )
+
+            def scatter(codes, width):
+                """Difference arrays for one aggregation (PDUs or groups)."""
+                d_const = np.zeros((width, n_prices + 1))
+                d_slope = np.zeros((width, n_prices + 1))
+                d_count = np.zeros((width, n_prices + 1), dtype=np.int64)
+                base = np.zeros(width)
+                np.add.at(base, codes, flat_w)
+                d_const[:, 0] += base
+                np.add.at(d_const, (codes, j_start), -flat_w)
+                cnt = np.flatnonzero(counted)
+                counts = np.zeros(width, dtype=np.int64)
+                np.add.at(counts, codes[cnt], 1)
+                d_count[:, 0] += counts
+                np.add.at(d_count, (codes[cnt], j_count[cnt]), -1)
+                lin = np.flatnonzero(sloped)
+                if lin.size:
+                    np.add.at(d_const, (codes[lin], j_start[lin]), intercept[lin])
+                    np.add.at(d_const, (codes[lin], j_end[lin]), -intercept[lin])
+                    np.add.at(d_slope, (codes[lin], j_start[lin]), slope[lin])
+                    np.add.at(d_slope, (codes[lin], j_end[lin]), -slope[lin])
+                total = (
+                    np.cumsum(d_const[:, :n_prices], axis=1)
+                    + np.cumsum(d_slope[:, :n_prices], axis=1) * prices[None, :]
+                )
+                np.maximum(total, 0.0, out=total)
+                total[np.cumsum(d_count[:, :n_prices], axis=1) == 0] = 0.0
+                return total
+
+            pdu_demand += scatter(self.pdu_code[closed], n_pdu)
+            if n_groups:
+                # Map frame rows to their position in the closed subset so
+                # group members reuse the per-row breakpoint columns.
+                pos = np.full(len(self), -1, dtype=np.intp)
+                pos[closed] = np.arange(closed.size, dtype=np.intp)
+                member_idx = []
+                member_code = []
+                for k, rows in enumerate(group_rows):
+                    idx = pos[np.asarray(rows, dtype=np.intp)]
+                    idx = idx[idx >= 0]
+                    member_idx.append(idx)
+                    member_code.append(np.full(idx.size, k, dtype=np.intp))
+                sel = np.concatenate(member_idx) if member_idx else np.empty(0, np.intp)
+                if sel.size:
+                    codes = np.concatenate(member_code)
+                    keep = (
+                        flat_w, j_start, j_end, intercept, slope, sloped,
+                        counted, j_count,
+                    )
+                    (
+                        flat_w, j_start, j_end, intercept, slope, sloped,
+                        counted, j_count,
+                    ) = (a[sel] for a in keep)
+                    group_demand += scatter(codes, n_groups)
+
+        for row in self.sampled_rows:
+            row = int(row)
+            fn = self._demands[row]
+            demand = np.minimum(fn.demand_grid(prices), self.rack_cap_w[row])
+            pdu_demand[int(self.pdu_code[row])] += demand
+            for k, rows in enumerate(group_rows):
+                if row in rows:
+                    group_demand[k] += demand
+        return pdu_demand, group_demand
+
+    # ------------------------------------------------------------------
+    # Slicing
+    # ------------------------------------------------------------------
+
+    def select(self, rows: np.ndarray) -> "BidFrame":
+        """A sub-frame of ``rows`` (ascending), keeping the PDU table."""
+        rows = np.asarray(rows, dtype=np.intp)
+        return BidFrame(
+            rack_ids=tuple(self.rack_ids[int(i)] for i in rows),
+            pdu_ids=self.pdu_ids,
+            pdu_code=self.pdu_code[rows],
+            tenant_ids=self.tenant_ids,
+            tenant_code=self.tenant_code[rows],
+            kind=self.kind[rows],
+            d_max_w=self.d_max_w[rows],
+            q_min=self.q_min[rows],
+            d_min_w=self.d_min_w[rows],
+            q_max=self.q_max[rows],
+            rack_cap_w=self.rack_cap_w[rows],
+            max_demand_w=self.max_demand_w[rows],
+            floor_w=self.floor_w[rows],
+            breakpoints=self._select_breakpoints(rows),
+            demands=tuple(self._demands[int(i)] for i in rows),
+            bids=(
+                tuple(self._bids[int(i)] for i in rows)
+                if self._bids is not None
+                else None
+            ),
+        )
+
+    def _select_breakpoints(self, rows: np.ndarray) -> np.ndarray:
+        """Grid-augmentation points contributed by a subset of rows."""
+        points: list[float] = []
+        for i in rows:
+            i = int(i)
+            if self.kind[i] == KIND_CLOSED:
+                points.append(float(self.q_min[i]))
+                points.append(float(self.q_max[i]))
+            else:
+                fn = self._demands[i]
+                for attr in ("q_min", "q_max", "price_cap"):
+                    value = getattr(fn, attr, None)
+                    if value is not None:
+                        points.append(float(value))
+        return np.asarray(points, dtype=float)
+
+    def pdu_slices(self) -> list[tuple[str, "BidFrame"]]:
+        """Per-PDU sub-frames for locational clearing, frame-sliced.
+
+        Each slice is a single-PDU frame (its ``pdu_code`` re-based to
+        zero) over a contiguous row range — no object regrouping.
+        """
+        starts, seg_codes = self.segments()
+        ends = np.concatenate([starts[1:], [len(self)]])
+        slices: list[tuple[str, BidFrame]] = []
+        for seg, (lo, hi) in zip(seg_codes, zip(starts, ends)):
+            pdu_id = self.pdu_ids[int(seg)]
+            rows = slice(int(lo), int(hi))
+            sub = BidFrame(
+                rack_ids=self.rack_ids[rows],
+                pdu_ids=(pdu_id,),
+                pdu_code=np.zeros(hi - lo, dtype=np.intp),
+                tenant_ids=self.tenant_ids,
+                tenant_code=self.tenant_code[rows],
+                kind=self.kind[rows],
+                d_max_w=self.d_max_w[rows],
+                q_min=self.q_min[rows],
+                d_min_w=self.d_min_w[rows],
+                q_max=self.q_max[rows],
+                rack_cap_w=self.rack_cap_w[rows],
+                max_demand_w=self.max_demand_w[rows],
+                floor_w=self.floor_w[rows],
+                breakpoints=self._select_breakpoints(
+                    np.arange(lo, hi, dtype=np.intp)
+                ),
+                demands=self._demands[rows],
+                bids=self._bids[rows] if self._bids is not None else None,
+            )
+            slices.append((pdu_id, sub))
+        return slices
+
+    # ------------------------------------------------------------------
+    # Settlement
+    # ------------------------------------------------------------------
+
+    def settle(
+        self,
+        grants_w: "Sequence[float] | np.ndarray | dict[str, float]",
+        pdu_prices: "dict[str, float]",
+        headline_price: float,
+        slot_seconds: float,
+        positive_only: bool = False,
+    ) -> tuple[float, dict[str, float]]:
+        """Bill a set of grants: ``(revenue_rate $/h, payments by tenant)``.
+
+        Accepts either a per-row grant vector (frame row order) or a
+        rack-id keyed mapping; racks absent from the mapping pay nothing
+        and do not surface their tenant in the payment dict.  With
+        ``positive_only`` (the revocation path), only strictly positive
+        grants create a tenant entry.
+        """
+        if isinstance(grants_w, dict):
+            grants = np.fromiter(
+                (grants_w.get(rid, 0.0) for rid in self.rack_ids),
+                dtype=float,
+                count=len(self),
+            )
+            billed = np.fromiter(
+                (rid in grants_w for rid in self.rack_ids),
+                dtype=bool,
+                count=len(self),
+            )
+        else:
+            grants = np.asarray(grants_w, dtype=float)
+            billed = np.ones(len(self), dtype=bool)
+        if positive_only:
+            billed = billed & (grants > 0)
+        prices = np.fromiter(
+            (pdu_prices.get(p, headline_price) for p in self.pdu_ids),
+            dtype=float,
+            count=len(self.pdu_ids),
+        )[self.pdu_code]
+        rates = np.where(billed, prices * grants / 1000.0, 0.0)
+        per_tenant = np.zeros(len(self.tenant_ids))
+        np.add.at(per_tenant, self.tenant_code, rates * (slot_seconds / 3600.0))
+        has_entry = np.zeros(len(self.tenant_ids), dtype=bool)
+        has_entry[self.tenant_code[billed]] = True
+        payments = {
+            tid: float(per_tenant[i])
+            for i, tid in enumerate(self.tenant_ids)
+            if has_entry[i]
+        }
+        return float(rates.sum()), payments

@@ -20,6 +20,7 @@ from repro.config import MarketParameters
 from repro.core.allocation import AllocationResult, verify_allocation
 from repro.core.bids import RackBid, flatten_bids
 from repro.core.clearing import MarketClearing
+from repro.core.frame import BidFrame
 from repro.prediction.spot import SpotCapacityForecast
 from repro.tenants.tenant import Tenant
 
@@ -34,11 +35,16 @@ class SlotMarketRecord:
         result: The clearing outcome.
         bids: The flattened rack bids that entered clearing.
         payments: Dollars owed per tenant id for the slot.
+        frame: The columnar view of ``bids`` that was actually cleared
+            (``None`` for allocators that never build one).  Downstream
+            consumers — settlement adjustments, revocation billing —
+            reuse it instead of regrouping objects.
     """
 
     result: AllocationResult
     bids: tuple[RackBid, ...]
     payments: dict[str, float]
+    frame: BidFrame | None = None
 
 
 class Allocator(abc.ABC):
@@ -139,27 +145,38 @@ class SpotDCAllocator(Allocator):
         extra_constraints: Sequence = (),
     ) -> SlotMarketRecord:
         bids = self._collect_bids(slot, tenants, predicted_price)
-        result = self._clear(bids, forecast, extra_constraints)
+        # One columnar build per slot; clearing, verification inputs, and
+        # billing all consume the frame from here on.
+        frame = BidFrame.from_bids(bids)
+        result = self._clear(frame, forecast, extra_constraints)
         if self.oracle_rebid and bids:
             # Fig. 16: strategic tenants re-bid knowing the market price.
             rebids = self._collect_bids(slot, tenants, result.price)
-            result = self._clear(rebids, forecast, extra_constraints)
+            frame = BidFrame.from_bids(rebids)
+            result = self._clear(frame, forecast, extra_constraints)
             bids = rebids
         if self.verify:
             verify_allocation(
                 result,
-                bids,
+                frame.to_bids(),
                 forecast.pdu_spot_w,
                 forecast.ups_spot_w,
                 extra_constraints=extra_constraints,
             )
-        payments = self._payments(result, bids, slot_seconds)
-        return SlotMarketRecord(result=result, bids=tuple(bids), payments=payments)
+        _, payments = frame.settle(
+            result.grants_w, result.pdu_prices, result.price, slot_seconds
+        )
+        return SlotMarketRecord(
+            result=result, bids=tuple(bids), payments=payments, frame=frame
+        )
 
     @staticmethod
     def _payments(
         result: AllocationResult, bids: Sequence[RackBid], slot_seconds: float
     ) -> dict[str, float]:
+        """Object-path billing, kept as the parity reference for
+        :meth:`repro.core.frame.BidFrame.settle` (see
+        ``tests/test_bidframe_parity.py``)."""
         slot_hours = slot_seconds / 3600.0
         payments: dict[str, float] = {}
         bid_of = {bid.rack_id: bid for bid in bids}

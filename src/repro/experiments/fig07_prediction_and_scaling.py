@@ -22,6 +22,7 @@ from repro.config import DEFAULT_SEED, MarketParameters, make_rng
 from repro.core.bids import RackBid
 from repro.core.clearing import MarketClearing
 from repro.core.demand import LinearBid
+from repro.core.frame import BidFrame
 
 __all__ = [
     "PduVariationResult",
@@ -56,12 +57,23 @@ class ClearingTimeResult:
     Attributes:
         rack_counts: Number of bidding racks per column.
         price_steps: Scan step sizes, $/kW/h.
-        mean_seconds: ``mean_seconds[step][racks]`` mean clearing time.
+        mean_seconds: ``mean_seconds[step][racks]`` mean clearing time on
+            the default columnar (:class:`BidFrame`) path, frame prebuilt
+            once per rack count — the per-slot steady state.
+        object_seconds: Same cells timed through the legacy
+            object-at-a-time path (``columnar=False``); empty when the
+            comparison was not requested.
+        frame_build_seconds: ``BidFrame.from_bids`` wall-clock per rack
+            count (the once-per-slot adapter cost).
     """
 
     rack_counts: list[int]
     price_steps: list[float]
     mean_seconds: dict[float, list[float]]
+    object_seconds: dict[float, list[float]] = dataclasses.field(
+        default_factory=dict
+    )
+    frame_build_seconds: list[float] = dataclasses.field(default_factory=list)
 
 
 def run_fig07a(
@@ -154,8 +166,13 @@ def run_fig07b(
     price_steps=(0.001, 0.01),
     repeats: int = 3,
     seed: int = DEFAULT_SEED,
+    compare_object_path: bool = False,
 ) -> ClearingTimeResult:
     """Measure clearing wall-clock time versus scale (Fig. 7b).
+
+    The default timing is the columnar :class:`BidFrame` path with the
+    frame prebuilt per rack count (the per-slot steady state — the frame
+    is built once per slot, then every stage consumes it).
 
     Args:
         rack_counts: Bidding-rack counts to scan (paper: up to 15,000).
@@ -163,11 +180,21 @@ def run_fig07b(
             0.01 ≈ 1 cent/kW match the paper's two curves.
         repeats: Clearing repetitions averaged per cell.
         seed: Bid-generation seed.
+        compare_object_path: Also time the legacy object-at-a-time path
+            on the same cells (``object_seconds``), for the perf
+            trajectory in ``BENCH_clearing.json``.
     """
     rng = make_rng(seed)
     mean_seconds: dict[float, list[float]] = {step: [] for step in price_steps}
+    object_seconds: dict[float, list[float]] = (
+        {step: [] for step in price_steps} if compare_object_path else {}
+    )
+    frame_build_seconds: list[float] = []
     for racks in rack_counts:
         bids, pdu_spot, ups_spot = make_synthetic_bids(racks, rng)
+        start = time.perf_counter()
+        frame = BidFrame.from_bids(bids)
+        frame_build_seconds.append(time.perf_counter() - start)
         for step in price_steps:
             engine = MarketClearing(
                 params=MarketParameters(price_step=step),
@@ -175,13 +202,26 @@ def run_fig07b(
             )
             start = time.perf_counter()
             for _ in range(repeats):
-                engine.clear(bids, pdu_spot, ups_spot)
+                engine.clear(frame, pdu_spot, ups_spot)
             elapsed = (time.perf_counter() - start) / repeats
             mean_seconds[step].append(elapsed)
+            if compare_object_path:
+                legacy = MarketClearing(
+                    params=MarketParameters(price_step=step),
+                    include_breakpoints=False,
+                    columnar=False,
+                )
+                start = time.perf_counter()
+                for _ in range(repeats):
+                    legacy.clear(bids, pdu_spot, ups_spot)
+                elapsed = (time.perf_counter() - start) / repeats
+                object_seconds[step].append(elapsed)
     return ClearingTimeResult(
         rack_counts=list(rack_counts),
         price_steps=list(price_steps),
         mean_seconds=mean_seconds,
+        object_seconds=object_seconds,
+        frame_build_seconds=frame_build_seconds,
     )
 
 
@@ -202,6 +242,11 @@ def render_fig07(
         f"step={step:g} $/kW/h [s]": [round(v, 4) for v in timing.mean_seconds[step]]
         for step in timing.price_steps
     }
+    for step in timing.price_steps:
+        if step in timing.object_seconds:
+            series[f"object path step={step:g} [s]"] = [
+                round(v, 4) for v in timing.object_seconds[step]
+            ]
     part_b = format_series(
         "racks", timing.rack_counts, series,
         title="Fig. 7(b): mean market clearing time",

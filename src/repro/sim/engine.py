@@ -280,19 +280,31 @@ def _revoke_grants(
         rack_id: (0.0 if rack_id in lost else grant)
         for rack_id, grant in result.grants_w.items()
     }
-    bid_of = {bid.rack_id: bid for bid in record.bids}
-    slot_hours = slot_seconds / 3600.0
-    payments: dict[str, float] = {}
-    revenue_rate = 0.0
-    for rack_id, grant in grants.items():
-        if grant <= 0 or rack_id not in bid_of:
-            continue
-        bid = bid_of[rack_id]
-        price = result.price_for_pdu(bid.pdu_id)
-        revenue_rate += price * grant / 1000.0
-        payments[bid.tenant_id] = payments.get(bid.tenant_id, 0.0) + (
-            grant / 1000.0
-        ) * price * slot_hours
+    if record.frame is not None:
+        # Rebill straight off the slot's columnar frame: only surviving
+        # positive grants pay (the revocation semantics).
+        hourly, payments = record.frame.settle(
+            grants,
+            result.pdu_prices,
+            result.price,
+            slot_seconds,
+            positive_only=True,
+        )
+        revenue_rate = hourly
+    else:
+        bid_of = {bid.rack_id: bid for bid in record.bids}
+        slot_hours = slot_seconds / 3600.0
+        payments = {}
+        revenue_rate = 0.0
+        for rack_id, grant in grants.items():
+            if grant <= 0 or rack_id not in bid_of:
+                continue
+            bid = bid_of[rack_id]
+            price = result.price_for_pdu(bid.pdu_id)
+            revenue_rate += price * grant / 1000.0
+            payments[bid.tenant_id] = payments.get(bid.tenant_id, 0.0) + (
+                grant / 1000.0
+            ) * price * slot_hours
     adjusted = AllocationResult(
         price=result.price,
         grants_w=grants,

@@ -1,6 +1,5 @@
 """Bundled multi-rack bidding (paper §III-B3, Fig. 4)."""
 
-import numpy as np
 import pytest
 
 from repro.config import make_rng

@@ -288,3 +288,90 @@ class TestVectorizedLinearPath:
         b2 = clear_market(slow, pdu_spot, 400.0, extra_constraints=[constraint])
         assert a.price == pytest.approx(b2.price)
         assert a.total_granted_w == pytest.approx(b2.total_granted_w)
+
+
+class TestPriceGrid:
+    """Regression tests for the counted-step grid and breakpoint merge."""
+
+    def _engine(self, step, max_price, breakpoints=True):
+        return MarketClearing(
+            params=MarketParameters(price_step=step, max_price=max_price),
+            include_breakpoints=breakpoints,
+        )
+
+    def test_grid_never_overshoots_max_acceptable_price(self):
+        # np.arange(lo, hi + step, step) can emit a whole extra element
+        # past hi under float error; the counted-step grid must not.
+        cases = [(0.01, 0.07), (0.001, 0.256), (0.007, 0.7), (0.03, 0.3)]
+        for step, hi in cases:
+            engine = self._engine(step, 1.0, breakpoints=False)
+            grid = engine.candidate_prices([bid("r1", "p1", StepBid(10.0, hi))])
+            assert grid[-1] <= hi + step * 1e-6, (step, hi)
+            # ... while still reaching hi (no short grid either).
+            assert hi - grid[-1] < step, (step, hi)
+
+    def test_grid_element_count_is_exact(self):
+        engine = self._engine(0.01, 0.4, breakpoints=False)
+        grid = engine.candidate_prices([bid("r1", "p1", StepBid(10.0, 0.3))])
+        assert len(grid) == 31  # 0.00, 0.01, ..., 0.30
+        assert grid[0] == 0.0
+
+    def test_breakpoint_near_grid_point_deduplicates(self):
+        # 0.1 + 0.2 lands one ulp off 0.3; the q_max breakpoint must
+        # merge with the grid point instead of surviving as a duplicate
+        # candidate price.
+        q_max = 0.1 + 0.2  # 0.30000000000000004
+        engine = self._engine(0.01, 0.5)
+        grid = engine.candidate_prices(
+            [bid("r1", "p1", LinearBid(50.0, 0.05, 10.0, q_max))]
+        )
+        near = grid[np.abs(grid - 0.3) < 1e-6]
+        assert near.size == 1
+        assert np.all(np.diff(grid) > 0.01 * 1e-9)
+
+    def test_off_grid_kink_survives_merge(self):
+        # A q_max kink between coarse grid points must be added, and the
+        # tolerance dedupe must keep it (the smaller of any near-pair).
+        engine = self._engine(0.1, 0.5)
+        grid = engine.candidate_prices(
+            [bid("r1", "p1", LinearBid(50.0, 0.05, 10.0, 0.23))]
+        )
+        assert 0.23 in grid
+        assert 0.05 in grid
+
+
+class TestAdmission:
+    def test_rejected_bid_gets_exact_zero_grant(self):
+        # r1's minimum demand (60 W at its price cap) exceeds its PDU's
+        # spot capacity: rejected at admission, but it must still appear
+        # in the outcome with an exact 0.0 grant.
+        result = clear_market(
+            [
+                bid("r1", "p1", LinearBid(80.0, 0.05, 60.0, 0.3)),
+                bid("r2", "p2", StepBid(40.0, 0.25)),
+            ],
+            {"p1": 50.0, "p2": 100.0},
+            200.0,
+        )
+        assert result.grants_w["r1"] == 0.0
+        assert result.grants_w["r2"] > 0.0
+
+    def test_all_bids_rejected_yields_zero_grants(self):
+        result = clear_market(
+            [bid("r1", "p1", LinearBid(80.0, 0.05, 60.0, 0.3))],
+            {"p1": 10.0},
+            10.0,
+        )
+        assert result.grants_w == {"r1": 0.0}
+        assert result.total_granted_w == 0.0
+
+    def test_rejection_matches_object_path(self):
+        bids = [
+            bid("r1", "p1", LinearBid(80.0, 0.05, 60.0, 0.3)),
+            bid("r2", "p1", StepBid(30.0, 0.25)),
+        ]
+        frame_result = clear_market(bids, {"p1": 45.0}, 100.0)
+        legacy = MarketClearing(columnar=False)
+        object_result = legacy.clear(bids, {"p1": 45.0}, 100.0)
+        assert frame_result.grants_w == object_result.grants_w
+        assert frame_result.price == object_result.price

@@ -1,6 +1,5 @@
 """Composite tenants: both opportunistic and sprinting (paper §II-C)."""
 
-import numpy as np
 import pytest
 
 from repro.config import make_rng

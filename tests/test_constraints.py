@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.allocation import verify_allocation
 from repro.core.bids import RackBid
-from repro.core.clearing import MarketClearing, clear_market
+from repro.core.clearing import clear_market
 from repro.core.demand import LinearBid, StepBid
 from repro.errors import CapacityError, ClearingError, ConfigurationError, TopologyError
 from repro.infrastructure.constraints import (

@@ -1,9 +1,7 @@
 """Allocators: SpotDC market orchestration, PowerCapped, MaxPerf."""
 
-import numpy as np
 import pytest
 
-from repro.config import MarketParameters
 from repro.core.baselines import MaxPerfAllocator, PowerCappedAllocator
 from repro.core.market import SpotDCAllocator
 from repro.errors import ConfigurationError

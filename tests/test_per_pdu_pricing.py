@@ -1,6 +1,5 @@
 """Locational (per-PDU) clearing: apportioning, prices, payments."""
 
-import numpy as np
 import pytest
 
 from repro.config import MarketParameters

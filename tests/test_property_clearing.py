@@ -1,6 +1,5 @@
 """Property-based tests: market clearing never violates constraints."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

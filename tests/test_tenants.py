@@ -1,9 +1,7 @@
 """Tenant models and bidding behaviour."""
 
-import numpy as np
 import pytest
 
-from repro.config import make_rng
 from repro.core.demand import FullBid, LinearBid, StepBid
 from repro.errors import ConfigurationError
 from repro.sim.scenario import testbed_scenario as build_testbed
@@ -16,7 +14,6 @@ from repro.tenants.bidding import (
 )
 from repro.tenants.tenant import (
     NonParticipatingTenant,
-    OpportunisticTenant,
     SprintingTenant,
 )
 

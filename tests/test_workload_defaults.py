@@ -1,6 +1,5 @@
 """Sanity of the workload calibration constants (docs/calibration.md)."""
 
-import numpy as np
 import pytest
 
 from repro.config import make_rng

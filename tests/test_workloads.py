@@ -1,6 +1,5 @@
 """Workload behaviour: interactive, batch, and trace-replay."""
 
-import numpy as np
 import pytest
 
 from repro.config import make_rng
