@@ -34,6 +34,11 @@ from repro.core import (
     clear_market,
 )
 from repro.errors import ReproError
+from repro.resilience import (
+    DegradationController,
+    FaultInjector,
+    FaultProfile,
+)
 from repro.sim import (
     ScenarioBuilder,
     SimulationEngine,
@@ -48,6 +53,9 @@ __version__ = "1.0.0"
 __all__ = [
     "AllocationResult",
     "BidFrame",
+    "DegradationController",
+    "FaultInjector",
+    "FaultProfile",
     "FullBid",
     "LinearBid",
     "MarketClearing",

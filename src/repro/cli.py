@@ -19,6 +19,7 @@ import sys
 from collections.abc import Callable, Sequence
 
 from repro import experiments as E
+from repro.resilience import FAULT_CLASSES, FaultProfile
 
 __all__ = ["main", "EXPERIMENT_REGISTRY"]
 
@@ -110,7 +111,25 @@ EXPERIMENT_REGISTRY: dict[str, tuple[str, Callable]] = {
             E.ext_equilibrium.run_equilibrium_study(seed=a.seed)
         ),
     ),
+    "resilience": (
+        "Extension: chaos sweep (fault class x intensity, §V-B2 invariant)",
+        lambda a: E.ext_resilience.render_resilience_study(
+            E.ext_resilience.run_resilience_study(
+                seed=a.seed,
+                slots=(
+                    a.slots
+                    if a.slots != _RUN_SLOTS_DEFAULT
+                    else E.ext_resilience.DEFAULT_SLOTS
+                ),
+            )
+        ),
+    ),
 }
+
+#: Default of ``run --slots`` — the chaos sweep substitutes its own,
+#: shorter default when the user did not pass one (it runs 2x13 full
+#: simulations, not one).
+_RUN_SLOTS_DEFAULT = 2500
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -144,7 +163,22 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis import format_table
     from repro.experiments.common import run_comparison
 
-    runs = run_comparison(slots=args.slots, seed=args.seed, include_maxperf=True)
+    fault_profile = None
+    if args.fault_profile != "none":
+        fault_profile = FaultProfile.named(
+            args.fault_profile, args.fault_intensity
+        )
+    runs = run_comparison(
+        slots=args.slots,
+        seed=args.seed,
+        include_maxperf=True,
+        fault_profile=fault_profile,
+    )
+    if fault_profile is not None and runs.spotdc.faults is not None:
+        print(
+            f"fault profile: {args.fault_profile}@{args.fault_intensity} — "
+            f"{runs.spotdc.faults.count()} faults injected\n"
+        )
     rows = []
     for tenant_id in runs.spotdc.participating_tenant_ids():
         rows.append(
@@ -192,7 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("target", help="experiment name or 'all'")
     run.add_argument("--seed", type=int, default=None)
     run.add_argument(
-        "--slots", type=int, default=2500,
+        "--slots", type=int, default=_RUN_SLOTS_DEFAULT,
         help="simulation horizon for the extended-run experiments",
     )
     run.set_defaults(func=_cmd_run)
@@ -202,6 +236,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--seed", type=int, default=None)
     compare.add_argument("--slots", type=int, default=2000)
+    compare.add_argument(
+        "--fault-profile", choices=FAULT_CLASSES, default="none",
+        help="inject a named fault class into both runs "
+        "(infrastructure faults only for the marketless baseline)",
+    )
+    compare.add_argument(
+        "--fault-intensity", type=float, default=0.1,
+        help="intensity of the injected fault class, in [0, 1]",
+    )
     compare.set_defaults(func=_cmd_compare)
     return parser
 

@@ -39,6 +39,11 @@ class Invoice:
         spot_slots: Slots in which the tenant held spot capacity.
         spot_watt_hours: Integrated spot capacity held, watt-hours.
         spot_charge: Spot-market line item, dollars.
+        spot_credit: Memo line, dollars: value of spot grants revoked
+            before delivery (lost broadcasts, degradation control).
+            Revoked grants are *rebilled out* at the slot, so the credit
+            is already absent from :attr:`spot_charge` and is shown for
+            audit only — it is not subtracted again from :attr:`total`.
     """
 
     tenant_id: str
@@ -50,6 +55,7 @@ class Invoice:
     spot_slots: int
     spot_watt_hours: float
     spot_charge: float
+    spot_credit: float = 0.0
 
     @property
     def total(self) -> float:
@@ -78,6 +84,11 @@ def build_invoice(result: SimulationResult, tenant_id: str) -> Invoice:
         energy_kwh += float(power.sum()) / 1000.0 * result.slot_hours
         spot_slots += int((granted > 0).sum())
         spot_watt_hours += float(granted.sum()) * result.slot_hours
+    spot_credit = sum(
+        note.dollars
+        for note in getattr(result, "credit_notes", ())
+        if note.tenant_id == tenant_id
+    )
     return Invoice(
         tenant_id=tenant_id,
         period_hours=result.duration_hours,
@@ -88,6 +99,7 @@ def build_invoice(result: SimulationResult, tenant_id: str) -> Invoice:
         spot_slots=spot_slots,
         spot_watt_hours=spot_watt_hours,
         spot_charge=result.tenant_spot_payment(tenant_id),
+        spot_credit=spot_credit,
     )
 
 
@@ -125,6 +137,7 @@ def render_invoices(invoices: list[Invoice]) -> str:
             inv.subscription_charge,
             inv.energy_charge,
             inv.spot_charge,
+            inv.spot_credit,
             inv.total,
             inv.effective_spot_rate,
         ]
@@ -133,7 +146,7 @@ def render_invoices(invoices: list[Invoice]) -> str:
     return format_table(
         [
             "tenant", "subscription [$]", "energy [$]", "spot [$]",
-            "total [$]", "avg spot rate [$/kW/h]",
+            "credited [$]", "total [$]", "avg spot rate [$/kW/h]",
         ],
         rows,
         title="Tenant invoices",

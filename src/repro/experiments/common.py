@@ -62,6 +62,7 @@ def run_comparison(
     slots: int = DEFAULT_SLOTS,
     seed: int = DEFAULT_SEED,
     include_maxperf: bool = False,
+    fault_profile=None,
     **scenario_kwargs,
 ) -> ComparisonRuns:
     """Run one scenario under SpotDC, PowerCapped, and optionally MaxPerf.
@@ -74,19 +75,35 @@ def run_comparison(
         slots: Simulation length.
         seed: Shared seed, so all runs see identical traces.
         include_maxperf: Also run the MaxPerf upper bound.
+        fault_profile: Optional :class:`repro.resilience.FaultProfile`.
+            The market runs face the full profile; the marketless
+            PowerCapped baseline faces only its infrastructure faults
+            (identical derating streams, no market channels to fail).
         **scenario_kwargs: Forwarded to the factory.
     """
     factory = scenario_factory or testbed_scenario
+    baseline_profile = (
+        fault_profile.derating_only() if fault_profile is not None else None
+    )
     spotdc = run_simulation(
-        factory(seed=seed, **scenario_kwargs), slots, allocator=SpotDCAllocator()
+        factory(seed=seed, **scenario_kwargs),
+        slots,
+        allocator=SpotDCAllocator(),
+        fault_profile=fault_profile,
     )
     powercapped = run_simulation(
-        factory(seed=seed, **scenario_kwargs), slots, allocator=PowerCappedAllocator()
+        factory(seed=seed, **scenario_kwargs),
+        slots,
+        allocator=PowerCappedAllocator(),
+        fault_profile=baseline_profile,
     )
     maxperf = None
     if include_maxperf:
         maxperf = run_simulation(
-            factory(seed=seed, **scenario_kwargs), slots, allocator=MaxPerfAllocator()
+            factory(seed=seed, **scenario_kwargs),
+            slots,
+            allocator=MaxPerfAllocator(),
+            fault_profile=fault_profile,
         )
     return ComparisonRuns(spotdc=spotdc, powercapped=powercapped, maxperf=maxperf)
 

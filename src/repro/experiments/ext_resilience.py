@@ -1,0 +1,253 @@
+"""Extension experiment: chaos sweep over fault intensity x fault class.
+
+The paper's safety story (§III-C, §V-B2) is that spot capacity is
+*forgeable on failure*: any communication loss degrades to the default
+"no spot capacity", the operator can revoke grants at any time, and
+spot capacity must introduce **no additional capacity emergencies** over
+the no-spot baseline.  This experiment stress-tests that claim far
+beyond the paper's fault model: for every fault class in
+:data:`repro.resilience.FAULT_CLASSES` (independent losses, bursty
+Gilbert-Elliott losses, delayed/stale grants, meter corruption,
+PDU/UPS deratings, and all at once) at several intensities, it runs
+
+* **SpotDC** under the full fault profile (with the degradation
+  controller active), and
+* **PowerCapped** under the *infrastructure faults only* — a marketless
+  run cannot lose bids or grants, but it faces the byte-identical
+  derating schedule (per-channel seeded streams make that exact);
+
+and machine-checks the invariant: the SpotDC run must log **no more
+UPS/PDU overload slots** than the identical PowerCapped run.  The books
+must also still balance (revoked grants are credited, never billed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.reporting import format_table
+from repro.config import DEFAULT_SEED
+from repro.core.baselines import PowerCappedAllocator
+from repro.economics.settlement import reconcile
+from repro.errors import SimulationError
+from repro.resilience import FAULT_CLASSES, FaultProfile
+from repro.sim.engine import run_simulation
+from repro.sim.results import SimulationResult
+from repro.sim.scenario import testbed_scenario
+
+__all__ = [
+    "ResilienceCell",
+    "ResilienceStudy",
+    "run_resilience_cell",
+    "run_resilience_study",
+    "render_resilience_study",
+]
+
+#: Default fault intensities swept by the study.
+DEFAULT_INTENSITIES = (0.05, 0.25)
+
+#: Default horizon: long enough for bursts, episodes, and derating
+#: windows to occur many times over, short enough for CI smoke runs.
+DEFAULT_SLOTS = 400
+
+
+@dataclasses.dataclass(frozen=True)
+class ResilienceCell:
+    """One (fault class, intensity) cell of the chaos sweep.
+
+    Attributes:
+        fault_class: Name from :data:`repro.resilience.FAULT_CLASSES`.
+        intensity: Sweep intensity in [0, 1].
+        fault_count: Total injected-fault records in the SpotDC run.
+        lost_bids / lost_grants / delayed_grants / stale_applied /
+            meter_faults / deratings: Per-kind fault counts.
+        revocations: Degradation-control grant revocations.
+        emergency_caps: Escalations after revocation was exhausted.
+        credited_dollars: Settlement credits for revoked grants.
+        spot_overload_slots / capped_overload_slots: Distinct UPS+PDU
+            overload slots in the SpotDC and PowerCapped runs.
+        invariant_ok: Whether SpotDC logged no more overload slots than
+            PowerCapped (the §V-B2 invariant) at both levels.
+        spot_revenue: SpotDC spot revenue over the run, dollars.
+    """
+
+    fault_class: str
+    intensity: float
+    fault_count: int
+    lost_bids: int
+    lost_grants: int
+    delayed_grants: int
+    stale_applied: int
+    meter_faults: int
+    deratings: int
+    revocations: int
+    emergency_caps: int
+    credited_dollars: float
+    spot_overload_slots: int
+    capped_overload_slots: int
+    invariant_ok: bool
+    spot_revenue: float
+
+
+@dataclasses.dataclass
+class ResilienceStudy:
+    """Results of the chaos sweep.
+
+    Attributes:
+        cells: One entry per (fault class, intensity) pair.
+        seed: Seed every run shared.
+        slots: Horizon of every run.
+    """
+
+    cells: list[ResilienceCell]
+    seed: int
+    slots: int
+
+    def violations(self) -> list[ResilienceCell]:
+        """Cells in which SpotDC logged more overload slots than the
+        no-spot baseline (must be empty)."""
+        return [c for c in self.cells if not c.invariant_ok]
+
+
+def _overloads(result: SimulationResult) -> tuple[int, int]:
+    """(UPS, PDU) distinct overload slot counts for one run."""
+    return (
+        result.emergencies.overload_slot_count("ups"),
+        result.emergencies.overload_slot_count("pdu"),
+    )
+
+
+def run_resilience_cell(
+    fault_class: str,
+    intensity: float,
+    seed: int = DEFAULT_SEED,
+    slots: int = DEFAULT_SLOTS,
+) -> ResilienceCell:
+    """Run one chaos cell: SpotDC vs PowerCapped under one fault profile.
+
+    Both runs are built from the same scenario seed (identical
+    workloads) and the same fault seed; the PowerCapped baseline keeps
+    only the profile's infrastructure faults, which per-channel stream
+    derivation makes byte-identical to the SpotDC run's.
+    """
+    profile = FaultProfile.named(fault_class, intensity)
+    profile = dataclasses.replace(profile, seed=seed)
+    spotdc = run_simulation(
+        testbed_scenario(seed=seed), slots, fault_profile=profile
+    )
+    capped = run_simulation(
+        testbed_scenario(seed=seed),
+        slots,
+        allocator=PowerCappedAllocator(),
+        fault_profile=profile.derating_only(),
+    )
+    reconcile(spotdc)
+    spot_ups, spot_pdu = _overloads(spotdc)
+    capped_ups, capped_pdu = _overloads(capped)
+    log = spotdc.faults
+    actions = spotdc.control_actions
+    return ResilienceCell(
+        fault_class=fault_class,
+        intensity=intensity,
+        fault_count=log.count() if log is not None else 0,
+        lost_bids=log.lost_bids if log is not None else 0,
+        lost_grants=log.lost_grants if log is not None else 0,
+        delayed_grants=log.count("grant_delayed") if log is not None else 0,
+        stale_applied=log.count("stale_grant_applied") if log is not None else 0,
+        meter_faults=(
+            log.count("meter_stuck") + log.count("meter_dropout")
+            if log is not None
+            else 0
+        ),
+        deratings=log.count("derating_start") if log is not None else 0,
+        revocations=sum(1 for a in actions if a.kind == "revoke"),
+        emergency_caps=sum(1 for a in actions if a.kind == "emergency_cap"),
+        credited_dollars=sum(n.dollars for n in spotdc.credit_notes),
+        spot_overload_slots=spot_ups + spot_pdu,
+        capped_overload_slots=capped_ups + capped_pdu,
+        invariant_ok=(spot_ups <= capped_ups and spot_pdu <= capped_pdu),
+        spot_revenue=spotdc.total_spot_revenue(),
+    )
+
+
+def run_resilience_study(
+    seed: int = DEFAULT_SEED,
+    slots: int = DEFAULT_SLOTS,
+    intensities: tuple[float, ...] = DEFAULT_INTENSITIES,
+    fault_classes: tuple[str, ...] = FAULT_CLASSES,
+    strict: bool = True,
+) -> ResilienceStudy:
+    """Sweep fault class x intensity and machine-check the invariant.
+
+    Args:
+        seed: Shared scenario/fault seed.
+        slots: Horizon per run.
+        intensities: Fault intensities to sweep (the ``"none"`` control
+            cell runs once regardless).
+        fault_classes: Fault classes to include.
+        strict: Raise :class:`~repro.errors.SimulationError` on any
+            invariant violation (the machine check); pass ``False`` to
+            inspect violations in the returned study instead.
+    """
+    cells: list[ResilienceCell] = []
+    for fault_class in fault_classes:
+        levels = (0.0,) if fault_class == "none" else intensities
+        for intensity in levels:
+            cells.append(
+                run_resilience_cell(fault_class, intensity, seed, slots)
+            )
+    study = ResilienceStudy(cells=cells, seed=seed, slots=slots)
+    violations = study.violations()
+    if strict and violations:
+        worst = violations[0]
+        raise SimulationError(
+            f"resilience invariant violated: {len(violations)} cell(s) "
+            f"logged more overload slots under SpotDC than PowerCapped "
+            f"(first: {worst.fault_class}@{worst.intensity} — "
+            f"{worst.spot_overload_slots} vs {worst.capped_overload_slots})"
+        )
+    return study
+
+
+def render_resilience_study(study: ResilienceStudy) -> str:
+    """The chaos-sweep table, one row per cell."""
+    rows = []
+    for c in study.cells:
+        rows.append(
+            [
+                c.fault_class,
+                c.intensity,
+                c.fault_count,
+                c.lost_bids,
+                c.lost_grants,
+                c.stale_applied,
+                c.deratings,
+                c.revocations,
+                c.emergency_caps,
+                c.credited_dollars,
+                c.spot_overload_slots,
+                c.capped_overload_slots,
+                "ok" if c.invariant_ok else "VIOLATED",
+            ]
+        )
+    table = format_table(
+        [
+            "fault class", "intensity", "faults", "lost bids", "lost grants",
+            "stale applied", "deratings", "revocations", "escalations",
+            "credited [$]", "SpotDC ovl slots", "PowerCapped ovl slots",
+            "invariant",
+        ],
+        rows,
+        title=(
+            f"Chaos sweep: no additional emergencies under faults "
+            f"(seed {study.seed}, {study.slots} slots)"
+        ),
+    )
+    n_bad = len(study.violations())
+    verdict = (
+        "invariant holds in every cell: SpotDC logged no more UPS/PDU "
+        "overload slots than the identical PowerCapped run"
+        if n_bad == 0
+        else f"INVARIANT VIOLATED in {n_bad} cell(s)"
+    )
+    return f"{table}\n{verdict}"

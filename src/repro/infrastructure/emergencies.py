@@ -108,3 +108,12 @@ class EmergencyLog:
     def overload_slots(self, level: str) -> set[int]:
         """Distinct slots in which the given level experienced an overload."""
         return {e.slot for e in self._events if e.level == level}
+
+    def overload_slot_count(self, level: str) -> int:
+        """Number of distinct overload slots at a level.
+
+        The §V-B2 invariant is stated in these units: a SpotDC run must
+        log no more UPS/PDU overload slots than the identical
+        PowerCapped run.
+        """
+        return len(self.overload_slots(level))

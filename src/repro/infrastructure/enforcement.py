@@ -9,9 +9,17 @@ they may be warned and/or face involuntary power cut."*
 * a rack drawing above its enforced budget (beyond a tolerance) earns a
   **warning**;
 * accumulating ``warnings_before_cut`` warnings within the rolling
-  memory triggers a **power cut**: the rack is barred from the spot
-  market for ``cut_slots`` slots (it reverts to its guaranteed budget —
-  the safe default, as with communication losses).
+  ``warning_memory_slots`` window triggers a **power cut**: the rack is
+  barred from the spot market for ``cut_slots`` slots (it reverts to
+  its guaranteed budget — the safe default, as with communication
+  losses).
+
+Warnings *expire*: only overdraws within the last
+``warning_memory_slots`` slots count toward a cut, so a tenant with two
+isolated excursions a week apart is not one slip away from a bar
+forever.  (The original implementation accumulated warnings without any
+expiry — a long-lived tenant's stale warnings never aged out; the
+regression tests pin both the old bug and the fix.)
 
 The policy never reduces a rack below its guaranteed capacity: that is
 contractual; enforcement only withdraws the *privilege* of spot
@@ -51,8 +59,12 @@ class EnforcementPolicy:
     Args:
         tolerance: Relative slack above the budget before a draw counts
             as an overdraw (metering noise / breaker tolerance).
-        warnings_before_cut: Overdraws tolerated before a cut.
+        warnings_before_cut: Overdraws within the warning memory
+            tolerated before a cut.
         cut_slots: Length of the spot-market bar, in slots.
+        warning_memory_slots: Rolling window, in slots, within which
+            warnings count toward a cut; older warnings expire.  Pass
+            ``None`` for the legacy forever-accumulating behaviour.
     """
 
     def __init__(
@@ -60,6 +72,7 @@ class EnforcementPolicy:
         tolerance: float = 0.01,
         warnings_before_cut: int = 3,
         cut_slots: int = 30,
+        warning_memory_slots: int | None = 100,
     ) -> None:
         if tolerance < 0:
             raise ConfigurationError("tolerance must be >= 0")
@@ -67,10 +80,15 @@ class EnforcementPolicy:
             raise ConfigurationError("warnings_before_cut must be >= 1")
         if cut_slots < 1:
             raise ConfigurationError("cut_slots must be >= 1")
+        if warning_memory_slots is not None and warning_memory_slots < 1:
+            raise ConfigurationError(
+                "warning_memory_slots must be >= 1, or None for no expiry"
+            )
         self.tolerance = tolerance
         self.warnings_before_cut = warnings_before_cut
         self.cut_slots = cut_slots
-        self._warnings: dict[str, int] = {}
+        self.warning_memory_slots = warning_memory_slots
+        self._warning_slots: dict[str, list[int]] = {}
         self._barred_until: dict[str, int] = {}
         self._actions: list[EnforcementAction] = []
 
@@ -78,6 +96,16 @@ class EnforcementPolicy:
     def actions(self) -> tuple[EnforcementAction, ...]:
         """All enforcement events, in issue order."""
         return tuple(self._actions)
+
+    def _live_warnings(self, rack_id: str, slot: int) -> list[int]:
+        """The rack's unexpired warning slots as of ``slot`` (pruned)."""
+        slots = self._warning_slots.get(rack_id, [])
+        if self.warning_memory_slots is not None:
+            cutoff = slot - self.warning_memory_slots
+            slots = [s for s in slots if s > cutoff]
+            if rack_id in self._warning_slots:
+                self._warning_slots[rack_id] = slots
+        return slots
 
     def review(self, topology: PowerTopology, slot: int) -> list[EnforcementAction]:
         """Inspect current draws and issue warnings/cuts.
@@ -90,10 +118,11 @@ class EnforcementPolicy:
             if rack.power_w <= budget * (1 + self.tolerance):
                 continue
             overdraw = rack.power_w - budget
-            count = self._warnings.get(rack.rack_id, 0) + 1
-            self._warnings[rack.rack_id] = count
-            if count >= self.warnings_before_cut:
-                self._warnings[rack.rack_id] = 0
+            live = self._live_warnings(rack.rack_id, slot)
+            live.append(slot)
+            self._warning_slots[rack.rack_id] = live
+            if len(live) >= self.warnings_before_cut:
+                self._warning_slots[rack.rack_id] = []
                 self._barred_until[rack.rack_id] = slot + 1 + self.cut_slots
                 issued.append(
                     EnforcementAction(slot, rack.rack_id, "power_cut", overdraw)
@@ -117,6 +146,15 @@ class EnforcementPolicy:
             if slot < until
         )
 
-    def warning_count(self, rack_id: str) -> int:
-        """Outstanding warnings for a rack (reset by a cut)."""
-        return self._warnings.get(rack_id, 0)
+    def warning_count(self, rack_id: str, slot: int | None = None) -> int:
+        """Outstanding warnings for a rack (reset by a cut).
+
+        Args:
+            rack_id: The rack to query.
+            slot: Count only warnings still unexpired as of this slot;
+                ``None`` counts every outstanding warning regardless of
+                age.
+        """
+        if slot is None:
+            return len(self._warning_slots.get(rack_id, []))
+        return len(self._live_warnings(rack_id, slot))

@@ -5,6 +5,15 @@ Algorithm 1, line 1).  :class:`PowerMonitor` records one sample per rack
 per slot and derives the PDU- and UPS-level series the spot-capacity
 predictor and the evaluation figures need — notably the slot-to-slot
 PDU power-variation statistics of Fig. 7(a).
+
+Under meter-fault injection (:mod:`repro.resilience.faults`) the monitor
+keeps two views: the *metered* series — what the operator's billing
+meters reported, which is what the spot-capacity predictor and the
+energy accounting consume — and the *true* series, the physical draws.
+The true series models the hardened protection path (breaker-level
+telemetry) that the degradation controller projects excursions from;
+it is only materialised when a metered sample ever diverges, so
+fault-free simulations pay nothing for it.
 """
 
 from __future__ import annotations
@@ -46,6 +55,9 @@ class PowerMonitor:
         self._ups_series: collections.deque[float] = collections.deque(
             maxlen=history_slots
         )
+        # True (physical) rack series; materialised lazily on the first
+        # slot whose metered samples diverge from the true draws.
+        self._true_rack_series: dict[str, collections.deque[float]] | None = None
         self._slots_recorded = 0
 
     @property
@@ -53,27 +65,59 @@ class PowerMonitor:
         """Total slots sampled since construction (not capped by history)."""
         return self._slots_recorded
 
-    def record_slot(self, rack_power_w: Mapping[str, float]) -> None:
+    def record_slot(
+        self,
+        rack_power_w: Mapping[str, float],
+        metered_power_w: Mapping[str, float] | None = None,
+    ) -> None:
         """Record one slot of rack power samples.
 
         Args:
-            rack_power_w: Power draw per rack id.  Every rack in the
-                topology must be present — partial telemetry would
-                silently corrupt PDU aggregates.
+            rack_power_w: True physical power draw per rack id.  Every
+                rack in the topology must be present — partial telemetry
+                would silently corrupt PDU aggregates.
+            metered_power_w: Operator-visible meter readings per rack id
+                (defaults to the true draws).  Under meter-fault
+                injection these diverge: the metered values feed the
+                retained series (and hence the spot-capacity predictor
+                and energy accounting), while the true draws stay on the
+                topology and in the true-series shadow.
         """
         missing = set(self._topology.racks) - set(rack_power_w)
         if missing:
             raise SimulationError(
                 f"missing power samples for racks: {sorted(missing)[:5]}"
             )
+        metered = rack_power_w if metered_power_w is None else metered_power_w
+        if metered is not rack_power_w:
+            missing_meters = set(self._topology.racks) - set(metered)
+            if missing_meters:
+                raise SimulationError(
+                    f"missing meter readings for racks: "
+                    f"{sorted(missing_meters)[:5]}"
+                )
+            if self._true_rack_series is None and any(
+                metered[rid] != rack_power_w[rid] for rid in rack_power_w
+            ):
+                # First divergence: shadow the (identical so far) history.
+                self._true_rack_series = {
+                    rack_id: collections.deque(
+                        series, maxlen=self._history_slots
+                    )
+                    for rack_id, series in self._rack_series.items()
+                }
         for rack_id, watts in rack_power_w.items():
             if rack_id not in self._rack_series:
                 raise SimulationError(f"sample for unknown rack {rack_id!r}")
             self._topology.rack(rack_id).record_power(watts)
-            self._rack_series[rack_id].append(float(watts))
-        for pdu_id in self._topology.pdus:
-            self._pdu_series[pdu_id].append(self._topology.pdu_power_w(pdu_id))
-        self._ups_series.append(self._topology.ups_power_w())
+            self._rack_series[rack_id].append(float(metered[rack_id]))
+            if self._true_rack_series is not None:
+                self._true_rack_series[rack_id].append(float(watts))
+        for pdu_id, pdu in self._topology.pdus.items():
+            self._pdu_series[pdu_id].append(
+                sum(float(metered[rid]) for rid in pdu.rack_ids)
+            )
+        self._ups_series.append(sum(float(w) for w in metered.values()))
         self._slots_recorded += 1
 
     # ------------------------------------------------------------------
@@ -106,6 +150,23 @@ class PowerMonitor:
             return 0.0
         recent = list(series)[-window:]
         return max(recent)
+
+    def rack_recent_true_max_w(self, rack_id: str, window: int = 5) -> float:
+        """Maximum of a rack's last ``window`` *true* samples.
+
+        The hardened-path counterpart of :meth:`rack_recent_max_w`: the
+        degradation controller projects excursions from physical draws,
+        not from (possibly corrupted) meter readings.  Identical to
+        :meth:`rack_recent_max_w` until a metered sample diverges.
+        """
+        if window <= 0:
+            raise SimulationError("window must be positive")
+        if self._true_rack_series is None:
+            return self.rack_recent_max_w(rack_id, window)
+        series = self._true_rack_series[rack_id]
+        if not series:
+            return 0.0
+        return max(list(series)[-window:])
 
     def latest_pdu_power_w(self, pdu_id: str) -> float:
         """Most recent aggregate draw at a PDU (0 before any sample)."""

@@ -33,7 +33,37 @@ class Pdu:
             )
         self.pdu_id = pdu_id
         self.capacity_w = float(capacity_w)
+        self._base_capacity_w = self.capacity_w
         self._rack_ids: list[str] = []
+
+    @property
+    def base_capacity_w(self) -> float:
+        """Designed physical capacity, unaffected by transient deratings."""
+        return self._base_capacity_w
+
+    @property
+    def derated(self) -> bool:
+        """Whether a derating is currently in force."""
+        return self.capacity_w < self._base_capacity_w
+
+    def apply_derating(self, fraction: float) -> None:
+        """Temporarily lose ``fraction`` of the designed capacity.
+
+        Models a failed power module, thermal derating, or a maintenance
+        bypass: the *live* capacity — what the emergency scan and the
+        spot-capacity predictor see — drops until
+        :meth:`restore_capacity` is called.
+        """
+        if not 0 < fraction < 1:
+            raise TopologyError(
+                f"PDU {self.pdu_id}: derating fraction must be in (0, 1), "
+                f"got {fraction}"
+            )
+        self.capacity_w = self._base_capacity_w * (1.0 - fraction)
+
+    def restore_capacity(self) -> None:
+        """End any derating and restore the designed capacity."""
+        self.capacity_w = self._base_capacity_w
 
     @property
     def rack_ids(self) -> tuple[str, ...]:

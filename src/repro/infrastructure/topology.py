@@ -148,6 +148,12 @@ class PowerTopology:
         for rack in self._racks.values():
             rack.clear_spot_budget()
 
+    def restore_all_capacities(self) -> None:
+        """End every transient PDU/UPS derating (end-of-run cleanup)."""
+        for pdu in self._pdus.values():
+            pdu.restore_capacity()
+        self.ups.restore_capacity()
+
     def __repr__(self) -> str:
         return (
             f"PowerTopology(ups={self.ups.ups_id!r}, pdus={len(self._pdus)}, "

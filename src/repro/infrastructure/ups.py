@@ -31,6 +31,34 @@ class Ups:
             )
         self.ups_id = ups_id
         self.capacity_w = float(capacity_w)
+        self._base_capacity_w = self.capacity_w
+
+    @property
+    def base_capacity_w(self) -> float:
+        """Designed protected capacity, unaffected by transient deratings."""
+        return self._base_capacity_w
+
+    @property
+    def derated(self) -> bool:
+        """Whether a derating is currently in force."""
+        return self.capacity_w < self._base_capacity_w
+
+    def apply_derating(self, fraction: float) -> None:
+        """Temporarily lose ``fraction`` of the designed capacity.
+
+        Models a failed UPS module or battery string: the *live*
+        capacity drops until :meth:`restore_capacity` is called.
+        """
+        if not 0 < fraction < 1:
+            raise TopologyError(
+                f"UPS {self.ups_id}: derating fraction must be in (0, 1), "
+                f"got {fraction}"
+            )
+        self.capacity_w = self._base_capacity_w * (1.0 - fraction)
+
+    def restore_capacity(self) -> None:
+        """End any derating and restore the designed capacity."""
+        self.capacity_w = self._base_capacity_w
 
     def headroom_w(self, aggregate_power_w: float) -> float:
         """Instantaneous spot capacity at the UPS (``P_o(t)`` before prediction)."""

@@ -1,0 +1,66 @@
+"""Resilience layer: pluggable fault injection and graceful degradation.
+
+The paper's safety story (§III-C "Handling exceptions", §V-B2 "no
+additional capacity emergencies") is a *property*, not a feature: any
+communication loss must leave the system in the default "no spot
+capacity" state, grants must be revocable at any time, and spot capacity
+must never introduce emergencies a no-spot-capacity facility would not
+also have suffered.  This package makes that property testable under
+realistic, correlated failure modes:
+
+* :mod:`repro.resilience.faults` — the composable
+  :class:`FaultInjector` framework: bursty (Gilbert-Elliott) bid/grant
+  channel losses, delayed/stale grant delivery, meter faults (stuck-at,
+  dropout, noise) feeding the operator's telemetry, and PDU/UPS
+  derating events, all driven from one seed with a per-slot fault log;
+* :mod:`repro.resilience.profile` — named, seedable
+  :class:`FaultProfile` presets wiring fault configuration into
+  scenarios and the CLI;
+* :mod:`repro.resilience.degradation` — the
+  :class:`DegradationController` closing the safety loop: it revokes
+  over-granted spot capacity in priority order (the operator's §III-C
+  revocation right), credits revoked energy in settlement, and logs
+  emergency-capping escalations when revocation alone cannot clear an
+  excursion.
+"""
+
+from repro.resilience.degradation import (
+    ControlAction,
+    CreditNote,
+    DegradationController,
+    revoke_and_rebill,
+)
+from repro.resilience.faults import (
+    BernoulliLoss,
+    DeratingEvent,
+    DeratingSource,
+    FaultInjector,
+    FaultLog,
+    FaultRecord,
+    GilbertElliottLoss,
+    GrantDelaySource,
+    GrantFault,
+    MeterFaultSource,
+    ScriptedLoss,
+)
+from repro.resilience.profile import FAULT_CLASSES, FaultProfile
+
+__all__ = [
+    "BernoulliLoss",
+    "ControlAction",
+    "CreditNote",
+    "DegradationController",
+    "DeratingEvent",
+    "DeratingSource",
+    "FAULT_CLASSES",
+    "FaultInjector",
+    "FaultLog",
+    "FaultProfile",
+    "FaultRecord",
+    "GilbertElliottLoss",
+    "GrantDelaySource",
+    "GrantFault",
+    "MeterFaultSource",
+    "ScriptedLoss",
+    "revoke_and_rebill",
+]

@@ -98,6 +98,17 @@ class ScenarioBuilder:
         self._pending: list = []  # (kind, payload) build instructions
         self._names: set[str] = set()
         self._rng = make_rng(seed)
+        self._fault_profile = None
+
+    def with_fault_profile(self, profile) -> "ScenarioBuilder":
+        """Attach a :class:`repro.resilience.FaultProfile` to the run.
+
+        The engine builds the fault injector from it automatically; the
+        profile's own seed (or else the builder's seed) keys the fault
+        streams, so identical seeds reproduce identical fault traces.
+        """
+        self._fault_profile = profile
+        return self
 
     # ------------------------------------------------------------------
     # Facility structure
@@ -352,4 +363,5 @@ class ScenarioBuilder:
             slot_seconds=self.slot_seconds,
             seed=self.seed,
             infrastructure_cost_per_hour=infra_per_hour,
+            fault_profile=self._fault_profile,
         )

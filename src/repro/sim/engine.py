@@ -16,6 +16,15 @@ Each slot ``t >= 1``:
 
 Slot 0 runs without spot capacity (bids for a slot are placed during
 the *previous* slot, and there is none).
+
+Under fault injection (:mod:`repro.resilience`) the loop gains three
+stages: capacity-derating transitions are applied to the live topology
+before budgets are final, delayed (stale) grant broadcasts from earlier
+slots land on racks with no fresh grant, and the
+:class:`~repro.resilience.degradation.DegradationController` then
+projects every PDU/UPS constraint from hardened (true) telemetry and
+revokes grants — cheapest clearing value first — until the slot is
+provably safe, crediting revoked energy in settlement.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from repro.infrastructure.emergencies import EmergencyLog
 from repro.infrastructure.monitor import PowerMonitor
 from repro.prediction.price import EwmaPricePredictor, PricePredictor
 from repro.prediction.spot import SpotCapacityForecast, SpotCapacityPredictor
+from repro.resilience.degradation import DegradationController, revoke_and_rebill
 from repro.sim.metrics import MetricsCollector
 from repro.sim.results import SimulationResult
 from repro.sim.scenario import Scenario
@@ -59,11 +69,18 @@ class SimulationEngine:
             policing budget overdraws: warned racks escalate to an
             involuntary spot-market bar (paper §III-C).
         fault_model: Optional
-            :class:`repro.sim.faults.CommunicationFaultModel` injecting
-            bid/grant communication losses (paper §III-C "Handling
-            exceptions"): a lost bid skips the tenant's participation
-            for the slot; a lost grant broadcast reverts the rack to "no
-            spot capacity" and cancels its billing.
+            :class:`repro.resilience.faults.FaultInjector` (the legacy
+            :class:`repro.sim.faults.CommunicationFaultModel` is a thin
+            subclass and still works) injecting bid/grant communication
+            losses, delayed grants, meter faults, and capacity deratings
+            (paper §III-C "Handling exceptions").  ``None`` falls back
+            to the scenario's own ``fault_profile``, if any.
+        degradation: Excursion containment under faults.  ``None``
+            (default) auto-creates a
+            :class:`~repro.resilience.degradation.DegradationController`
+            whenever a fault model is active; pass ``False`` to disable
+            containment (e.g. to demonstrate the unprotected excursion),
+            or a pre-built controller to tune its margins.
     """
 
     def __init__(
@@ -77,12 +94,25 @@ class SimulationEngine:
         constraint_provider=None,
         fault_model=None,
         enforcement=None,
+        degradation=None,
     ) -> None:
         self.scenario = scenario
         self.reference_window = reference_window
         self.constraint_provider = constraint_provider
+        if fault_model is None:
+            profile = getattr(scenario, "fault_profile", None)
+            if profile is not None:
+                seed = profile.seed if profile.seed is not None else scenario.seed
+                fault_model = profile.build(seed=seed)
         self.fault_model = fault_model
         self.enforcement = enforcement
+        if degradation is None:
+            degradation = (
+                DegradationController() if fault_model is not None else None
+            )
+        elif degradation is False:
+            degradation = None
+        self.degradation = degradation
         self.allocator = allocator or SpotDCAllocator(
             params=MarketParameters(slot_seconds=scenario.slot_seconds)
         )
@@ -108,6 +138,9 @@ class SimulationEngine:
         )
         self._rack_infos = rack_infos
         self._tenant_infos = tenant_infos
+        # Delayed (stale) grant broadcasts awaiting delivery:
+        # delivery slot -> [(rack_id, grant_w), ...].
+        self._pending_stale: dict[int, list[tuple[str, float]]] = {}
 
     def run(self, slots: int) -> SimulationResult:
         """Simulate ``slots`` slots and return the finished result."""
@@ -120,6 +153,7 @@ class SimulationEngine:
         slot_seconds = scenario.slot_seconds
         slot_hours = slot_seconds / 3600.0
         total_guaranteed = scenario.total_guaranteed_w()
+        injector = self.fault_model
 
         for slot in range(slots):
             topology.clear_all_spot_budgets()
@@ -137,7 +171,10 @@ class SimulationEngine:
             else:
                 # Conservative per-rack references: a participating rack's
                 # draw can ramp within one slot, so reference its recent
-                # peak rather than its instantaneous draw.
+                # peak rather than its instantaneous draw.  These are the
+                # operator's *metered* views — under meter faults they can
+                # be wrong, which is exactly the hazard the degradation
+                # controller exists to contain.
                 references = {
                     rack_id: self.monitor.rack_recent_max_w(
                         rack_id, self.reference_window
@@ -158,11 +195,11 @@ class SimulationEngine:
                 # Bid-submission losses: affected tenants sit the slot out
                 # (the default "no spot capacity" state — §III-C).
                 active = participants
-                if self.fault_model is not None:
+                if injector is not None:
                     active = [
                         tenant
                         for tenant in participants
-                        if not self.fault_model.bid_lost(slot, tenant.tenant_id)
+                        if not injector.bid_lost(slot, tenant.tenant_id)
                     ]
                 record = self.allocator.allocate(
                     slot,
@@ -172,14 +209,24 @@ class SimulationEngine:
                     predicted_price,
                     extra_constraints=extra_constraints,
                 )
-                if self.fault_model is not None:
-                    lost = {
-                        rack_id
-                        for rack_id, grant in record.result.grants_w.items()
-                        if grant > 0
-                        and self.fault_model.grant_lost(slot, rack_id)
-                    }
-                    record = _revoke_grants(record, lost, slot_seconds)
+                if injector is not None:
+                    # Grant-delivery faults: a lost broadcast reverts the
+                    # rack to "no spot capacity" for good; a delayed one
+                    # additionally lands as a *stale* budget k slots
+                    # later.  Either way the cleared slot is unbilled.
+                    undelivered: set[str] = set()
+                    for rack_id, grant in record.result.grants_w.items():
+                        if grant <= 0:
+                            continue
+                        fault = injector.grant_fault(slot, rack_id, grant)
+                        if fault is None:
+                            continue
+                        undelivered.add(rack_id)
+                        if fault.kind == "delayed":
+                            self._pending_stale.setdefault(
+                                slot + fault.delay_slots, []
+                            ).append((rack_id, grant))
+                    record = revoke_and_rebill(record, undelivered, slot_seconds)
                 if self.enforcement is not None:
                     barred = self.enforcement.barred_racks(slot)
                     revoked = {
@@ -187,22 +234,62 @@ class SimulationEngine:
                         for rack_id in record.result.grants_w
                         if rack_id in barred
                     }
-                    record = _revoke_grants(record, revoked, slot_seconds)
+                    record = revoke_and_rebill(record, revoked, slot_seconds)
                 for rack_id, grant in record.result.grants_w.items():
                     topology.rack(rack_id).set_spot_budget(grant)
 
-            # Tenants execute the slot under their enforced budgets.
+            if injector is not None:
+                # Infrastructure derating events change the live PDU/UPS
+                # capacities before the slot executes.
+                injector.apply_capacity_faults(slot, topology)
+                # Stale (delayed) grant broadcasts land now: the rack PDU
+                # obeys the late budget reset unless a fresh grant already
+                # arrived this slot.  The stale budget was never cleared
+                # for this slot and is never billed — it is a hazard for
+                # the degradation controller, not a market outcome.
+                for rack_id, grant_w in self._pending_stale.pop(slot, []):
+                    rack = topology.rack(rack_id)
+                    if rack.spot_budget_w > 0:
+                        continue
+                    rack.set_spot_budget(min(grant_w, rack.max_spot_w))
+                    injector.log.record(
+                        slot, "stale_grant_applied", rack_id, grant_w
+                    )
+
+            if self.degradation is not None:
+                true_references = {
+                    rack_id: self.monitor.rack_recent_true_max_w(
+                        rack_id, self.reference_window
+                    )
+                    for rack_id in topology.racks
+                }
+                record = self.degradation.enforce(
+                    topology,
+                    record,
+                    slot,
+                    slot_seconds,
+                    true_reference_w=true_references,
+                )
+
+            # Tenants execute the slot under their enforced budgets — as
+            # set on the rack PDUs, which is where lost/stale deliveries
+            # and degradation-control revocations are visible.
             outcomes: dict[str, SlotPerformance] = {}
             for tenant in scenario.tenants:
                 budgets = {
-                    rack.rack_id: rack.guaranteed_w
-                    + record.result.grant_for(rack.rack_id)
+                    rack.rack_id: topology.rack(rack.rack_id).budget_w
                     for rack in tenant.racks
                 }
                 outcomes.update(tenant.execute_slot(slot, budgets, slot_seconds))
 
             rack_power = {rid: perf.power_w for rid, perf in outcomes.items()}
-            self.monitor.record_slot(rack_power)
+            metered = None
+            if injector is not None and injector.has_meter_faults:
+                metered = {
+                    rid: injector.metered_power_w(slot, rid, watts)
+                    for rid, watts in rack_power.items()
+                }
+            self.monitor.record_slot(rack_power, metered)
             self.emergencies.scan(topology, slot)
             if self.enforcement is not None:
                 self.enforcement.review(topology, slot)
@@ -237,6 +324,10 @@ class SimulationEngine:
             if self.price_predictor is not None:
                 self.price_predictor.observe(record.result.price)
 
+        # Leave the topology as designed: any derating still in force at
+        # the end of the run is transient state, not facility structure.
+        topology.restore_all_capacities()
+
         return SimulationResult(
             allocator_name=self.allocator.name,
             slot_seconds=slot_seconds,
@@ -247,10 +338,18 @@ class SimulationEngine:
             tenants=self._tenant_infos,
             energy_tariff_per_kwh=scenario.price_sheet.energy_tariff_per_kwh,
             guaranteed_rate_per_kw_hour=scenario.price_sheet.guaranteed_rate_per_kw_hour,
-            ups_capacity_w=topology.ups.capacity_w,
+            ups_capacity_w=topology.ups.base_capacity_w,
             pdu_capacities_w={
-                pdu_id: pdu.capacity_w for pdu_id, pdu in topology.pdus.items()
+                pdu_id: pdu.base_capacity_w
+                for pdu_id, pdu in topology.pdus.items()
             },
+            faults=injector.log if injector is not None else None,
+            control_actions=(
+                self.degradation.actions if self.degradation is not None else ()
+            ),
+            credit_notes=(
+                self.degradation.credits if self.degradation is not None else ()
+            ),
         )
 
 
@@ -260,68 +359,13 @@ def _empty_record() -> SlotMarketRecord:
     return SlotMarketRecord(result=AllocationResult.empty(), bids=(), payments={})
 
 
-def _revoke_grants(
-    record: SlotMarketRecord, lost: set[str], slot_seconds: float
-) -> SlotMarketRecord:
-    """Revoke a set of grants and rebill the survivors.
-
-    Used for both lost grant broadcasts and enforcement bars: the rack
-    PDU stays at the guaranteed budget, the operator does not bill the
-    revoked grant — strictly safe (feasible capacity is simply unused).
-    """
-    import dataclasses as _dc
-
-    from repro.core.allocation import AllocationResult
-
-    result = record.result
-    if not lost:
-        return record
-    grants = {
-        rack_id: (0.0 if rack_id in lost else grant)
-        for rack_id, grant in result.grants_w.items()
-    }
-    if record.frame is not None:
-        # Rebill straight off the slot's columnar frame: only surviving
-        # positive grants pay (the revocation semantics).
-        hourly, payments = record.frame.settle(
-            grants,
-            result.pdu_prices,
-            result.price,
-            slot_seconds,
-            positive_only=True,
-        )
-        revenue_rate = hourly
-    else:
-        bid_of = {bid.rack_id: bid for bid in record.bids}
-        slot_hours = slot_seconds / 3600.0
-        payments = {}
-        revenue_rate = 0.0
-        for rack_id, grant in grants.items():
-            if grant <= 0 or rack_id not in bid_of:
-                continue
-            bid = bid_of[rack_id]
-            price = result.price_for_pdu(bid.pdu_id)
-            revenue_rate += price * grant / 1000.0
-            payments[bid.tenant_id] = payments.get(bid.tenant_id, 0.0) + (
-                grant / 1000.0
-            ) * price * slot_hours
-    adjusted = AllocationResult(
-        price=result.price,
-        grants_w=grants,
-        revenue_rate=revenue_rate,
-        candidate_prices=result.candidate_prices,
-        feasible_prices=result.feasible_prices,
-        pdu_prices=result.pdu_prices,
-    )
-    return _dc.replace(record, result=adjusted, payments=payments)
-
-
 def run_simulation(
     scenario: Scenario,
     slots: int,
     allocator: Allocator | None = None,
     spot_predictor: SpotCapacityPredictor | None = None,
     use_price_forecasting: bool = False,
+    fault_profile=None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`SimulationEngine`.
 
@@ -334,11 +378,21 @@ def run_simulation(
             under-prediction).
         use_price_forecasting: Provide tenants an EWMA price forecast
             (strategies that ignore forecasts are unaffected).
+        fault_profile: Optional
+            :class:`repro.resilience.FaultProfile` to inject faults from
+            (overrides the scenario's own profile).
     """
+    fault_model = None
+    if fault_profile is not None:
+        seed = (
+            fault_profile.seed if fault_profile.seed is not None else scenario.seed
+        )
+        fault_model = fault_profile.build(seed=seed)
     engine = SimulationEngine(
         scenario,
         allocator=allocator,
         spot_predictor=spot_predictor,
         price_predictor=EwmaPricePredictor() if use_price_forecasting else None,
+        fault_model=fault_model,
     )
     return engine.run(slots)

@@ -1,46 +1,32 @@
-"""Failure injection: communication losses in the market loop.
+"""Legacy communication-fault model (thin adapter).
+
+The original fault model of this package injected independent per-slot
+Bernoulli bid/grant losses.  It has been superseded by the composable
+:mod:`repro.resilience` framework — bursty losses, delayed grants,
+meter faults, capacity deratings, and the degradation controller — and
+:class:`CommunicationFaultModel` now survives only as a thin
+:class:`~repro.resilience.faults.FaultInjector` subclass preserving the
+historical constructor and the ``bid_lost``/``grant_lost`` call
+contract.  New code should build a
+:class:`~repro.resilience.profile.FaultProfile` (or compose
+:class:`~repro.resilience.faults.FaultSource` objects) instead.
 
 Paper §III-C, "Handling exceptions": *"In case of any communications
 losses, SpotDC resumes to the default case of 'no spot capacity' for
-affected tenants/racks."*  :class:`CommunicationFaultModel` injects
-exactly those losses into a simulation:
-
-* **bid loss** — a tenant's bid submission never reaches the operator;
-  the tenant simply does not participate that slot;
-* **grant loss** — the price broadcast / budget reset never reaches a
-  tenant's racks; the operator revokes the grant (the rack PDU stays at
-  the guaranteed budget) and the tenant is not billed.
-
-Both failure modes are *safe by construction*: the default state is "no
-spot capacity", so a loss can only forgo performance/revenue, never
-overload the infrastructure.
+affected tenants/racks."*
 """
 
 from __future__ import annotations
 
-import dataclasses
-
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.resilience.faults import BernoulliLoss, FaultInjector, FaultLog
 
 __all__ = ["CommunicationFaultModel", "FaultLog"]
 
 
-@dataclasses.dataclass
-class FaultLog:
-    """Counts of injected communication losses.
-
-    Attributes:
-        lost_bids: Tenant-slots whose bid submission was dropped.
-        lost_grants: Rack-slots whose grant/budget broadcast was dropped.
-    """
-
-    lost_bids: int = 0
-    lost_grants: int = 0
-
-
-class CommunicationFaultModel:
+class CommunicationFaultModel(FaultInjector):
     """Random, independent per-slot communication losses.
 
     Args:
@@ -48,7 +34,12 @@ class CommunicationFaultModel:
             submission is lost.
         grant_loss_probability: Per-rack-per-slot probability the
             grant/budget broadcast is lost.
-        rng: Random source (seeded by the caller for reproducibility).
+        rng: Random source shared by both channels in draw order (the
+            historical contract — kept bit-compatible for seeded
+            experiments).
+        seed: Alternatively, a plain seed from which each channel
+            derives its own stream.  Exactly one of ``rng``/``seed``
+            must be provided.
     """
 
     def __init__(
@@ -56,6 +47,7 @@ class CommunicationFaultModel:
         bid_loss_probability: float = 0.0,
         grant_loss_probability: float = 0.0,
         rng: np.random.Generator | None = None,
+        seed: int | None = None,
     ) -> None:
         for name, p in (
             ("bid_loss_probability", bid_loss_probability),
@@ -63,29 +55,26 @@ class CommunicationFaultModel:
         ):
             if not 0 <= p <= 1:
                 raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
-        if rng is None:
+        if rng is None and seed is None:
             raise ConfigurationError(
-                "pass an explicit rng (reproducibility is not optional)"
+                "pass an explicit rng or seed (reproducibility is not optional)"
             )
-        self.bid_loss_probability = bid_loss_probability
-        self.grant_loss_probability = grant_loss_probability
-        self._rng = rng
-        self.log = FaultLog()
-
-    def bid_lost(self, slot: int, tenant_id: str) -> bool:
-        """Whether this tenant's bid submission is lost this slot."""
-        if self.bid_loss_probability <= 0:
-            return False
-        lost = bool(self._rng.random() < self.bid_loss_probability)
-        if lost:
-            self.log.lost_bids += 1
-        return lost
+        self.bid_loss_probability = float(bid_loss_probability)
+        self.grant_loss_probability = float(grant_loss_probability)
+        super().__init__(
+            sources=(
+                BernoulliLoss("bid", bid_loss_probability),
+                BernoulliLoss("grant", grant_loss_probability),
+            ),
+            rng=rng,
+            seed=seed if rng is None else None,
+        )
 
     def grant_lost(self, slot: int, rack_id: str) -> bool:
-        """Whether this rack's grant broadcast is lost this slot."""
-        if self.grant_loss_probability <= 0:
-            return False
-        lost = bool(self._rng.random() < self.grant_loss_probability)
-        if lost:
-            self.log.lost_grants += 1
-        return lost
+        """Whether this rack's grant broadcast is lost this slot.
+
+        Kept for callers of the historical API; the engine now asks
+        :meth:`~repro.resilience.faults.FaultInjector.grant_fault`.
+        """
+        fault = self.grant_fault(slot, rack_id, 0.0)
+        return fault is not None and fault.kind == "lost"

@@ -67,6 +67,13 @@ class SimulationResult:
         ups_capacity_w: The facility's designed UPS capacity (for
             utilization normalisation); 0 if unknown.
         pdu_capacities_w: Physical capacity per PDU id.
+        faults: The run's injected-fault log
+            (:class:`repro.resilience.faults.FaultLog`), or ``None``
+            when no fault model was active.
+        control_actions: Degradation-control actions taken during the
+            run (:class:`repro.resilience.degradation.ControlAction`).
+        credit_notes: Settlement credits for revoked grants
+            (:class:`repro.resilience.degradation.CreditNote`).
     """
 
     def __init__(
@@ -82,6 +89,9 @@ class SimulationResult:
         guaranteed_rate_per_kw_hour: float,
         ups_capacity_w: float = 0.0,
         pdu_capacities_w: dict[str, float] | None = None,
+        faults=None,
+        control_actions=(),
+        credit_notes=(),
     ) -> None:
         self.allocator_name = allocator_name
         self.slot_seconds = slot_seconds
@@ -94,6 +104,9 @@ class SimulationResult:
         self.guaranteed_rate_per_kw_hour = guaranteed_rate_per_kw_hour
         self.ups_capacity_w = ups_capacity_w
         self.pdu_capacities_w = dict(pdu_capacities_w or {})
+        self.faults = faults
+        self.control_actions = tuple(control_actions)
+        self.credit_notes = tuple(credit_notes)
 
     # ------------------------------------------------------------------
     # Basic dimensions

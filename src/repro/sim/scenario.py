@@ -34,6 +34,7 @@ from repro.infrastructure.rack import Rack
 from repro.infrastructure.topology import PowerTopology
 from repro.infrastructure.ups import Ups
 from repro.power.server import ServerPowerModel
+from repro.resilience.profile import FaultProfile
 from repro.sim.results import RackInfo, TenantInfo
 from repro.tenants.bidding import BiddingStrategy, LinearElasticStrategy
 from repro.tenants.calibration import (
@@ -140,6 +141,11 @@ class Scenario:
         seed: Seed the scenario was built from.
         infrastructure_cost_per_hour: Operator's amortised shared-
             infrastructure cost (for profit accounting).
+        fault_profile: Optional declarative fault configuration
+            (:class:`repro.resilience.profile.FaultProfile`).  The
+            engine builds a fault injector from it automatically unless
+            an explicit ``fault_model`` is passed; the profile's own
+            seed, or else the scenario seed, keys the fault streams.
     """
 
     topology: PowerTopology
@@ -148,6 +154,7 @@ class Scenario:
     slot_seconds: float
     seed: int
     infrastructure_cost_per_hour: float
+    fault_profile: "FaultProfile | None" = None
 
     def prepare(self, slots: int) -> None:
         """Materialise every tenant's workload traces for a run."""

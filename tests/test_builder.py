@@ -131,6 +131,27 @@ class TestSimulation:
         ]
         assert np.allclose(perfs[0], perfs[1])
 
+    def test_fault_profile_flows_from_builder_to_engine(self):
+        from repro.resilience import FaultProfile
+
+        def run(seed):
+            scenario = (
+                ScenarioBuilder(seed=seed)
+                .add_pdu("row", oversubscription=1.05)
+                .add_search_tenant("search", 150.0, "row")
+                .add_other_group("colo", 250.0, "row")
+                .with_fault_profile(FaultProfile.named("comm", 0.3))
+                .build()
+            )
+            assert scenario.fault_profile is not None
+            return run_simulation(scenario, 120)
+
+        result = run(seed=9)
+        assert result.faults is not None
+        assert result.faults.lost_bids > 0
+        # Same builder seed ⇒ identical fault trace (seed keys the streams).
+        assert run(seed=9).faults.records == result.faults.records
+
     def test_tiered_tenant_improves_over_powercapped(self):
         def build():
             return (

@@ -1,0 +1,179 @@
+"""Degradation controller (repro.resilience.degradation)."""
+
+import pytest
+
+from repro.core.allocation import AllocationResult
+from repro.core.baselines import PowerCappedAllocator
+from repro.core.market import SlotMarketRecord
+from repro.economics.settlement import reconcile
+from repro.errors import ConfigurationError
+from repro.infrastructure.pdu import Pdu
+from repro.infrastructure.rack import Rack
+from repro.infrastructure.topology import PowerTopology
+from repro.infrastructure.ups import Ups
+from repro.resilience import DegradationController, FaultInjector, MeterFaultSource
+from repro.sim.engine import run_simulation
+from repro.sim.scenario import testbed_scenario as build_testbed
+
+
+def mini_topology(pdu_capacity_w=1000.0, ups_capacity_w=10_000.0, racks=3):
+    """One PDU, `racks` identical racks (200 W guaranteed, 400 W physical)."""
+    rack_objs = [
+        Rack(f"r{i}", f"t{i}", "pdu:0", guaranteed_w=200.0, physical_w=400.0)
+        for i in range(racks)
+    ]
+    return PowerTopology.build(
+        Ups("ups:0", ups_capacity_w), [Pdu("pdu:0", pdu_capacity_w)], rack_objs
+    )
+
+
+def record_for(grants, price=10.0):
+    result = AllocationResult(
+        price=price,
+        grants_w=dict(grants),
+        revenue_rate=sum(grants.values()) * price / 1000.0,
+    )
+    return SlotMarketRecord(result=result, bids=(), payments={}, frame=None)
+
+
+class TestValidation:
+    def test_margin_must_be_fraction(self):
+        with pytest.raises(ConfigurationError):
+            DegradationController(safety_margin_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            DegradationController(safety_margin_fraction=-0.1)
+
+    def test_tolerance_must_be_nonnegative(self):
+        with pytest.raises(ConfigurationError):
+            DegradationController(tolerance_w=-1.0)
+
+
+class TestRevocation:
+    def test_no_excursion_means_no_action(self):
+        topology = mini_topology()
+        topology.rack("r0").set_spot_budget(100.0)
+        controller = DegradationController()
+        record = record_for({"r0": 100.0})
+        out = controller.enforce(topology, record, slot=0, slot_seconds=60.0)
+        assert controller.actions == ()
+        assert out.result.grant_for("r0") == 100.0
+        assert topology.rack("r0").spot_budget_w == 100.0
+
+    def test_stale_budget_revoked_first(self):
+        # r2 holds a stale budget (no grant on record → clearing value
+        # 0); under an excursion it must be revoked before any freshly
+        # granted rack, and it alone clears the excess here.
+        topology = mini_topology()
+        topology.rack("r0").set_spot_budget(50.0)
+        topology.rack("r1").set_spot_budget(150.0)
+        topology.rack("r2").set_spot_budget(120.0)  # stale
+        topology.pdu("pdu:0").apply_derating(0.2)  # 1000 -> 800 W
+        controller = DegradationController()
+        record = record_for({"r0": 50.0, "r1": 150.0})
+        out = controller.enforce(topology, record, slot=5, slot_seconds=60.0)
+        revoked = [a.rack_id for a in controller.actions if a.kind == "revoke"]
+        assert revoked == ["r2"]
+        assert topology.rack("r2").spot_budget_w == 0.0
+        assert topology.rack("r0").spot_budget_w == 50.0
+        assert topology.rack("r1").spot_budget_w == 150.0
+        # A stale budget was never billed, so revoking it credits nothing.
+        assert controller.credits == ()
+        assert out.result.grant_for("r1") == 150.0
+
+    def test_lowest_clearing_value_revoked_first_and_credited(self):
+        topology = mini_topology(racks=2)
+        topology.rack("r0").set_spot_budget(50.0)
+        topology.rack("r1").set_spot_budget(150.0)
+        topology.pdu("pdu:0").apply_derating(0.5)  # 1000 -> 500 W
+        controller = DegradationController()
+        record = record_for({"r0": 50.0, "r1": 150.0}, price=10.0)
+        out = controller.enforce(topology, record, slot=3, slot_seconds=60.0)
+        revoked = [a.rack_id for a in controller.actions if a.kind == "revoke"]
+        assert revoked == ["r0"]  # cheaper grant goes first, and suffices
+        assert topology.rack("r1").spot_budget_w == 150.0
+        assert out.result.grant_for("r0") == 0.0
+        assert out.result.grant_for("r1") == 150.0
+        (note,) = controller.credits
+        assert note.tenant_id == "t0"
+        assert note.watts == 50.0
+        # 50 W at $10/kW/h for a 60 s slot.
+        assert note.dollars == pytest.approx(50.0 / 1000.0 * 10.0 / 60.0)
+        assert controller.credited_dollars() == pytest.approx(note.dollars)
+
+    def test_escalates_to_emergency_cap_when_revocation_exhausted(self):
+        # Derate below the guaranteed-backed draw: revoking every grant
+        # cannot clear the excursion, so the residual is escalated.
+        topology = mini_topology(racks=2)
+        topology.rack("r0").set_spot_budget(50.0)
+        topology.rack("r1").record_power(200.0)  # guaranteed-backed draw
+        topology.pdu("pdu:0").apply_derating(0.9)  # 1000 -> 100 W
+        controller = DegradationController()
+        record = record_for({"r0": 50.0})
+        controller.enforce(topology, record, slot=0, slot_seconds=60.0)
+        kinds = [a.kind for a in controller.actions]
+        assert kinds == ["revoke", "emergency_cap"]
+        cap = controller.actions[-1]
+        # Projection 250 + 200 against 100 W; revoking r0 frees 250 W.
+        assert cap.watts == pytest.approx(100.0)
+        assert cap.level == "pdu" and cap.rack_id == ""
+        assert controller.revocation_count() == 1
+
+    def test_true_reference_caps_ungranted_projection(self):
+        # An ungranted rack is projected at min(reference, guaranteed):
+        # hardened telemetry showing a low draw shrinks the projection
+        # below what last-sample power would give.
+        topology = mini_topology(racks=2)
+        topology.rack("r0").set_spot_budget(100.0)
+        topology.rack("r1").record_power(200.0)
+        topology.pdu("pdu:0").apply_derating(0.6)  # 1000 -> 400 W
+        controller = DegradationController()
+        record = record_for({"r0": 100.0})
+        # Without the reference: 300 + 200 > 400 would revoke r0; the
+        # hardened reference says r1 really draws 80 W, so all fits.
+        controller.enforce(
+            topology,
+            record,
+            slot=0,
+            slot_seconds=60.0,
+            true_reference_w={"r1": 80.0},
+        )
+        assert controller.actions == ()
+        assert topology.rack("r0").spot_budget_w == 100.0
+
+
+class TestMeterFaultEndToEnd:
+    def test_corrupted_meters_cannot_create_extra_overloads(self):
+        # Drop out the non-participating Other racks' billing meters: the
+        # operator's predictor sees ~0 W where ~racks' full guaranteed
+        # draw really flows, inflating the offered spot headroom.  The
+        # degradation controller works off hardened true telemetry and
+        # must keep the facility at the no-spot baseline's emergency
+        # level (paper §V-B2) despite the market clearing on bad data.
+        slots, seed = 250, 7
+        injector = FaultInjector(
+            [
+                MeterFaultSource(
+                    dropout_probability=0.6,
+                    episode_slots=20,
+                    unit_ids=["rack:Other-1", "rack:Other-2"],
+                )
+            ],
+            seed=seed,
+        )
+        from repro.sim.engine import SimulationEngine
+
+        engine = SimulationEngine(build_testbed(seed=seed), fault_model=injector)
+        spotdc = engine.run(slots)
+        capped = run_simulation(
+            build_testbed(seed=seed), slots, allocator=PowerCappedAllocator()
+        )
+        assert spotdc.faults.count("meter_dropout") > 0
+        for level in ("ups", "pdu"):
+            assert (
+                spotdc.emergencies.overload_slot_count(level)
+                <= capped.emergencies.overload_slot_count(level)
+            )
+        # The controller visibly intervened: the corrupted headroom led
+        # to grants it had to walk back.
+        assert spotdc.control_actions
+        reconcile(spotdc)

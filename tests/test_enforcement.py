@@ -92,6 +92,61 @@ class TestEnforcementPolicy:
             EnforcementPolicy(cut_slots=0)
 
 
+class TestWarningMemory:
+    def overdraw(self, policy, topology, slot):
+        topology.rack("r1").record_power(110.0)
+        topology.rack("r2").record_power(50.0)
+        return policy.review(topology, slot)
+
+    def test_legacy_no_expiry_accumulates_forever(self):
+        # Regression pin of the original behaviour (a bug this window
+        # fixes): with warning_memory_slots=None, warnings issued
+        # thousands of slots apart still add up to a power cut.
+        topology = small_topology()
+        policy = EnforcementPolicy(
+            warnings_before_cut=3, warning_memory_slots=None
+        )
+        kinds = []
+        for slot in (0, 5_000, 10_000):
+            kinds.extend(a.kind for a in self.overdraw(policy, topology, slot))
+        assert kinds == ["warning", "warning", "power_cut"]
+
+    def test_stale_warnings_expire_within_window(self):
+        topology = small_topology()
+        policy = EnforcementPolicy(
+            warnings_before_cut=3, warning_memory_slots=100
+        )
+        kinds = []
+        for slot in (0, 200, 400):  # each warning expires before the next
+            kinds.extend(a.kind for a in self.overdraw(policy, topology, slot))
+        assert kinds == ["warning", "warning", "warning"]
+        # Three overdraws *inside* one window still escalate.
+        kinds = [
+            a.kind
+            for slot in (500, 520, 540)
+            for a in self.overdraw(policy, topology, slot)
+        ]
+        assert kinds == ["warning", "warning", "power_cut"]
+
+    def test_warning_count_prunes_at_a_slot(self):
+        topology = small_topology()
+        policy = EnforcementPolicy(
+            warnings_before_cut=5, warning_memory_slots=50
+        )
+        self.overdraw(policy, topology, 0)
+        self.overdraw(policy, topology, 40)
+        assert policy.warning_count("r1") == 2  # outstanding, unpruned
+        assert policy.warning_count("r1", slot=45) == 2
+        assert policy.warning_count("r1", slot=60) == 1  # slot-0 expired
+        assert policy.warning_count("r1", slot=200) == 0
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnforcementPolicy(warning_memory_slots=0)
+        with pytest.raises(ConfigurationError):
+            EnforcementPolicy(warning_memory_slots=-5)
+
+
 class TestMisbehavingTenantInSimulation:
     def _run(self, overdraw_probability, slots=600, enforcement=None):
         scenario = build_testbed(seed=66)

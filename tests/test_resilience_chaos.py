@@ -1,0 +1,48 @@
+"""Chaos sweep invariant (ext_resilience) — full-scale, `chaos`-marked.
+
+Excluded from the default tier-1 run (`addopts = -m 'not chaos'`); the
+dedicated CI chaos job runs it with `-m chaos`.
+"""
+
+import pytest
+
+from repro.experiments.ext_resilience import (
+    render_resilience_study,
+    run_resilience_cell,
+    run_resilience_study,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+class TestChaosSweep:
+    def test_invariant_holds_across_the_sweep(self):
+        study = run_resilience_study(seed=1, slots=150, intensities=(0.1, 0.3))
+        assert study.violations() == []
+        by_class = {c.fault_class for c in study.cells}
+        assert "chaos" in by_class and "none" in by_class
+        # The sweep actually injected faults in every non-control cell.
+        for cell in study.cells:
+            if cell.fault_class != "none":
+                assert cell.fault_count > 0, cell.fault_class
+
+    def test_control_cell_is_fault_free(self):
+        cell = run_resilience_cell("none", 0.0, seed=1, slots=120)
+        assert cell.fault_count == 0
+        assert cell.revocations == 0
+        assert cell.invariant_ok
+
+    def test_chaos_cell_exercises_every_fault_channel(self):
+        cell = run_resilience_cell("chaos", 0.3, seed=1, slots=200)
+        assert cell.lost_bids > 0
+        assert cell.lost_grants > 0
+        assert cell.meter_faults > 0
+        assert cell.invariant_ok
+
+    def test_render_mentions_verdict(self):
+        study = run_resilience_study(
+            seed=1, slots=80, intensities=(0.2,), fault_classes=("none", "comm")
+        )
+        text = render_resilience_study(study)
+        assert "Chaos sweep" in text
+        assert "invariant holds" in text
