@@ -1,15 +1,17 @@
 """Fig. 7: (a) PDU power variation; (b) clearing time at scale.
 
-Besides the paper-style text archive, the clearing benchmark emits
-machine-readable timings (``results/BENCH_clearing.json``: racks x
-price-step x wall-ms for both the columnar BidFrame path and the legacy
-object path) so future PRs can track the perf trajectory.
+Besides the paper-style text archive, both panels emit machine-readable
+summaries in the telemetry exporter's envelope format
+(``results/fig07a_pdu_variation.json`` and ``results/BENCH_clearing.json``:
+racks x price-step x wall-ms for both the columnar BidFrame path and the
+legacy object path) so future PRs can track the perf trajectory — see
+``docs/observability.md``.
 """
 
-import json
 import pathlib
 
 from repro.experiments import render_fig07, run_fig07a, run_fig07b
+from repro.telemetry import write_summary_json
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -22,6 +24,12 @@ def test_fig07a_pdu_variation(benchmark, archive):
     assert result.p99 < 0.025
     archive("fig07a_pdu_variation", f"p50={result.p50:.4f} p90={result.p90:.4f} "
             f"p99={result.p99:.4f} max={result.max:.4f}")
+    write_summary_json(
+        RESULTS_DIR / "fig07a_pdu_variation.json",
+        bench="fig07a_pdu_variation",
+        data={"p50": result.p50, "p90": result.p90,
+              "p99": result.p99, "max": result.max},
+    )
 
 
 def test_fig07b_clearing_time(benchmark, archive):
@@ -70,7 +78,8 @@ def _write_clearing_json(result) -> None:
                     "frame_build_ms": result.frame_build_seconds[i] * 1e3,
                 }
             )
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_clearing.json").write_text(
-        json.dumps({"bench": "clearing", "cells": cells}, indent=2) + "\n"
+    write_summary_json(
+        RESULTS_DIR / "BENCH_clearing.json",
+        bench="clearing",
+        data={"cells": cells},
     )

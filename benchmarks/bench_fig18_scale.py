@@ -1,8 +1,18 @@
-"""Fig. 18: scaling to a hyper-scale facility (up to 1,000 tenants)."""
+"""Fig. 18: scaling to a hyper-scale facility (up to 1,000 tenants).
+
+Alongside the paper-style text archive, the sweep is persisted as
+``results/fig18_scale.json`` in the telemetry exporter's envelope
+format, so scaling behaviour accumulates a machine-readable trajectory.
+"""
+
+import pathlib
 
 import numpy as np
 
 from repro.experiments import render_fig18, run_fig18
+from repro.telemetry import write_summary_json
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def test_fig18_scale(benchmark, archive):
@@ -13,6 +23,17 @@ def test_fig18_scale(benchmark, archive):
         iterations=1,
     )
     archive("fig18_scale", render_fig18(sweep))
+    write_summary_json(
+        RESULTS_DIR / "fig18_scale.json",
+        bench="fig18_scale",
+        data={
+            "tenant_counts": list(sweep.tenant_counts),
+            "profit_increase": list(sweep.profit_increase),
+            "perf_improvement": list(sweep.perf_improvement),
+            "cost_increase": list(sweep.cost_increase),
+        },
+        meta={"slots": 600},
+    )
     profit = np.array(sweep.profit_increase)
     perf = np.array(sweep.perf_improvement)
     cost = np.array(sweep.cost_increase)

@@ -6,20 +6,30 @@ Usage::
     python -m repro run table1
     python -m repro run fig12 --slots 2500 --seed 7
     python -m repro run all
+    python -m repro run fig12 --telemetry    # also record traces/metrics
     python -m repro compare --slots 2000     # SpotDC vs baselines summary
+    python -m repro trace telemetry/spotdc-001_trace.jsonl --slot 3
+    python -m repro metrics telemetry/spotdc-001_metrics.prom
 
 Each ``run`` target prints the paper-style rows for that table/figure
 (the same output the benchmarks archive under ``benchmarks/results/``).
+With ``--telemetry``, every simulation inside the experiment also
+exports a JSONL span trace, a Prometheus metrics dump, and a summary
+JSON into ``--telemetry-dir``; ``trace`` and ``metrics`` inspect those
+artifacts afterwards (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import collections
+import pathlib
 import sys
 from collections.abc import Callable, Sequence
 
 from repro import experiments as E
 from repro.resilience import FAULT_CLASSES, FaultProfile
+from repro.telemetry import TelemetryConfig, set_default_config
 
 __all__ = ["main", "EXPERIMENT_REGISTRY"]
 
@@ -151,11 +161,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    for i, target in enumerate(targets):
-        if i:
-            print()
-        _, runner = EXPERIMENT_REGISTRY[target]
-        print(runner(args))
+    config = None
+    previous = None
+    if args.telemetry:
+        # The process-wide default reaches every engine the experiment
+        # harnesses construct internally — no parameter threading.
+        config = TelemetryConfig(out_dir=args.telemetry_dir)
+        previous = set_default_config(config)
+    try:
+        for i, target in enumerate(targets):
+            if i:
+                print()
+            _, runner = EXPERIMENT_REGISTRY[target]
+            print(runner(args))
+    finally:
+        if config is not None:
+            set_default_config(previous)
+    if config is not None:
+        print(f"\noutput directory: {pathlib.Path(args.telemetry_dir).resolve()}")
+        for path in config.manifest:
+            print(f"  {path}")
+        if not config.manifest:
+            print("  (no simulation ran, nothing exported)")
+    else:
+        print(
+            "\nno artifacts written (pass --telemetry to record traces "
+            "and metrics)"
+        )
     return 0
 
 
@@ -210,6 +242,98 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    parts = []
+    for key, value in attrs.items():
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.6g}")
+        elif isinstance(value, list):
+            parts.append(f"{key}=[{len(value)} items]")
+        else:
+            parts.append(f"{key}={value}")
+    return "  " + " ".join(parts)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry.exporters import read_trace_jsonl
+
+    try:
+        records = read_trace_jsonl(args.file)
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    spans = [r for r in records if r.get("kind") == "span"]
+    events = [r for r in records if r.get("kind") == "event"]
+    slots = sorted({s["slot"] for s in spans if s["name"] == "slot"})
+
+    if args.slot is not None:
+        roots = [
+            s for s in spans if s["name"] == "slot" and s["slot"] == args.slot
+        ]
+        if not roots:
+            print(f"no slot span for slot {args.slot}", file=sys.stderr)
+            return 2
+        for root in roots:
+            print(f"slot {args.slot}{_format_attrs(root['attrs'])}")
+            children = [
+                r
+                for r in records
+                if r.get("parent_id") == root["span_id"]
+                and r.get("kind") == "span"
+            ]
+            for child in sorted(children, key=lambda r: r["span_id"]):
+                print(f"  {child['name']}{_format_attrs(child['attrs'])}")
+                nested = [
+                    r
+                    for r in records
+                    if r.get("parent_id") == child["span_id"]
+                ]
+                for sub in sorted(nested, key=lambda r: r["seq"]):
+                    marker = "·" if sub.get("kind") == "event" else "-"
+                    print(f"    {marker} {sub['name']}{_format_attrs(sub['attrs'])}")
+        return 0
+
+    print(
+        f"{args.file}: {len(slots)} slots, {len(spans)} spans, "
+        f"{len(events)} events"
+    )
+    span_counts = collections.Counter(s["name"] for s in spans)
+    print("spans:")
+    for name, n in span_counts.most_common():
+        print(f"  {name:<12} {n}")
+    if events:
+        print("events:")
+        for name, n in collections.Counter(e["name"] for e in events).most_common():
+            print(f"  {name:<28} {n}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    path = pathlib.Path(args.file)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    shown = 0
+    for line in text.splitlines():
+        if line.startswith("# TYPE"):
+            if args.filter and args.filter not in line:
+                continue
+            print(line.removeprefix("# TYPE "))
+            shown += 1
+        elif line and not line.startswith("#"):
+            if args.filter and args.filter not in line:
+                continue
+            print(f"  {line}")
+    if not shown and args.filter:
+        print(f"no metric family matches {args.filter!r}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -229,6 +353,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--slots", type=int, default=_RUN_SLOTS_DEFAULT,
         help="simulation horizon for the extended-run experiments",
     )
+    run.add_argument(
+        "--telemetry", action="store_true",
+        help="record a span trace, metrics dump, and summary JSON for "
+        "every simulation inside the experiment",
+    )
+    run.add_argument(
+        "--telemetry-dir", default="telemetry",
+        help="directory for telemetry artifacts (default: ./telemetry)",
+    )
     run.set_defaults(func=_cmd_run)
 
     compare = sub.add_parser(
@@ -246,6 +379,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="intensity of the injected fault class, in [0, 1]",
     )
     compare.set_defaults(func=_cmd_compare)
+
+    trace = sub.add_parser(
+        "trace", help="inspect a run's JSONL span trace"
+    )
+    trace.add_argument("file", help="a *_trace.jsonl file")
+    trace.add_argument(
+        "--slot", type=int, default=None,
+        help="show one slot's span tree instead of the run summary",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics", help="inspect a run's Prometheus metrics dump"
+    )
+    metrics.add_argument("file", help="a *_metrics.prom file")
+    metrics.add_argument(
+        "--filter", default="",
+        help="only show lines containing this substring",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
     return parser
 
 

@@ -44,7 +44,13 @@ class PowerCappedAllocator(Allocator):
         slot_seconds: float,
         predicted_price: float | None = None,
         extra_constraints: Sequence = (),
+        tracer=None,
     ) -> SlotMarketRecord:
+        if tracer is not None:
+            with tracer.span("bid_collect", slot=slot) as span:
+                span.set(tenants=len(tenants), racks_bid=0)
+            with tracer.span("clear", slot=slot) as span:
+                span.set(price=0.0, granted_racks=0, granted_w=0.0)
         return SlotMarketRecord(
             result=AllocationResult.empty(), bids=(), payments={}
         )
@@ -79,28 +85,57 @@ class MaxPerfAllocator(Allocator):
         slot_seconds: float,
         predicted_price: float | None = None,
         extra_constraints: Sequence = (),
+        tracer=None,
     ) -> SlotMarketRecord:
+        if tracer is None:
+            from repro.telemetry.tracing import NULL_TRACER
+
+            tracer = NULL_TRACER
         # Gather candidate racks: those whose owners want spot capacity
         # now, with their value curves and physical caps.
         candidates = []  # (rack_id, pdu_id, curve, cap_w)
-        for tenant in tenants:
-            needed = tenant.needed_spot_w(slot)
-            if not needed:
-                continue
-            curves = tenant.value_curves(slot)
-            rack_by_id = {r.rack_id: r for r in tenant.racks}
-            for rack_id in needed:
-                rack = rack_by_id[rack_id]
-                curve = curves.get(rack_id)
-                if curve is None:
+        with tracer.span("bid_collect", slot=slot) as bid_span:
+            for tenant in tenants:
+                needed = tenant.needed_spot_w(slot)
+                if not needed:
                     continue
-                cap = min(rack.max_spot_w, curve.max_spot_w)
-                if cap > 0:
-                    candidates.append((rack_id, rack.pdu_id, curve, cap))
+                curves = tenant.value_curves(slot)
+                rack_by_id = {r.rack_id: r for r in tenant.racks}
+                for rack_id in needed:
+                    rack = rack_by_id[rack_id]
+                    curve = curves.get(rack_id)
+                    if curve is None:
+                        continue
+                    cap = min(rack.max_spot_w, curve.max_spot_w)
+                    if cap > 0:
+                        candidates.append((rack_id, rack.pdu_id, curve, cap))
+            bid_span.set(tenants=len(tenants), racks_bid=len(candidates))
         if not candidates:
+            with tracer.span("clear", slot=slot) as span:
+                span.set(price=0.0, granted_racks=0, granted_w=0.0)
             return SlotMarketRecord(
                 result=AllocationResult.empty(), bids=(), payments={}
             )
+        with tracer.span("clear", slot=slot) as clear_span:
+            record = self._water_fill(
+                candidates, forecast, extra_constraints
+            )
+        clear_span.set(
+            price=0.0,
+            granted_racks=sum(
+                1 for g in record.result.grants_w.values() if g > 0
+            ),
+            granted_w=record.result.total_granted_w,
+        )
+        return record
+
+    def _water_fill(
+        self,
+        candidates: list,
+        forecast: SpotCapacityForecast,
+        extra_constraints: Sequence,
+    ) -> SlotMarketRecord:
+        """Greedy marginal-value water-filling over the candidate racks."""
 
         # Columnar bookkeeping: candidates become index-addressed columns
         # (grant, cap, PDU code, constraint memberships) so each greedy

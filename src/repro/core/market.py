@@ -68,12 +68,16 @@ class Allocator(abc.ABC):
         slot_seconds: float,
         predicted_price: float | None = None,
         extra_constraints: Sequence = (),
+        tracer=None,
     ) -> SlotMarketRecord:
         """Decide this slot's spot-capacity grants.
 
         ``extra_constraints`` are phase-balance / heat-density bounds
         (:class:`repro.infrastructure.constraints.CapacityConstraint`)
-        in force for this slot.
+        in force for this slot.  ``tracer`` is an optional
+        :class:`repro.telemetry.Tracer` under which the allocator opens
+        its ``bid_collect`` / ``clear`` phase spans (``None`` disables
+        tracing).
         """
 
 
@@ -143,25 +147,45 @@ class SpotDCAllocator(Allocator):
         slot_seconds: float,
         predicted_price: float | None = None,
         extra_constraints: Sequence = (),
+        tracer=None,
     ) -> SlotMarketRecord:
-        bids = self._collect_bids(slot, tenants, predicted_price)
-        # One columnar build per slot; clearing, verification inputs, and
-        # billing all consume the frame from here on.
-        frame = BidFrame.from_bids(bids)
-        result = self._clear(frame, forecast, extra_constraints)
-        if self.oracle_rebid and bids:
-            # Fig. 16: strategic tenants re-bid knowing the market price.
-            rebids = self._collect_bids(slot, tenants, result.price)
-            frame = BidFrame.from_bids(rebids)
+        if tracer is None:
+            from repro.telemetry.tracing import NULL_TRACER
+
+            tracer = NULL_TRACER
+        with tracer.span("bid_collect", slot=slot) as bid_span:
+            bids = self._collect_bids(slot, tenants, predicted_price)
+            bid_span.set(
+                tenants=len(tenants),
+                racks_bid=len(bids),
+                forecast_price=predicted_price,
+            )
+        with tracer.span("clear", slot=slot) as clear_span:
+            # One columnar build per slot; clearing, verification inputs,
+            # and billing all consume the frame from here on.
+            frame = BidFrame.from_bids(bids)
             result = self._clear(frame, forecast, extra_constraints)
-            bids = rebids
-        if self.verify:
-            verify_allocation(
-                result,
-                frame.to_bids(),
-                forecast.pdu_spot_w,
-                forecast.ups_spot_w,
-                extra_constraints=extra_constraints,
+            if self.oracle_rebid and bids:
+                # Fig. 16: strategic tenants re-bid knowing the market price.
+                rebids = self._collect_bids(slot, tenants, result.price)
+                frame = BidFrame.from_bids(rebids)
+                result = self._clear(frame, forecast, extra_constraints)
+                bids = rebids
+            if self.verify:
+                verify_allocation(
+                    result,
+                    frame.to_bids(),
+                    forecast.pdu_spot_w,
+                    forecast.ups_spot_w,
+                    extra_constraints=extra_constraints,
+                )
+            clear_span.set(
+                price=result.price,
+                prices_scanned=result.candidate_prices,
+                feasible_prices=result.feasible_prices,
+                granted_racks=sum(1 for g in result.grants_w.values() if g > 0),
+                granted_w=result.total_granted_w,
+                pricing=self.pricing,
             )
         _, payments = frame.settle(
             result.grants_w, result.pdu_prices, result.price, slot_seconds

@@ -196,6 +196,14 @@ class DegradationController:
         """Number of revoked grants across the run."""
         return sum(1 for a in self._actions if a.kind == "revoke")
 
+    def new_actions(self, start: int) -> list[ControlAction]:
+        """Actions issued at or after index ``start`` (incremental view)."""
+        return self._actions[start:]
+
+    def new_credits(self, start: int) -> list[CreditNote]:
+        """Credits issued at or after index ``start`` (incremental view)."""
+        return self._credits[start:]
+
     def credited_dollars(self) -> float:
         """Total settlement credits across the run."""
         return sum(note.dollars for note in self._credits)

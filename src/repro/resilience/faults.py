@@ -113,6 +113,18 @@ class FaultLog:
         """All records of one kind, in injection order."""
         return [r for r in self._records if r.kind == kind]
 
+    def tail(self, start: int) -> list[FaultRecord]:
+        """Records appended at or after index ``start``.
+
+        Incremental consumers (the engine's telemetry event bridge)
+        remember ``len(log)`` between slots and fetch only the delta —
+        no per-slot full-log copies.
+        """
+        return self._records[start:]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
     # Backward-compatible scalar views (the original FaultLog fields).
 
     @property

@@ -99,6 +99,7 @@ class ScenarioBuilder:
         self._names: set[str] = set()
         self._rng = make_rng(seed)
         self._fault_profile = None
+        self._telemetry = None
 
     def with_fault_profile(self, profile) -> "ScenarioBuilder":
         """Attach a :class:`repro.resilience.FaultProfile` to the run.
@@ -108,6 +109,16 @@ class ScenarioBuilder:
         streams, so identical seeds reproduce identical fault traces.
         """
         self._fault_profile = profile
+        return self
+
+    def with_telemetry(self, config) -> "ScenarioBuilder":
+        """Attach a :class:`repro.telemetry.TelemetryConfig` to the run.
+
+        Every engine built from the resulting scenario records the
+        per-slot span trace and metrics, and (when the config names an
+        ``out_dir``) exports the JSONL / Prometheus / summary artifacts.
+        """
+        self._telemetry = config
         return self
 
     # ------------------------------------------------------------------
@@ -364,4 +375,5 @@ class ScenarioBuilder:
             seed=self.seed,
             infrastructure_cost_per_hour=infra_per_hour,
             fault_profile=self._fault_profile,
+            telemetry=self._telemetry,
         )

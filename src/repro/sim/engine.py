@@ -41,6 +41,8 @@ from repro.resilience.degradation import DegradationController, revoke_and_rebil
 from repro.sim.metrics import MetricsCollector
 from repro.sim.results import SimulationResult
 from repro.sim.scenario import Scenario
+from repro.telemetry import Telemetry, default_config
+from repro.telemetry.registry import DEFAULT_PRICE_BUCKETS, DEFAULT_WATTS_BUCKETS
 from repro.workloads.base import SlotPerformance
 
 __all__ = ["SimulationEngine", "run_simulation"]
@@ -81,6 +83,16 @@ class SimulationEngine:
             whenever a fault model is active; pass ``False`` to disable
             containment (e.g. to demonstrate the unprotected excursion),
             or a pre-built controller to tune its margins.
+        telemetry: Observability for the run: a
+            :class:`repro.telemetry.TelemetryConfig`, a pre-built
+            :class:`repro.telemetry.Telemetry`, or ``None`` to fall back
+            to the scenario's ``telemetry`` config and then the
+            process-wide default (:func:`repro.telemetry.default_config`)
+            — disabled when neither is set.  When enabled, every slot is
+            traced as one span tree (``predict -> bid_collect -> clear ->
+            grant -> enforce -> settle``), faults/revocations/invoices
+            become events, and artifacts are exported at the end of the
+            run if the config names an output directory.
     """
 
     def __init__(
@@ -95,8 +107,14 @@ class SimulationEngine:
         fault_model=None,
         enforcement=None,
         degradation=None,
+        telemetry=None,
     ) -> None:
         self.scenario = scenario
+        if telemetry is None:
+            telemetry = getattr(scenario, "telemetry", None)
+        if telemetry is None:
+            telemetry = default_config()
+        self.telemetry = Telemetry.resolve(telemetry)
         self.reference_window = reference_window
         self.constraint_provider = constraint_provider
         if fault_model is None:
@@ -155,7 +173,30 @@ class SimulationEngine:
         total_guaranteed = scenario.total_guaranteed_w()
         injector = self.fault_model
 
+        tel = self.telemetry
+        tracer = tel.tracer
+        registry = tel.registry
+        m_slots = registry.counter("slots_total")
+        m_bids = registry.counter("bids_total")
+        m_grants = registry.counter("grants_total")
+        m_revoked_w = registry.counter("revoked_watts_total")
+        m_revenue = registry.counter("spot_revenue_dollars_total")
+        m_emergencies = registry.counter("emergencies_total")
+        g_price = registry.gauge("clearing_price_dollars_per_kwh")
+        g_ups = registry.gauge("ups_power_watts")
+        h_price = registry.histogram(
+            "clearing_price", buckets=DEFAULT_PRICE_BUCKETS
+        )
+        h_granted = registry.histogram(
+            "slot_granted_watts", buckets=DEFAULT_WATTS_BUCKETS
+        )
+        faults_seen = 0
+        actions_seen = 0
+        credits_seen = 0
+        emergencies_seen = 0
+
         for slot in range(slots):
+          with tracer.span("slot", slot=slot) as slot_span:
             topology.clear_all_spot_budgets()
 
             requesting = frozenset(
@@ -163,27 +204,43 @@ class SimulationEngine:
                 for tenant in participants
                 for rack_id in tenant.needed_spot_w(slot)
             )
-            if slot == 0:
-                record = _empty_record()
-                forecast = SpotCapacityForecast(
-                    pdu_spot_w={p: 0.0 for p in topology.pdus}, ups_spot_w=0.0
-                )
-            else:
-                # Conservative per-rack references: a participating rack's
-                # draw can ramp within one slot, so reference its recent
-                # peak rather than its instantaneous draw.  These are the
-                # operator's *metered* views — under meter faults they can
-                # be wrong, which is exactly the hazard the degradation
-                # controller exists to contain.
-                references = {
-                    rack_id: self.monitor.rack_recent_max_w(
-                        rack_id, self.reference_window
+            with tracer.span("predict", slot=slot) as predict_span:
+                if slot == 0:
+                    forecast = SpotCapacityForecast(
+                        pdu_spot_w={p: 0.0 for p in topology.pdus},
+                        ups_spot_w=0.0,
                     )
-                    for rack_id in topology.racks
-                }
-                forecast = self.spot_predictor.forecast(
-                    topology, requesting, references
+                else:
+                    # Conservative per-rack references: a participating
+                    # rack's draw can ramp within one slot, so reference
+                    # its recent peak rather than its instantaneous draw.
+                    # These are the operator's *metered* views — under
+                    # meter faults they can be wrong, which is exactly the
+                    # hazard the degradation controller exists to contain.
+                    references = {
+                        rack_id: self.monitor.rack_recent_max_w(
+                            rack_id, self.reference_window
+                        )
+                        for rack_id in topology.racks
+                    }
+                    forecast = self.spot_predictor.forecast(
+                        topology, requesting, references
+                    )
+                predict_span.set(
+                    requesting_racks=len(requesting),
+                    ups_spot_w=forecast.ups_spot_w,
+                    pdu_spot_w=forecast.total_pdu_spot_w,
                 )
+            if slot == 0:
+                # Bids for a slot are placed during the previous slot, and
+                # slot 0 has none: the market phases are structural no-ops
+                # but still traced, so every slot carries every phase.
+                record = _empty_record()
+                with tracer.span("bid_collect", slot=slot) as span:
+                    span.set(tenants=0, racks_bid=0)
+                with tracer.span("clear", slot=slot) as span:
+                    span.set(price=0.0, granted_racks=0, granted_w=0.0)
+            else:
                 predicted_price = (
                     self.price_predictor.predict() if self.price_predictor else None
                 )
@@ -208,127 +265,228 @@ class SimulationEngine:
                     slot_seconds,
                     predicted_price,
                     extra_constraints=extra_constraints,
+                    tracer=tracer,
                 )
-                if injector is not None:
-                    # Grant-delivery faults: a lost broadcast reverts the
-                    # rack to "no spot capacity" for good; a delayed one
-                    # additionally lands as a *stale* budget k slots
-                    # later.  Either way the cleared slot is unbilled.
-                    undelivered: set[str] = set()
+
+            with tracer.span("grant", slot=slot) as grant_span:
+                lost_grants = delayed_grants = barred_grants = 0
+                stale_applied = 0
+                if slot > 0:
+                    if injector is not None:
+                        # Grant-delivery faults: a lost broadcast reverts
+                        # the rack to "no spot capacity" for good; a
+                        # delayed one additionally lands as a *stale*
+                        # budget k slots later.  Either way the cleared
+                        # slot is unbilled.
+                        undelivered: set[str] = set()
+                        for rack_id, grant in record.result.grants_w.items():
+                            if grant <= 0:
+                                continue
+                            fault = injector.grant_fault(slot, rack_id, grant)
+                            if fault is None:
+                                continue
+                            undelivered.add(rack_id)
+                            if fault.kind == "delayed":
+                                delayed_grants += 1
+                                self._pending_stale.setdefault(
+                                    slot + fault.delay_slots, []
+                                ).append((rack_id, grant))
+                            else:
+                                lost_grants += 1
+                        record = revoke_and_rebill(
+                            record, undelivered, slot_seconds
+                        )
+                    if self.enforcement is not None:
+                        barred = self.enforcement.barred_racks(slot)
+                        revoked = {
+                            rack_id
+                            for rack_id in record.result.grants_w
+                            if rack_id in barred
+                        }
+                        barred_grants = len(revoked)
+                        record = revoke_and_rebill(record, revoked, slot_seconds)
                     for rack_id, grant in record.result.grants_w.items():
-                        if grant <= 0:
-                            continue
-                        fault = injector.grant_fault(slot, rack_id, grant)
-                        if fault is None:
-                            continue
-                        undelivered.add(rack_id)
-                        if fault.kind == "delayed":
-                            self._pending_stale.setdefault(
-                                slot + fault.delay_slots, []
-                            ).append((rack_id, grant))
-                    record = revoke_and_rebill(record, undelivered, slot_seconds)
-                if self.enforcement is not None:
-                    barred = self.enforcement.barred_racks(slot)
-                    revoked = {
-                        rack_id
-                        for rack_id in record.result.grants_w
-                        if rack_id in barred
-                    }
-                    record = revoke_and_rebill(record, revoked, slot_seconds)
-                for rack_id, grant in record.result.grants_w.items():
-                    topology.rack(rack_id).set_spot_budget(grant)
+                        topology.rack(rack_id).set_spot_budget(grant)
 
-            if injector is not None:
-                # Infrastructure derating events change the live PDU/UPS
-                # capacities before the slot executes.
-                injector.apply_capacity_faults(slot, topology)
-                # Stale (delayed) grant broadcasts land now: the rack PDU
-                # obeys the late budget reset unless a fresh grant already
-                # arrived this slot.  The stale budget was never cleared
-                # for this slot and is never billed — it is a hazard for
-                # the degradation controller, not a market outcome.
-                for rack_id, grant_w in self._pending_stale.pop(slot, []):
-                    rack = topology.rack(rack_id)
-                    if rack.spot_budget_w > 0:
-                        continue
-                    rack.set_spot_budget(min(grant_w, rack.max_spot_w))
-                    injector.log.record(
-                        slot, "stale_grant_applied", rack_id, grant_w
+                if injector is not None:
+                    # Infrastructure derating events change the live
+                    # PDU/UPS capacities before the slot executes.
+                    injector.apply_capacity_faults(slot, topology)
+                    # Stale (delayed) grant broadcasts land now: the rack
+                    # PDU obeys the late budget reset unless a fresh grant
+                    # already arrived this slot.  The stale budget was
+                    # never cleared for this slot and is never billed — it
+                    # is a hazard for the degradation controller, not a
+                    # market outcome.
+                    for rack_id, grant_w in self._pending_stale.pop(slot, []):
+                        rack = topology.rack(rack_id)
+                        if rack.spot_budget_w > 0:
+                            continue
+                        rack.set_spot_budget(min(grant_w, rack.max_spot_w))
+                        stale_applied += 1
+                        injector.log.record(
+                            slot, "stale_grant_applied", rack_id, grant_w
+                        )
+                    faults_seen = self._emit_fault_events(
+                        injector, faults_seen, slot
                     )
-
-            if self.degradation is not None:
-                true_references = {
-                    rack_id: self.monitor.rack_recent_true_max_w(
-                        rack_id, self.reference_window
-                    )
-                    for rack_id in topology.racks
-                }
-                record = self.degradation.enforce(
-                    topology,
-                    record,
-                    slot,
-                    slot_seconds,
-                    true_reference_w=true_references,
+                grant_span.set(
+                    granted_racks=sum(
+                        1 for g in record.result.grants_w.values() if g > 0
+                    ),
+                    granted_w=record.result.total_granted_w,
+                    lost_grants=lost_grants,
+                    delayed_grants=delayed_grants,
+                    barred_racks=barred_grants,
+                    stale_grants_applied=stale_applied,
                 )
 
-            # Tenants execute the slot under their enforced budgets — as
-            # set on the rack PDUs, which is where lost/stale deliveries
-            # and degradation-control revocations are visible.
-            outcomes: dict[str, SlotPerformance] = {}
-            for tenant in scenario.tenants:
-                budgets = {
-                    rack.rack_id: topology.rack(rack.rack_id).budget_w
-                    for rack in tenant.racks
-                }
-                outcomes.update(tenant.execute_slot(slot, budgets, slot_seconds))
+            with tracer.span("enforce", slot=slot) as enforce_span:
+                revoked_this_slot = 0
+                revoked_watts = 0.0
+                if self.degradation is not None:
+                    true_references = {
+                        rack_id: self.monitor.rack_recent_true_max_w(
+                            rack_id, self.reference_window
+                        )
+                        for rack_id in topology.racks
+                    }
+                    record = self.degradation.enforce(
+                        topology,
+                        record,
+                        slot,
+                        slot_seconds,
+                        true_reference_w=true_references,
+                    )
+                    for action in self.degradation.new_actions(actions_seen):
+                        tracer.event(
+                            f"degradation.{action.kind}",
+                            slot=slot,
+                            level=action.level,
+                            unit_id=action.unit_id,
+                            rack_id=action.rack_id,
+                            watts=action.watts,
+                        )
+                        if action.kind == "revoke":
+                            revoked_this_slot += 1
+                            revoked_watts += action.watts
+                    actions_seen = len(self.degradation.actions)
+                    for note in self.degradation.new_credits(credits_seen):
+                        tracer.event(
+                            "settlement.credit",
+                            slot=slot,
+                            tenant=note.tenant_id,
+                            rack_id=note.rack_id,
+                            watts=note.watts,
+                            dollars=note.dollars,
+                            reason=note.reason,
+                        )
+                    credits_seen = len(self.degradation.credits)
 
-            rack_power = {rid: perf.power_w for rid, perf in outcomes.items()}
-            metered = None
-            if injector is not None and injector.has_meter_faults:
-                metered = {
-                    rid: injector.metered_power_w(slot, rid, watts)
-                    for rid, watts in rack_power.items()
-                }
-            self.monitor.record_slot(rack_power, metered)
-            self.emergencies.scan(topology, slot)
-            if self.enforcement is not None:
-                self.enforcement.review(topology, slot)
+                # Tenants execute the slot under their enforced budgets —
+                # as set on the rack PDUs, which is where lost/stale
+                # deliveries and degradation-control revocations are
+                # visible.
+                outcomes: dict[str, SlotPerformance] = {}
+                for tenant in scenario.tenants:
+                    budgets = {
+                        rack.rack_id: topology.rack(rack.rack_id).budget_w
+                        for rack in tenant.racks
+                    }
+                    outcomes.update(
+                        tenant.execute_slot(slot, budgets, slot_seconds)
+                    )
 
-            spot_revenue = (
-                record.result.revenue_for_slot(slot_seconds)
-                if self.allocator.charges_tenants
-                else 0.0
+                rack_power = {rid: perf.power_w for rid, perf in outcomes.items()}
+                metered = None
+                if injector is not None and injector.has_meter_faults:
+                    metered = {
+                        rid: injector.metered_power_w(slot, rid, watts)
+                        for rid, watts in rack_power.items()
+                    }
+                    faults_seen = self._emit_fault_events(
+                        injector, faults_seen, slot
+                    )
+                self.monitor.record_slot(rack_power, metered)
+                emergencies = self.emergencies.scan(topology, slot)
+                for emergency in emergencies:
+                    tracer.event(
+                        "emergency",
+                        slot=slot,
+                        level=emergency.level,
+                        unit_id=emergency.unit_id,
+                        overload_w=emergency.overload_w,
+                    )
+                m_emergencies.inc(len(emergencies))
+                emergencies_seen += len(emergencies)
+                if self.enforcement is not None:
+                    self.enforcement.review(topology, slot)
+                m_revoked_w.inc(revoked_watts)
+                enforce_span.set(
+                    revoked_grants=revoked_this_slot,
+                    revoked_w=revoked_watts,
+                    emergencies=len(emergencies),
+                )
+
+            with tracer.span("settle", slot=slot) as settle_span:
+                spot_revenue = (
+                    record.result.revenue_for_slot(slot_seconds)
+                    if self.allocator.charges_tenants
+                    else 0.0
+                )
+                payments = (
+                    record.payments if self.allocator.charges_tenants else {}
+                )
+                self.ledger.record_slot(
+                    slot_hours=slot_hours,
+                    guaranteed_w=total_guaranteed,
+                    spot_revenue=spot_revenue,
+                    metered_energy_w=self.monitor.latest_ups_power_w(),
+                )
+                self.collector.record_slot(
+                    price=record.result.price,
+                    grants_w=record.result.grants_w,
+                    spot_revenue=spot_revenue,
+                    forecast_ups_w=forecast.ups_spot_w,
+                    forecast_pdu_total_w=forecast.total_pdu_spot_w,
+                    ups_power_w=self.monitor.latest_ups_power_w(),
+                    pdu_power_w={
+                        p: self.monitor.latest_pdu_power_w(p)
+                        for p in topology.pdus
+                    },
+                    rack_outcomes=outcomes,
+                    payments=payments,
+                    wanted_rack_ids=requesting,
+                    pdu_prices=record.result.pdu_prices,
+                )
+                if self.price_predictor is not None:
+                    self.price_predictor.observe(record.result.price)
+                settle_span.set(
+                    price=record.result.price,
+                    spot_revenue=spot_revenue,
+                    billed_tenants=sum(1 for v in payments.values() if v > 0),
+                )
+
+            m_slots.inc()
+            m_bids.inc(len(record.bids))
+            m_grants.inc(
+                sum(1 for g in record.result.grants_w.values() if g > 0)
             )
-            payments = record.payments if self.allocator.charges_tenants else {}
-            self.ledger.record_slot(
-                slot_hours=slot_hours,
-                guaranteed_w=total_guaranteed,
-                spot_revenue=spot_revenue,
-                metered_energy_w=self.monitor.latest_ups_power_w(),
-            )
-            self.collector.record_slot(
+            m_revenue.inc(spot_revenue)
+            g_price.set(record.result.price)
+            g_ups.set(self.monitor.latest_ups_power_w())
+            h_price.observe(record.result.price)
+            h_granted.observe(record.result.total_granted_w)
+            slot_span.set(
                 price=record.result.price,
-                grants_w=record.result.grants_w,
-                spot_revenue=spot_revenue,
-                forecast_ups_w=forecast.ups_spot_w,
-                forecast_pdu_total_w=forecast.total_pdu_spot_w,
-                ups_power_w=self.monitor.latest_ups_power_w(),
-                pdu_power_w={
-                    p: self.monitor.latest_pdu_power_w(p) for p in topology.pdus
-                },
-                rack_outcomes=outcomes,
-                payments=payments,
-                wanted_rack_ids=requesting,
-                pdu_prices=record.result.pdu_prices,
+                granted_w=record.result.total_granted_w,
             )
-            if self.price_predictor is not None:
-                self.price_predictor.observe(record.result.price)
 
         # Leave the topology as designed: any derating still in force at
         # the end of the run is transient state, not facility structure.
         topology.restore_all_capacities()
 
-        return SimulationResult(
+        result = SimulationResult(
             allocator_name=self.allocator.name,
             slot_seconds=slot_seconds,
             collector=self.collector,
@@ -351,6 +509,77 @@ class SimulationEngine:
                 self.degradation.credits if self.degradation is not None else ()
             ),
         )
+        if tel.enabled:
+            self._emit_settlement_events(result, tracer)
+            result.trace = tel.finish(
+                fallback_label=self.allocator.name,
+                summary_data=self._summary_data(result, emergencies_seen),
+            )
+            result.telemetry_artifacts = list(tel.config.manifest)
+        return result
+
+    def _emit_fault_events(self, injector, seen: int, slot: int) -> int:
+        """Bridge newly logged faults into telemetry events."""
+        tracer = self.telemetry.tracer
+        if not tracer.enabled:
+            return len(injector.log)
+        registry = self.telemetry.registry
+        for fault in injector.log.tail(seen):
+            tracer.event(
+                f"fault.{fault.kind}",
+                slot=slot,
+                unit_id=fault.unit_id,
+                magnitude=fault.magnitude,
+            )
+            registry.counter("faults_total", {"kind": fault.kind}).inc()
+        return len(injector.log)
+
+    def _emit_settlement_events(self, result: SimulationResult, tracer) -> None:
+        """One run-scoped invoice event per tenant (audit trail)."""
+        from repro.economics.settlement import build_all_invoices
+
+        for invoice in build_all_invoices(result):
+            tracer.event(
+                "settlement.invoice",
+                slot=-1,
+                tenant=invoice.tenant_id,
+                subscription=invoice.subscription_charge,
+                energy=invoice.energy_charge,
+                spot=invoice.spot_charge,
+                credited=invoice.spot_credit,
+                total=invoice.total,
+            )
+
+    def _summary_data(self, result: SimulationResult, emergencies: int) -> dict:
+        """The deterministic summary payload for the JSON exporter."""
+        prices = result.price_series()
+        return {
+            "allocator": result.allocator_name,
+            "slots": result.slots,
+            "slot_seconds": result.slot_seconds,
+            "seed": self.scenario.seed,
+            "tenants": len(result.tenants),
+            "racks": len(result.racks),
+            "mean_price": float(prices.mean()) if prices.size else 0.0,
+            "max_price": float(prices.max()) if prices.size else 0.0,
+            "total_spot_revenue": result.total_spot_revenue(),
+            "net_profit": result.ledger.net_profit,
+            "mean_ups_power_w": float(result.ups_power_series().mean()),
+            "emergencies": emergencies,
+            "faults_injected": (
+                result.faults.count() if result.faults is not None else 0
+            ),
+            "revocations": (
+                self.degradation.revocation_count()
+                if self.degradation is not None
+                else 0
+            ),
+            "credited_dollars": (
+                self.degradation.credited_dollars()
+                if self.degradation is not None
+                else 0.0
+            ),
+        }
 
 
 def _empty_record() -> SlotMarketRecord:
@@ -366,6 +595,7 @@ def run_simulation(
     spot_predictor: SpotCapacityPredictor | None = None,
     use_price_forecasting: bool = False,
     fault_profile=None,
+    telemetry=None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`SimulationEngine`.
 
@@ -381,6 +611,9 @@ def run_simulation(
         fault_profile: Optional
             :class:`repro.resilience.FaultProfile` to inject faults from
             (overrides the scenario's own profile).
+        telemetry: Optional :class:`repro.telemetry.TelemetryConfig` (or
+            prebuilt :class:`repro.telemetry.Telemetry`); ``None`` defers
+            to the scenario's config, then the process-wide default.
     """
     fault_model = None
     if fault_profile is not None:
@@ -394,5 +627,6 @@ def run_simulation(
         spot_predictor=spot_predictor,
         price_predictor=EwmaPricePredictor() if use_price_forecasting else None,
         fault_model=fault_model,
+        telemetry=telemetry,
     )
     return engine.run(slots)

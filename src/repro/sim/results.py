@@ -107,6 +107,14 @@ class SimulationResult:
         self.faults = faults
         self.control_actions = tuple(control_actions)
         self.credit_notes = tuple(credit_notes)
+        #: The run's span/event trace (:class:`repro.telemetry.RunTrace`)
+        #: when telemetry was enabled, else ``None``.  Set by the engine
+        #: after construction — the trace closes after settlement events
+        #: that themselves read this result.
+        self.trace = None
+        #: Paths of telemetry artifacts written for this run, in write
+        #: order (empty when telemetry was disabled or kept in memory).
+        self.telemetry_artifacts: list = []
 
     # ------------------------------------------------------------------
     # Basic dimensions

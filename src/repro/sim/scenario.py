@@ -36,6 +36,7 @@ from repro.infrastructure.ups import Ups
 from repro.power.server import ServerPowerModel
 from repro.resilience.profile import FaultProfile
 from repro.sim.results import RackInfo, TenantInfo
+from repro.telemetry.config import TelemetryConfig
 from repro.tenants.bidding import BiddingStrategy, LinearElasticStrategy
 from repro.tenants.calibration import (
     calibrate_opportunistic_cost,
@@ -146,6 +147,10 @@ class Scenario:
             engine builds a fault injector from it automatically unless
             an explicit ``fault_model`` is passed; the profile's own
             seed, or else the scenario seed, keys the fault streams.
+        telemetry: Optional observability configuration
+            (:class:`repro.telemetry.TelemetryConfig`).  ``None`` defers
+            to the engine's ``telemetry`` argument or the process-wide
+            default (:func:`repro.telemetry.default_config`).
     """
 
     topology: PowerTopology
@@ -155,6 +160,7 @@ class Scenario:
     seed: int
     infrastructure_cost_per_hour: float
     fault_profile: "FaultProfile | None" = None
+    telemetry: "TelemetryConfig | None" = None
 
     def prepare(self, slots: int) -> None:
         """Materialise every tenant's workload traces for a run."""

@@ -1,0 +1,85 @@
+"""``repro.telemetry``: observability for every simulation run.
+
+Three layers, each usable on its own:
+
+* a **metrics registry** (:mod:`repro.telemetry.registry`) — counters,
+  gauges, fixed-bucket histograms, and monotonic timers, with a shared
+  no-op implementation that costs a single attribute lookup per call
+  when telemetry is disabled;
+* a **span tracer** (:mod:`repro.telemetry.tracing`) — the per-slot
+  pipeline ``predict -> bid_collect -> clear -> grant -> enforce ->
+  settle`` as one nested trace per slot, plus point-in-time events
+  (faults injected, grants revoked, invoices settled);
+* **exporters** (:mod:`repro.telemetry.exporters`) — a deterministic
+  JSONL trace log (timestamps are slot indices, never wall clock),
+  Prometheus text exposition for the registry, and a schema-validated
+  summary-JSON writer that benchmarks use to accumulate ``BENCH_*.json``
+  trajectories under ``benchmarks/results/``.
+
+:class:`TelemetryConfig` (attached to a
+:class:`~repro.sim.scenario.Scenario` or passed to the engine) selects
+what is recorded and where artifacts land; :class:`Telemetry` is the
+bundled runtime the engine threads through the slot loop.  See
+``docs/observability.md`` for the event taxonomy and file formats.
+"""
+
+from repro.telemetry.config import TelemetryConfig, default_config, set_default_config
+from repro.telemetry.exporters import (
+    SUMMARY_SCHEMA_VERSION,
+    prometheus_text,
+    read_trace_jsonl,
+    trace_to_jsonl,
+    validate_summary,
+    validate_summary_file,
+    write_prometheus,
+    write_summary_json,
+    write_trace_jsonl,
+)
+from repro.telemetry.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Timer,
+)
+from repro.telemetry.runtime import DISABLED, Telemetry
+from repro.telemetry.tracing import (
+    NULL_TRACER,
+    PHASES,
+    NullTracer,
+    RunTrace,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DISABLED",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "PHASES",
+    "RunTrace",
+    "SUMMARY_SCHEMA_VERSION",
+    "Span",
+    "Telemetry",
+    "TelemetryConfig",
+    "Timer",
+    "Tracer",
+    "default_config",
+    "prometheus_text",
+    "read_trace_jsonl",
+    "set_default_config",
+    "trace_to_jsonl",
+    "validate_summary",
+    "validate_summary_file",
+    "write_prometheus",
+    "write_summary_json",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,88 @@
+"""Telemetry configuration and the process-wide default.
+
+A :class:`TelemetryConfig` travels with a
+:class:`~repro.sim.scenario.Scenario` (or is passed straight to the
+engine) and says what to record and where artifacts land.  The
+process-wide default (:func:`set_default_config`) exists for the CLI's
+``--telemetry`` flag: experiment runners build engines many layers down,
+and the default lets one flag instrument all of them without threading a
+parameter through every harness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+
+__all__ = ["TelemetryConfig", "default_config", "set_default_config"]
+
+
+@dataclasses.dataclass
+class TelemetryConfig:
+    """What one run records and where its artifacts go.
+
+    Attributes:
+        enabled: Master switch; ``False`` selects the no-op registry and
+            tracer (near-zero cost; see the overhead guard in
+            ``benchmarks/bench_engine.py``).
+        out_dir: Directory for exported artifacts.  ``None`` keeps
+            telemetry in memory only (the trace still rides on the
+            :class:`~repro.sim.results.SimulationResult`).
+        label: Artifact filename stem.  Empty derives
+            ``<allocator>-<nnn>`` per run, ``nnn`` counting runs that
+            exported under this config (so one CLI invocation that runs
+            several simulations does not overwrite its own files).
+        export_trace: Write ``<label>_trace.jsonl``.
+        export_metrics: Write ``<label>_metrics.prom``.
+        export_summary: Write ``<label>_summary.json``.
+        include_timings: Include wall-clock span durations in the JSONL
+            trace.  Off by default: the deterministic trace is the
+            comparable artifact; timings live in the Prometheus dump.
+    """
+
+    enabled: bool = True
+    out_dir: str | pathlib.Path | None = None
+    label: str = ""
+    export_trace: bool = True
+    export_metrics: bool = True
+    export_summary: bool = True
+    include_timings: bool = False
+
+    #: Runs exported under this config (drives the derived label).
+    run_count: int = dataclasses.field(default=0, compare=False)
+    #: Every artifact path written under this config, in write order.
+    manifest: list = dataclasses.field(default_factory=list, compare=False)
+
+    @staticmethod
+    def disabled() -> "TelemetryConfig":
+        """The explicit off switch."""
+        return TelemetryConfig(enabled=False)
+
+    def next_label(self, fallback: str) -> str:
+        """Reserve the filename stem for one run's artifacts."""
+        self.run_count += 1
+        if self.label:
+            return (
+                self.label
+                if self.run_count == 1
+                else f"{self.label}-{self.run_count:03d}"
+            )
+        return f"{fallback}-{self.run_count:03d}"
+
+
+#: Process-wide default, used when neither the engine call nor the
+#: scenario carries a config.  ``None`` means telemetry off.
+_DEFAULT: TelemetryConfig | None = None
+
+
+def default_config() -> TelemetryConfig | None:
+    """The process-wide default config (``None`` = disabled)."""
+    return _DEFAULT
+
+
+def set_default_config(config: TelemetryConfig | None) -> TelemetryConfig | None:
+    """Install a process-wide default; returns the previous one."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = config
+    return previous

@@ -1,0 +1,319 @@
+"""Machine-readable exporters: JSONL traces, Prometheus text, summary JSON.
+
+Three formats, one rule — everything a run emits must be diffable and
+schema-stable:
+
+* **JSONL trace** — one record per line, ``seq``-ordered.  The default
+  export is deterministic (timestamps are slot indices; wall-clock
+  durations are withheld unless ``include_timings=True``), so two runs
+  of the same ``(scenario, seed)`` write byte-identical files.
+* **Prometheus text exposition** — the registry's counters, gauges,
+  histograms, and timers in the standard ``# TYPE`` / sample-line
+  format, for scraping or offline diffing.
+* **Summary JSON** — the ``BENCH_*.json`` trajectory format: a small,
+  validated envelope (``bench``, ``schema_version``, ``data``) written
+  next to the free-text archives under ``benchmarks/results/`` so
+  successive PRs can compare like with like.  :func:`validate_summary`
+  is the schema check CI runs on every emitted file; this module is
+  also runnable (``python -m repro.telemetry.exporters FILE...``) as
+  that check.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from collections.abc import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.telemetry.registry import MetricsRegistry, Timer
+from repro.telemetry.tracing import RunTrace, Span
+
+__all__ = [
+    "SUMMARY_SCHEMA_VERSION",
+    "trace_to_jsonl",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "prometheus_text",
+    "write_prometheus",
+    "write_summary_json",
+    "validate_summary",
+    "validate_summary_file",
+]
+
+#: Version stamp written into (and required from) every summary JSON.
+SUMMARY_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# JSONL trace
+# ----------------------------------------------------------------------
+
+def _jsonable(value, strict: bool = False):
+    """Coerce attribute values to a stable JSON form.
+
+    Non-finite floats are stringified (trace attrs must serialise no
+    matter what the simulation produced) unless ``strict`` — the summary
+    writer's mode, where a NaN/inf is a bug worth failing on.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            if strict:
+                raise ConfigurationError(
+                    f"summary payload contains non-finite number {value!r}"
+                )
+            return repr(value)
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v, strict) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = list(value)
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=repr)
+        return [_jsonable(v, strict) for v in items]
+    return str(value)
+
+
+def trace_to_jsonl(trace: RunTrace, include_timings: bool = False) -> list[str]:
+    """Render a trace as JSONL lines (no trailing newlines).
+
+    Args:
+        trace: A finished :class:`~repro.telemetry.tracing.RunTrace`.
+        include_timings: Also emit each span's wall-clock ``duration_s``
+            — useful for humans, fatal for byte-for-byte run comparison,
+            hence off by default.
+    """
+    lines = []
+    for record in trace.records:
+        if isinstance(record, Span):
+            row = {
+                "kind": "span",
+                "seq": record.seq,
+                "slot": record.slot,
+                "name": record.name,
+                "span_id": record.span_id,
+                "parent_id": record.parent_id,
+                "attrs": _jsonable(record.attrs),
+            }
+            if include_timings:
+                row["duration_s"] = record.duration_s
+        else:
+            row = {
+                "kind": "event",
+                "seq": record.seq,
+                "slot": record.slot,
+                "name": record.name,
+                "parent_id": record.parent_id,
+                "attrs": _jsonable(record.attrs),
+            }
+        lines.append(json.dumps(row, sort_keys=True, separators=(",", ":")))
+    return lines
+
+
+def write_trace_jsonl(
+    path, trace: RunTrace, include_timings: bool = False
+) -> pathlib.Path:
+    """Write a trace to a ``.jsonl`` file; returns the path written."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = trace_to_jsonl(trace, include_timings=include_timings)
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
+def read_trace_jsonl(path) -> list[dict]:
+    """Load a JSONL trace file back into dict records."""
+    records = []
+    for line in pathlib.Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    as_int = int(value)
+    if value == as_int:
+        return str(as_int)
+    return repr(value)
+
+
+def _format_labels(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labels) + extra
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in Prometheus text exposition format.
+
+    Instruments sharing a name (distinct label sets) are grouped under
+    one ``# TYPE`` header; timers expose their underlying seconds
+    histograms.
+    """
+    ns = registry.namespace
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for inst in registry.instruments():
+        if isinstance(inst, Timer):
+            kind, hist = "histogram", inst.histogram
+        else:
+            kind, hist = inst.kind, inst
+        full = f"{ns}_{inst.name}"
+        if full not in seen_headers:
+            lines.append(f"# TYPE {full} {kind}")
+            seen_headers.add(full)
+        if kind == "histogram":
+            for le, count in hist.cumulative_counts():
+                labels = _format_labels(inst.labels, (("le", _format_value(le)),))
+                lines.append(f"{full}_bucket{labels} {count}")
+            base = _format_labels(inst.labels)
+            lines.append(f"{full}_sum{base} {_format_value(hist.sum)}")
+            lines.append(f"{full}_count{base} {hist.count}")
+        else:
+            labels = _format_labels(inst.labels)
+            lines.append(f"{full}{labels} {_format_value(inst.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(path, registry: MetricsRegistry) -> pathlib.Path:
+    """Write the registry's exposition to a ``.prom`` file."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(prometheus_text(registry))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Summary JSON (the BENCH_*.json trajectory format)
+# ----------------------------------------------------------------------
+
+def write_summary_json(path, bench: str, data: Mapping, meta: Mapping | None = None):
+    """Write one summary envelope; validates before writing.
+
+    Args:
+        path: Destination ``.json`` file.
+        bench: Short benchmark/run name (``"fig18_scale"``, ``"engine"``).
+        data: The payload — JSON-compatible, finite numbers only.
+        meta: Optional provenance (seed, slots, machine class...).
+
+    Returns:
+        The path written.
+    """
+    envelope = {
+        "bench": bench,
+        "schema_version": SUMMARY_SCHEMA_VERSION,
+        "data": _jsonable(data, strict=True),
+    }
+    if meta:
+        envelope["meta"] = _jsonable(meta, strict=True)
+    validate_summary(envelope)
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _check_finite(node, where: str) -> None:
+    if isinstance(node, bool) or node is None or isinstance(node, (int, str)):
+        return
+    if isinstance(node, float):
+        if not math.isfinite(node):
+            raise ConfigurationError(f"summary {where}: non-finite number")
+        return
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if not isinstance(key, str):
+                raise ConfigurationError(f"summary {where}: non-string key {key!r}")
+            _check_finite(value, f"{where}.{key}")
+        return
+    if isinstance(node, list):
+        for i, value in enumerate(node):
+            _check_finite(value, f"{where}[{i}]")
+        return
+    raise ConfigurationError(
+        f"summary {where}: unsupported type {type(node).__name__}"
+    )
+
+
+def validate_summary(obj) -> None:
+    """Check one summary envelope against the exporter schema.
+
+    The schema is deliberately small: a dict with a non-empty string
+    ``bench``, an integer ``schema_version`` matching
+    :data:`SUMMARY_SCHEMA_VERSION`, a dict ``data`` of JSON-compatible
+    values with finite numbers, and (optionally) a dict ``meta`` held to
+    the same standard.  Raises :class:`ConfigurationError` on the first
+    violation.
+    """
+    if not isinstance(obj, dict):
+        raise ConfigurationError("summary must be a JSON object")
+    unknown = set(obj) - {"bench", "schema_version", "data", "meta"}
+    if unknown:
+        raise ConfigurationError(f"summary has unknown keys {sorted(unknown)}")
+    bench = obj.get("bench")
+    if not isinstance(bench, str) or not bench:
+        raise ConfigurationError("summary needs a non-empty string 'bench'")
+    version = obj.get("schema_version")
+    if version != SUMMARY_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"summary schema_version must be {SUMMARY_SCHEMA_VERSION}, "
+            f"got {version!r}"
+        )
+    data = obj.get("data")
+    if not isinstance(data, dict):
+        raise ConfigurationError("summary needs an object 'data'")
+    _check_finite(data, "data")
+    if "meta" in obj:
+        if not isinstance(obj["meta"], dict):
+            raise ConfigurationError("summary 'meta' must be an object")
+        _check_finite(obj["meta"], "meta")
+
+
+def validate_summary_file(path) -> None:
+    """Load and validate one summary JSON file."""
+    path = pathlib.Path(path)
+    try:
+        obj = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path}: invalid JSON ({exc})") from exc
+    try:
+        validate_summary(obj)
+    except ConfigurationError as exc:
+        raise ConfigurationError(f"{path}: {exc}") from exc
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    """Validate summary files from the command line (used by CI)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Validate summary JSON files against the exporter schema."
+    )
+    parser.add_argument("files", nargs="+", help="summary .json files")
+    args = parser.parse_args(None if argv is None else list(argv))
+    failures = 0
+    for name in args.files:
+        try:
+            validate_summary_file(name)
+        except ConfigurationError as exc:
+            print(f"FAIL {exc}")
+            failures += 1
+        else:
+            print(f"ok   {name}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

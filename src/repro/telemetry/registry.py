@@ -1,0 +1,332 @@
+"""The metrics registry: counters, gauges, histograms, timers.
+
+Instruments follow Prometheus semantics (monotone counters, set-anywhere
+gauges, cumulative-bucket histograms) so the text exposition in
+:mod:`repro.telemetry.exporters` is a direct mapping.  Label sets are
+frozen at instrument-creation time — ``registry.counter("faults_total",
+labels={"kind": "grant_lost"})`` returns one instrument per distinct
+label set, memoised, so hot loops can hold the instrument and never pay
+the lookup again.
+
+Disabled telemetry uses :class:`NullRegistry` / the ``NULL_*``
+singletons: every method is a constant no-op (no allocation, no dict
+lookup), which keeps the disabled path within noise of unmetered code.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_WATTS_BUCKETS",
+    "DEFAULT_PRICE_BUCKETS",
+]
+
+#: Fixed bucket layouts (upper bounds, seconds / watts / $-per-kWh).
+#: Fixed layouts keep histograms from different runs directly
+#: comparable and the exposition format stable across PRs.
+DEFAULT_SECONDS_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+DEFAULT_WATTS_BUCKETS = (
+    1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1_000.0, 2_500.0, 5_000.0, 10_000.0, 50_000.0, 250_000.0,
+)
+DEFAULT_PRICE_BUCKETS = (
+    0.01, 0.02, 0.05, 0.08, 0.12, 0.16, 0.20, 0.25, 0.30, 0.40, 0.60, 1.0,
+)
+
+
+def _label_key(labels: Mapping[str, str] | None) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Shared identity: a name plus a frozen label set."""
+
+    __slots__ = ("name", "labels")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count."""
+
+    __slots__ = ("_value",)
+    kind = "counter"
+
+    def __init__(self, name: str, labels=()) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(f"counter {self.name} cannot decrease")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current cumulative count."""
+        return self._value
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("_value",)
+    kind = "gauge"
+
+    def __init__(self, name: str, labels=()) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Shift the gauge by ``delta``."""
+        self._value += delta
+
+    @property
+    def value(self) -> float:
+        """Last recorded value."""
+        return self._value
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution with cumulative-bucket exposition.
+
+    Buckets are upper bounds; an implicit ``+Inf`` bucket catches the
+    tail, and ``sum``/``count`` support mean computation downstream.
+    """
+
+    __slots__ = ("buckets", "_counts", "_inf", "_sum", "_count")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels=(), buckets=DEFAULT_SECONDS_BUCKETS) -> None:
+        super().__init__(name, labels)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name} needs strictly increasing buckets"
+            )
+        self.buckets = bounds
+        self._counts = [0] * len(bounds)
+        self._inf = 0
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self._sum += value
+        self._count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self._counts[i] += 1
+                return
+        self._inf += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observations."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def cumulative_counts(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative count)`` rows, +Inf last."""
+        rows: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self._counts):
+            running += n
+            rows.append((bound, running))
+        rows.append((float("inf"), running + self._inf))
+        return rows
+
+
+class Timer(_Instrument):
+    """A monotonic stopwatch feeding a seconds histogram.
+
+    Use as a context manager (``with timer: ...``) or via explicit
+    :meth:`observe` when the caller already measured the interval.
+    """
+
+    __slots__ = ("histogram", "_started")
+    kind = "timer"
+
+    def __init__(self, name: str, labels=(), buckets=DEFAULT_SECONDS_BUCKETS) -> None:
+        super().__init__(name, labels)
+        self.histogram = Histogram(name, labels, buckets)
+        self._started = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.histogram.observe(time.perf_counter() - self._started)
+
+    def observe(self, seconds: float) -> None:
+        """Record an externally measured duration."""
+        self.histogram.observe(seconds)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded intervals."""
+        return self.histogram.count
+
+    @property
+    def total_seconds(self) -> float:
+        """Total recorded time."""
+        return self.histogram.sum
+
+
+class MetricsRegistry:
+    """Creates and memoises instruments; the exporters' single source.
+
+    The registry is insertion-ordered, so Prometheus dumps are stable
+    for a given program order — a prerequisite for diffable artifacts.
+    """
+
+    enabled = True
+
+    def __init__(self, namespace: str = "spotdc") -> None:
+        self.namespace = namespace
+        self._instruments: dict[tuple, _Instrument] = {}
+
+    def _get(self, cls, name: str, labels, **kwargs):
+        key = (cls.kind, name, _label_key(labels))
+        found = self._instruments.get(key)
+        if found is None:
+            found = cls(name, key[2], **kwargs)
+            self._instruments[key] = found
+        return found
+
+    def counter(self, name: str, labels: Mapping[str, str] | None = None) -> Counter:
+        """Get-or-create a counter."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, labels: Mapping[str, str] | None = None) -> Gauge:
+        """Get-or-create a gauge."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Mapping[str, str] | None = None,
+        buckets: Iterable[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> Histogram:
+        """Get-or-create a fixed-bucket histogram."""
+        return self._get(Histogram, name, labels, buckets=tuple(buckets))
+
+    def timer(
+        self,
+        name: str,
+        labels: Mapping[str, str] | None = None,
+        buckets: Iterable[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> Timer:
+        """Get-or-create a monotonic timer."""
+        return self._get(Timer, name, labels, buckets=tuple(buckets))
+
+    def instruments(self) -> list[_Instrument]:
+        """All instruments in creation order."""
+        return list(self._instruments.values())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+class _NullInstrument:
+    """One object that absorbs every instrument call."""
+
+    __slots__ = ()
+    name = ""
+    labels = ()
+    kind = "null"
+    buckets = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    total_seconds = 0.0
+    histogram: "_NullInstrument"
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def cumulative_counts(self):
+        return []
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+_NullInstrument.histogram = _NULL_INSTRUMENT
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every factory returns the same no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(namespace="spotdc")
+
+    def counter(self, name, labels=None):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name, labels=None):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, labels=None, buckets=DEFAULT_SECONDS_BUCKETS):
+        return _NULL_INSTRUMENT
+
+    def timer(self, name, labels=None, buckets=DEFAULT_SECONDS_BUCKETS):
+        return _NULL_INSTRUMENT
+
+    def instruments(self):
+        return []
+
+
+#: Shared no-op registry: safe to hand to any number of engines.
+NULL_REGISTRY = NullRegistry()

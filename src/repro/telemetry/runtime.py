@@ -1,0 +1,136 @@
+"""The bundled telemetry runtime one engine run threads through itself.
+
+:class:`Telemetry` pairs a registry with a tracer under one enabled
+flag, and owns the end-of-run export step: given the engine's summary
+payload it writes the JSONL trace, the Prometheus dump, and the summary
+JSON into the configured directory, recording every path in the
+config's manifest (which the CLI prints — a run should never exit
+silent about where its artifacts went).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.exporters import (
+    write_prometheus,
+    write_summary_json,
+    write_trace_jsonl,
+)
+from repro.telemetry.registry import (
+    NULL_REGISTRY,
+    DEFAULT_SECONDS_BUCKETS,
+    MetricsRegistry,
+)
+from repro.telemetry.tracing import NULL_TRACER, PHASES, RunTrace, Tracer
+
+__all__ = ["Telemetry", "DISABLED"]
+
+
+class Telemetry:
+    """One run's registry + tracer, built from a config.
+
+    Args:
+        config: ``None`` or ``enabled=False`` selects the shared no-op
+            registry and tracer.
+    """
+
+    def __init__(self, config: TelemetryConfig | None = None) -> None:
+        self.config = config or TelemetryConfig.disabled()
+        if self.config.enabled:
+            self.registry = MetricsRegistry()
+            self.tracer = Tracer()
+        else:
+            self.registry = NULL_REGISTRY
+            self.tracer = NULL_TRACER
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this runtime records anything."""
+        return self.config.enabled
+
+    @staticmethod
+    def resolve(candidate) -> "Telemetry":
+        """Coerce an engine argument into a runtime.
+
+        Accepts an existing :class:`Telemetry`, a
+        :class:`TelemetryConfig`, or ``None`` (disabled).
+        """
+        if isinstance(candidate, Telemetry):
+            return candidate
+        if isinstance(candidate, TelemetryConfig):
+            return Telemetry(candidate)
+        if candidate is None:
+            return DISABLED
+        raise TypeError(
+            f"telemetry must be Telemetry, TelemetryConfig or None, "
+            f"got {type(candidate).__name__}"
+        )
+
+    def finish(self, fallback_label: str, summary_data: dict) -> RunTrace:
+        """Close the trace and export artifacts (if configured).
+
+        Args:
+            fallback_label: Stem for artifact names when the config does
+                not pin one (the engine passes the allocator name).
+            summary_data: The run's summary payload (deterministic
+                values only — wall time belongs in the metrics dump).
+
+        Returns:
+            The finished :class:`RunTrace` (empty when disabled).
+        """
+        trace = self.tracer.finish()
+        cfg = self.config
+        if cfg.enabled:
+            self._record_phase_timers(trace)
+        if not cfg.enabled or cfg.out_dir is None:
+            return trace
+        out_dir = pathlib.Path(cfg.out_dir)
+        label = cfg.next_label(fallback_label)
+        written = []
+        if cfg.export_trace:
+            written.append(
+                write_trace_jsonl(
+                    out_dir / f"{label}_trace.jsonl",
+                    trace,
+                    include_timings=cfg.include_timings,
+                )
+            )
+        if cfg.export_metrics:
+            written.append(
+                write_prometheus(out_dir / f"{label}_metrics.prom", self.registry)
+            )
+        if cfg.export_summary:
+            written.append(
+                write_summary_json(
+                    out_dir / f"{label}_summary.json",
+                    bench=label,
+                    data=summary_data,
+                )
+            )
+        cfg.manifest.extend(written)
+        return trace
+
+    def _record_phase_timers(self, trace: RunTrace) -> None:
+        """Fold span wall times into ``phase_seconds`` timers.
+
+        Timings are collected here, once per run, instead of in the slot
+        loop: the engine's spans already carry ``duration_s``, so the
+        metrics dump gets full wall-time distributions without a single
+        extra clock read on the hot path.
+        """
+        timers = {
+            name: self.registry.timer(
+                "phase_seconds", {"phase": name}, buckets=DEFAULT_SECONDS_BUCKETS
+            )
+            for name in ("slot", *PHASES)
+        }
+        for span in trace.spans:
+            timer = timers.get(span.name)
+            if timer is not None:
+                timer.observe(span.duration_s)
+
+
+#: Shared disabled runtime (no-op registry and tracer).
+DISABLED = Telemetry(None)

@@ -1,0 +1,244 @@
+"""Span tracing of the per-slot pipeline, plus point-in-time events.
+
+One simulated slot is one trace: a root ``slot`` span with the pipeline
+phases — ``predict``, ``bid_collect``, ``clear``, ``grant``,
+``enforce``, ``settle`` — as children, each carrying the attributes the
+phase decided (racks bid, prices scanned, price chosen, grants revoked,
+faults injected).  Events are zero-duration records interleaved with
+spans in one deterministic sequence.
+
+Determinism is a design constraint, not an afterthought: span identity
+and ordering come from a monotone sequence number and the slot index,
+never from wall clock, so two runs of the same ``(scenario, seed)``
+produce byte-identical JSONL traces (see
+``tests/test_telemetry_determinism.py``).  Wall-clock durations *are*
+measured (they feed the registry's timers and the optional
+``include_timings`` export mode) but are excluded from the default
+export.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import time
+from collections.abc import Iterator, Mapping
+
+from repro.errors import SimulationError
+
+__all__ = ["PHASES", "Span", "RunTrace", "Tracer", "NullTracer", "NULL_TRACER"]
+
+#: The per-slot pipeline phases, in execution order.  The engine
+#: guarantees one child span per phase per slot (trivial phases — e.g.
+#: clearing in slot 0, which has no prior-slot bids — still appear, with
+#: their attributes reflecting the no-op).
+PHASES = ("predict", "bid_collect", "clear", "grant", "enforce", "settle")
+
+
+@dataclasses.dataclass
+class Span:
+    """One traced operation.
+
+    Attributes:
+        name: Span name (``slot``, a phase, or a library-defined name).
+        slot: Slot index the span belongs to (-1 for run-scoped spans).
+        span_id: Monotone id, assigned at open in open order.
+        parent_id: Enclosing span's id, or -1 for a root.
+        attrs: Attributes set during the span (insertion-ordered).
+        duration_s: Wall-clock duration (excluded from deterministic
+            exports; populated at close).
+        seq: Position in the unified span/event record sequence,
+            assigned at *close* (events interleave in the same order a
+            reader of the JSONL file sees).
+    """
+
+    name: str
+    slot: int
+    span_id: int
+    parent_id: int
+    attrs: dict = dataclasses.field(default_factory=dict)
+    duration_s: float = 0.0
+    seq: int = -1
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes; later writes win."""
+        self.attrs.update(attrs)
+        return self
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """A point-in-time record (fault injected, grant revoked, ...)."""
+
+    name: str
+    slot: int
+    parent_id: int
+    attrs: Mapping
+    seq: int
+
+
+class RunTrace:
+    """A finished run's spans and events, in record order.
+
+    Records are ordered by ``seq``: events appear where they happened,
+    spans appear where they *closed* (so a slot's phases precede the
+    slot span itself, and a reader can fold the file in one pass).
+    """
+
+    def __init__(self, records: list) -> None:
+        self.records = list(records)
+
+    @property
+    def spans(self) -> list[Span]:
+        """All spans, in close order."""
+        return [r for r in self.records if isinstance(r, Span)]
+
+    @property
+    def events(self) -> list[Event]:
+        """All events, in emission order."""
+        return [r for r in self.records if isinstance(r, Event)]
+
+    def spans_named(self, name: str) -> list[Span]:
+        """Spans with one name, in close order."""
+        return [s for s in self.spans if s.name == name]
+
+    def slot_span(self, slot: int) -> Span:
+        """The root span of one slot."""
+        for span in self.spans:
+            if span.name == "slot" and span.slot == slot:
+                return span
+        raise SimulationError(f"no slot span for slot {slot}")
+
+    def phase_spans(self, slot: int) -> dict[str, Span]:
+        """Phase-name -> span for one slot."""
+        root = self.slot_span(slot)
+        return {
+            s.name: s
+            for s in self.spans
+            if s.parent_id == root.span_id and s.name in PHASES
+        }
+
+    def slots(self) -> list[int]:
+        """Slot indices with a root span, ascending."""
+        return sorted(s.slot for s in self.spans if s.name == "slot")
+
+
+class Tracer:
+    """Collects spans and events for one run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._records: list = []
+        self._stack: list[Span] = []
+        self._next_span_id = 0
+        self._next_seq = 0
+
+    @contextlib.contextmanager
+    def span(self, name: str, slot: int = -1, **attrs) -> Iterator[Span]:
+        """Open a child span of the current span (or a new root)."""
+        parent = self._stack[-1].span_id if self._stack else -1
+        span = Span(
+            name=name,
+            slot=slot,
+            span_id=self._next_span_id,
+            parent_id=parent,
+            attrs=dict(attrs),
+        )
+        self._next_span_id += 1
+        self._stack.append(span)
+        started = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.duration_s = time.perf_counter() - started
+            popped = self._stack.pop()
+            if popped is not span:  # pragma: no cover - structural bug
+                raise SimulationError("span stack corrupted")
+            span.seq = self._next_seq
+            self._next_seq += 1
+            self._records.append(span)
+
+    def event(self, name: str, slot: int = -1, **attrs) -> None:
+        """Record a point-in-time event under the current span."""
+        parent = self._stack[-1].span_id if self._stack else -1
+        self._records.append(
+            Event(
+                name=name,
+                slot=slot,
+                parent_id=parent,
+                attrs=dict(attrs),
+                seq=self._next_seq,
+            )
+        )
+        self._next_seq += 1
+
+    @property
+    def open_spans(self) -> int:
+        """Depth of the current span stack."""
+        return len(self._stack)
+
+    def finish(self) -> RunTrace:
+        """Freeze the trace (open spans are a caller bug)."""
+        if self._stack:
+            raise SimulationError(
+                f"finish() with {len(self._stack)} span(s) still open"
+            )
+        return RunTrace(self._records)
+
+
+class _NullSpan:
+    """Absorbs attribute writes on the disabled path."""
+
+    __slots__ = ()
+    name = ""
+    slot = -1
+    span_id = -1
+    parent_id = -1
+    attrs: dict = {}
+    duration_s = 0.0
+    seq = -1
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    """Reusable context manager: no generator, no allocation per use."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """The disabled tracer: spans cost one method call, events nothing."""
+
+    enabled = False
+
+    def span(self, name: str, slot: int = -1, **attrs) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def event(self, name: str, slot: int = -1, **attrs) -> None:
+        pass
+
+    @property
+    def open_spans(self) -> int:
+        return 0
+
+    def finish(self) -> RunTrace:
+        return RunTrace([])
+
+
+#: Shared no-op tracer: safe to hand to any number of engines.
+NULL_TRACER = NullTracer()

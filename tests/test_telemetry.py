@@ -1,0 +1,254 @@
+"""Unit tests for the telemetry package: registry, tracing, exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.telemetry import (
+    NULL_REGISTRY,
+    NULL_TRACER,
+    MetricsRegistry,
+    Telemetry,
+    TelemetryConfig,
+    Tracer,
+    default_config,
+    prometheus_text,
+    read_trace_jsonl,
+    set_default_config,
+    trace_to_jsonl,
+    validate_summary,
+    write_summary_json,
+)
+from repro.telemetry.exporters import main as validate_main
+from repro.telemetry.tracing import PHASES
+
+
+class TestRegistry:
+    def test_counter_accumulates_and_rejects_negative(self):
+        reg = MetricsRegistry()
+        c = reg.counter("slots_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_instruments_memoised_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("faults_total", {"kind": "bid_lost"})
+        b = reg.counter("faults_total", {"kind": "bid_lost"})
+        c = reg.counter("faults_total", {"kind": "grant_lost"})
+        assert a is b
+        assert a is not c
+        assert len(reg) == 2
+
+    def test_gauge_set_and_add(self):
+        g = MetricsRegistry().gauge("price")
+        g.set(0.2)
+        g.add(-0.05)
+        assert g.value == pytest.approx(0.15)
+
+    def test_histogram_buckets_cumulative(self):
+        h = MetricsRegistry().histogram("w", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        rows = h.cumulative_counts()
+        assert rows == [(1.0, 1), (10.0, 2), (100.0, 3), (math.inf, 4)]
+        assert h.count == 4
+        assert h.mean == pytest.approx(555.5 / 4)
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("bad", buckets=(2.0, 1.0))
+
+    def test_timer_context_manager(self):
+        t = MetricsRegistry().timer("phase_seconds")
+        with t:
+            pass
+        t.observe(0.25)
+        assert t.count == 2
+        assert t.total_seconds > 0.25
+
+    def test_null_registry_absorbs_everything(self):
+        c = NULL_REGISTRY.counter("x")
+        c.inc()
+        NULL_REGISTRY.gauge("y").set(1.0)
+        NULL_REGISTRY.histogram("z").observe(3.0)
+        assert c.value == 0.0
+        assert NULL_REGISTRY.instruments() == []
+
+
+class TestTracer:
+    def test_nesting_and_ordering(self):
+        tr = Tracer()
+        with tr.span("slot", slot=0) as root:
+            with tr.span("clear", slot=0) as child:
+                child.set(price=0.1)
+            tr.event("fault.bid_lost", slot=0, unit_id="t1")
+        trace = tr.finish()
+        clear = trace.spans_named("clear")[0]
+        assert clear.parent_id == root.span_id
+        # Children close (and events fire) before the root closes.
+        seqs = {r.name: r.seq for r in trace.records}
+        assert seqs["clear"] < seqs["fault.bid_lost"] < seqs["slot"]
+
+    def test_phase_spans_lookup(self):
+        tr = Tracer()
+        with tr.span("slot", slot=0):
+            for name in PHASES:
+                with tr.span(name, slot=0):
+                    pass
+        trace = tr.finish()
+        assert set(trace.phase_spans(0)) == set(PHASES)
+        assert trace.slots() == [0]
+
+    def test_finish_with_open_span_raises(self):
+        tr = Tracer()
+        cm = tr.span("slot", slot=0)
+        cm.__enter__()
+        with pytest.raises(SimulationError):
+            tr.finish()
+
+    def test_unknown_slot_raises(self):
+        tr = Tracer()
+        with tr.span("slot", slot=0):
+            pass
+        with pytest.raises(SimulationError):
+            tr.finish().slot_span(5)
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("slot", slot=0) as span:
+            span.set(anything=1)
+        NULL_TRACER.event("x")
+        assert NULL_TRACER.finish().records == []
+
+
+class TestTraceJsonl:
+    def _trace(self):
+        tr = Tracer()
+        with tr.span("slot", slot=0) as s:
+            s.set(price=0.12, prices=[0.1, 0.12])
+            tr.event("emergency", slot=0, unit_id="pdu:0")
+        return tr.finish()
+
+    def test_round_trip(self, tmp_path):
+        from repro.telemetry import write_trace_jsonl
+
+        path = write_trace_jsonl(tmp_path / "t.jsonl", self._trace())
+        records = read_trace_jsonl(path)
+        assert [r["kind"] for r in records] == ["event", "span"]
+        assert records[1]["attrs"]["price"] == 0.12
+
+    def test_timings_excluded_by_default(self):
+        lines = trace_to_jsonl(self._trace())
+        assert all("duration_s" not in json.loads(line) for line in lines)
+        timed = trace_to_jsonl(self._trace(), include_timings=True)
+        assert "duration_s" in json.loads(timed[-1])
+
+    def test_non_finite_attr_stringified(self):
+        # Traces must stay byte-deterministic even with degenerate
+        # attribute values; non-finite floats become strings.
+        tr = Tracer()
+        with tr.span("slot", slot=0) as s:
+            s.set(bad=float("nan"))
+        (line,) = trace_to_jsonl(tr.finish())
+        assert json.loads(line)["attrs"]["bad"] == "nan"
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("slots_total").inc(3)
+        reg.gauge("price", {"pdu": "pdu:0"}).set(0.12)
+        reg.histogram("w", buckets=(1.0, 10.0)).observe(5.0)
+        text = prometheus_text(reg)
+        assert "# TYPE spotdc_slots_total counter" in text
+        assert "spotdc_slots_total 3" in text
+        assert 'spotdc_price{pdu="pdu:0"} 0.12' in text
+        assert 'spotdc_w_bucket{le="+Inf"} 1' in text
+        assert "spotdc_w_count 1" in text
+
+
+class TestSummary:
+    def test_validate_accepts_written_file(self, tmp_path):
+        path = write_summary_json(
+            tmp_path / "s.json", bench="engine", data={"x": 1.5},
+            meta={"seed": 1},
+        )
+        assert json.loads(path.read_text())["schema_version"] == 1
+        assert validate_main([str(path)]) == 0
+
+    def test_rejects_non_finite(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_summary_json(
+                tmp_path / "s.json", bench="x", data={"bad": float("inf")}
+            )
+
+    def test_rejects_bad_envelope(self):
+        with pytest.raises(ConfigurationError):
+            validate_summary({"bench": "x"})  # missing keys
+        with pytest.raises(ConfigurationError):
+            validate_summary(
+                {"bench": "x", "schema_version": 1, "data": {}, "bogus": 1}
+            )
+
+    def test_cli_validator_flags_bad_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"bench\": \"x\"}")
+        assert validate_main([str(bad)]) == 1
+
+
+class TestConfigAndRuntime:
+    def test_resolve_paths(self):
+        assert Telemetry.resolve(None).enabled is False
+        assert Telemetry.resolve(TelemetryConfig()).enabled is True
+        t = Telemetry(TelemetryConfig())
+        assert Telemetry.resolve(t) is t
+        with pytest.raises(TypeError):
+            Telemetry.resolve("yes")
+
+    def test_disabled_uses_null_singletons(self):
+        t = Telemetry.resolve(TelemetryConfig.disabled())
+        assert t.registry is NULL_REGISTRY
+        assert t.tracer is NULL_TRACER
+
+    def test_next_label_never_overwrites(self):
+        cfg = TelemetryConfig()
+        assert cfg.next_label("spotdc") == "spotdc-001"
+        assert cfg.next_label("spotdc") == "spotdc-002"
+        pinned = TelemetryConfig(label="runA")
+        assert pinned.next_label("spotdc") == "runA"
+        assert pinned.next_label("spotdc") == "runA-002"
+
+    def test_default_config_round_trip(self):
+        previous = set_default_config(TelemetryConfig())
+        try:
+            assert default_config().enabled is True
+        finally:
+            set_default_config(previous)
+
+    def test_finish_exports_all_artifacts(self, tmp_path):
+        t = Telemetry(TelemetryConfig(out_dir=tmp_path, label="run"))
+        with t.tracer.span("slot", slot=0):
+            pass
+        t.registry.counter("slots_total").inc()
+        trace = t.finish("spotdc", {"slots": 1})
+        assert len(trace.spans) == 1
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == [
+            "run_metrics.prom", "run_summary.json", "run_trace.jsonl"
+        ]
+        assert [p.name for p in map(
+            __import__("pathlib").Path, t.config.manifest
+        )] == ["run_trace.jsonl", "run_metrics.prom", "run_summary.json"]
+
+    def test_finish_feeds_phase_timers(self):
+        t = Telemetry(TelemetryConfig())
+        with t.tracer.span("slot", slot=0):
+            with t.tracer.span("clear", slot=0):
+                pass
+        t.finish("spotdc", {})
+        timer = t.registry.timer("phase_seconds", {"phase": "clear"})
+        assert timer.count == 1

@@ -1,0 +1,77 @@
+"""Byte-determinism of exported traces.
+
+The JSONL trace must be a *comparable* artifact: two runs of the same
+``(scenario, seed)`` — including under an active fault profile — must
+produce byte-identical files, so ``diff``/hashing detects behavioural
+drift across PRs.  Wall-clock timings are therefore excluded from the
+default export (``include_timings`` re-adds them for humans).
+"""
+
+import json
+
+from repro.resilience.profile import FaultProfile
+from repro.sim.engine import run_simulation
+from repro.sim.scenario import testbed_scenario as build_testbed
+from repro.telemetry import TelemetryConfig
+
+SLOTS = 10
+
+
+def _trace_bytes(tmp_path, run_id, fault_profile=None, include_timings=False):
+    out = tmp_path / str(run_id)
+    run_simulation(
+        build_testbed(seed=7),
+        slots=SLOTS,
+        fault_profile=fault_profile,
+        telemetry=TelemetryConfig(
+            out_dir=out, label="run", include_timings=include_timings
+        ),
+    )
+    return (out / "run_trace.jsonl").read_bytes()
+
+
+def test_identical_runs_identical_traces(tmp_path):
+    assert _trace_bytes(tmp_path, 1) == _trace_bytes(tmp_path, 2)
+
+
+def test_identical_under_active_fault_profile(tmp_path):
+    profile = FaultProfile(
+        bid_loss=0.1, grant_loss=0.08, meter_stuck=0.05,
+        derating_rate=0.02, seed=3,
+    )
+    a = _trace_bytes(tmp_path, 1, fault_profile=profile)
+    b = _trace_bytes(tmp_path, 2, fault_profile=profile)
+    assert a == b
+    # The profile genuinely perturbed the run (fault events present).
+    assert any(b"fault." in line for line in a.splitlines())
+
+
+def test_different_seeded_faults_differ(tmp_path):
+    a = _trace_bytes(
+        tmp_path, 1, fault_profile=FaultProfile(bid_loss=0.2, seed=3)
+    )
+    b = _trace_bytes(
+        tmp_path, 2, fault_profile=FaultProfile(bid_loss=0.2, seed=4)
+    )
+    assert a != b
+
+
+def test_no_wall_clock_in_default_export(tmp_path):
+    for line in _trace_bytes(tmp_path, 1).splitlines():
+        assert "duration_s" not in json.loads(line)
+
+
+def test_timings_mode_is_opt_in_and_nondeterministic_field_only(tmp_path):
+    lines = _trace_bytes(tmp_path, 1, include_timings=True).splitlines()
+    spans = [json.loads(ln) for ln in lines if b'"span"' in ln]
+    assert all("duration_s" in s for s in spans)
+    # Stripping the timing field recovers the deterministic record.
+    stripped = [
+        {k: v for k, v in s.items() if k != "duration_s"} for s in spans
+    ]
+    plain = [
+        json.loads(ln)
+        for ln in _trace_bytes(tmp_path, 2).splitlines()
+        if b'"span"' in ln
+    ]
+    assert stripped == plain
