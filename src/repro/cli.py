@@ -8,6 +8,10 @@ Usage::
     python -m repro run all
     python -m repro run fig12 --telemetry    # also record traces/metrics
     python -m repro compare --slots 2000     # SpotDC vs baselines summary
+    python -m repro simulate --slots 500 --checkpoint-every 50 \
+        --checkpoint-dir ckpt                # operator run with recovery
+    python -m repro simulate --resume-from auto --checkpoint-dir ckpt \
+        --slots 500                          # resume after a crash
     python -m repro trace telemetry/spotdc-001_trace.jsonl --slot 3
     python -m repro metrics telemetry/spotdc-001_metrics.prom
 
@@ -191,6 +195,93 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.errors import OperatorCrash, RecoveryError
+    from repro.recovery import latest_checkpoint
+    from repro.sim.engine import run_simulation
+    from repro.sim.scenario import testbed_scenario
+
+    if args.checkpoint_every is not None and args.checkpoint_dir is None:
+        print("--checkpoint-every requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    resume_from = args.resume_from
+    if resume_from == "auto":
+        if args.checkpoint_dir is None:
+            print(
+                "--resume-from auto requires --checkpoint-dir",
+                file=sys.stderr,
+            )
+            return 2
+        resume_from = latest_checkpoint(args.checkpoint_dir)
+        if resume_from is None:
+            print(
+                f"no checkpoint found in {args.checkpoint_dir}",
+                file=sys.stderr,
+            )
+            return 2
+
+    scenario = testbed_scenario(seed=args.seed)
+    if args.clearing_deadline is not None:
+        scenario = dataclasses.replace(
+            scenario, clearing_deadline_s=args.clearing_deadline
+        )
+    fault_profile = None
+    if args.fault_profile != "none" or args.crash_at is not None:
+        fault_profile = FaultProfile.named(
+            args.fault_profile, args.fault_intensity
+        )
+        if args.crash_at is not None:
+            fault_profile = dataclasses.replace(
+                fault_profile, crash_at_slot=args.crash_at
+            )
+
+    config = None
+    previous = None
+    if args.telemetry:
+        config = TelemetryConfig(out_dir=args.telemetry_dir)
+        previous = set_default_config(config)
+    try:
+        result = run_simulation(
+            scenario,
+            slots=args.slots,
+            fault_profile=fault_profile,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            resume_from=resume_from,
+        )
+    except OperatorCrash as crash:
+        print(
+            f"operator crash at slot {crash.slot}; resume with "
+            f"--resume-from auto --checkpoint-dir {args.checkpoint_dir}",
+            file=sys.stderr,
+        )
+        return 3
+    except RecoveryError as exc:
+        print(f"recovery error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if config is not None:
+            set_default_config(previous)
+
+    prices = result.price_series()
+    quarantined = sum(result.quarantined_bids.values())
+    print(f"allocator: {result.allocator_name}")
+    print(f"slots: {result.slots}  seed: {args.seed}")
+    print(f"mean price: {float(prices.mean()) if prices.size else 0.0:.4f}")
+    print(f"spot revenue: ${result.total_spot_revenue():.2f}")
+    print(f"net profit: ${result.ledger.net_profit:.2f}")
+    print(f"emergencies: {len(result.emergencies.events)}")
+    print(f"quarantined bids: {quarantined}")
+    if result.faults is not None:
+        print(f"faults injected: {result.faults.count()}")
+    if config is not None:
+        for path in config.manifest:
+            print(f"  {path}")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis import format_table
     from repro.experiments.common import run_comparison
@@ -363,6 +454,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for telemetry artifacts (default: ./telemetry)",
     )
     run.set_defaults(func=_cmd_run)
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="one operator run of the testbed, with checkpoint/resume",
+    )
+    simulate.add_argument("--seed", type=int, default=None)
+    simulate.add_argument("--slots", type=int, default=500)
+    simulate.add_argument(
+        "--fault-profile", choices=FAULT_CLASSES, default="none",
+        help="inject a named fault class into the run",
+    )
+    simulate.add_argument(
+        "--fault-intensity", type=float, default=0.1,
+        help="intensity of the injected fault class, in [0, 1]",
+    )
+    simulate.add_argument(
+        "--crash-at", type=int, default=None, metavar="SLOT",
+        help="inject an operator crash at this slot (exercise recovery)",
+    )
+    simulate.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="K",
+        help="write a recovery checkpoint every K completed slots",
+    )
+    simulate.add_argument(
+        "--checkpoint-dir", default=None,
+        help="directory for checkpoint files",
+    )
+    simulate.add_argument(
+        "--resume-from", default=None, metavar="PATH|auto",
+        help="resume from a checkpoint file, or 'auto' for the latest "
+        "in --checkpoint-dir",
+    )
+    simulate.add_argument(
+        "--clearing-deadline", type=float, default=None, metavar="SECONDS",
+        help="arm the clearing deadline guard with this wall-clock budget",
+    )
+    simulate.add_argument(
+        "--telemetry", action="store_true",
+        help="record a span trace, metrics dump, and summary JSON",
+    )
+    simulate.add_argument(
+        "--telemetry-dir", default="telemetry",
+        help="directory for telemetry artifacts (default: ./telemetry)",
+    )
+    simulate.set_defaults(func=_cmd_simulate)
 
     compare = sub.add_parser(
         "compare", help="SpotDC vs PowerCapped vs MaxPerf summary"

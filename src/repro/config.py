@@ -13,6 +13,8 @@ import dataclasses
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+
 __all__ = [
     "DEFAULT_SLOT_SECONDS",
     "DEFAULT_SEED",
@@ -103,13 +105,13 @@ class MarketParameters:
 
     def __post_init__(self) -> None:
         if self.slot_seconds <= 0:
-            raise ValueError("slot_seconds must be positive")
+            raise ConfigurationError("slot_seconds must be positive")
         if self.price_step <= 0:
-            raise ValueError("price_step must be positive")
+            raise ConfigurationError("price_step must be positive")
         if self.max_price <= self.reserve_price:
-            raise ValueError("max_price must exceed reserve_price")
+            raise ConfigurationError("max_price must exceed reserve_price")
         if not 0 < self.under_prediction_factor <= 1:
-            raise ValueError("under_prediction_factor must be in (0, 1]")
+            raise ConfigurationError("under_prediction_factor must be in (0, 1]")
 
 
 def make_rng(seed: int | None = None) -> np.random.Generator:
@@ -130,5 +132,5 @@ def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator
     that adding a tenant does not perturb the randomness of the others.
     """
     if count < 0:
-        raise ValueError("count must be non-negative")
+        raise ConfigurationError("count must be non-negative")
     return list(rng.spawn(count))

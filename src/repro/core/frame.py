@@ -42,6 +42,41 @@ from repro.core.demand import (
 
 __all__ = ["BidFrame"]
 
+
+def _validate_columns(d_max, q_min, d_min, q_max, caps) -> None:
+    """Vectorised admission checks for array-built frames.
+
+    Mirrors :func:`repro.recovery.admission.inspect_rack_bid` check by
+    check (same reasons, same order) so columnar and object callers
+    reject the same inputs for the same stated reason.
+    """
+    from repro.errors import BidValidationError
+
+    def first_bad(mask, reason, message):
+        rows = np.flatnonzero(mask)
+        if rows.size:
+            raise BidValidationError(
+                f"row {int(rows[0])}: {message}", reason=reason
+            )
+
+    finite = (
+        np.isfinite(d_max)
+        & np.isfinite(q_min)
+        & np.isfinite(d_min)
+        & np.isfinite(q_max)
+        & np.isfinite(caps)
+    )
+    first_bad(~finite, "non_finite", "non-finite bid parameter")
+    first_bad(q_max < q_min, "inverted_prices", "q_max below q_min")
+    first_bad(d_min > d_max, "inverted_quantities", "D_min above D_max")
+    negative = (d_max < 0) | (q_min < 0) | (d_min < 0) | (q_max < 0) | (caps < 0)
+    first_bad(negative, "negative_value", "negative bid parameter")
+    first_bad(
+        d_max > caps * (1.0 + 1e-9) + 1e-9,
+        "exceeds_rack_cap",
+        "demand exceeds rack headroom",
+    )
+
 #: Row kinds: closed-form rows evaluate through the vectorised kernel;
 #: sampled rows go through their demand object's ``demand_grid``.
 KIND_CLOSED = 0
@@ -249,6 +284,7 @@ class BidFrame:
         d_min_w: Iterable[float],
         q_max: Iterable[float],
         rack_cap_w: Iterable[float],
+        validate: bool = False,
     ) -> "BidFrame":
         """Build a frame of LinearBid rows directly from columns.
 
@@ -256,7 +292,22 @@ class BidFrame:
         ``rack_ids``); the frame deduplicates them into its code tables.
         No :class:`RackBid` objects are materialised — :meth:`to_bids`
         creates them lazily if ever asked.
+
+        With ``validate`` the columns pass the admission checks of
+        :mod:`repro.recovery.admission` in one vectorised sweep —
+        columnar callers (benchmark fleets, replayed bid logs) bypass
+        the per-object front door, so this is their equivalent guard.
+        Raises :class:`repro.errors.BidValidationError` on the first
+        violated check.
         """
+        if validate:
+            _validate_columns(
+                np.asarray(d_max_w, dtype=float),
+                np.asarray(q_min, dtype=float),
+                np.asarray(d_min_w, dtype=float),
+                np.asarray(q_max, dtype=float),
+                np.asarray(rack_cap_w, dtype=float),
+            )
         d_max = np.ascontiguousarray(d_max_w, dtype=float)
         n = d_max.shape[0]
         unique_pdus = tuple(sorted(set(pdu_ids)))

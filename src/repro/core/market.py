@@ -21,7 +21,9 @@ from repro.core.allocation import AllocationResult, verify_allocation
 from repro.core.bids import RackBid, flatten_bids
 from repro.core.clearing import MarketClearing
 from repro.core.frame import BidFrame
+from repro.errors import ConfigurationError
 from repro.prediction.spot import SpotCapacityForecast
+from repro.recovery.admission import QuarantinedBid, screen_bids
 from repro.tenants.tenant import Tenant
 
 __all__ = ["Allocator", "SpotDCAllocator", "SlotMarketRecord"]
@@ -39,12 +41,16 @@ class SlotMarketRecord:
             (``None`` for allocators that never build one).  Downstream
             consumers — settlement adjustments, revocation billing —
             reuse it instead of regrouping objects.
+        quarantined: Bids rejected by the admission front door this
+            slot (:class:`repro.recovery.admission.QuarantinedBid`);
+            they never reached ``bids`` or the frame.
     """
 
     result: AllocationResult
     bids: tuple[RackBid, ...]
     payments: dict[str, float]
     frame: BidFrame | None = None
+    quarantined: tuple[QuarantinedBid, ...] = ()
 
 
 class Allocator(abc.ABC):
@@ -97,6 +103,12 @@ class SpotDCAllocator(Allocator):
             (see :meth:`repro.core.clearing.MarketClearing.clear_per_pdu`);
             ``"uniform"`` clears one facility-wide price, the paper's
             literal description.
+        admission: Screen solicited bids through the
+            :mod:`repro.recovery.admission` front door before frame
+            construction (default on).  Malformed bundles are
+            quarantined whole — the tenant sits the slot out, exactly
+            like a lost bid — and surface on
+            :attr:`SlotMarketRecord.quarantined`.
     """
 
     name = "spotdc"
@@ -108,14 +120,16 @@ class SpotDCAllocator(Allocator):
         verify: bool = True,
         oracle_rebid: bool = False,
         pricing: str = "per_pdu",
+        admission: bool = True,
     ) -> None:
         if pricing not in ("per_pdu", "uniform"):
-            raise ValueError(f"unknown pricing mode {pricing!r}")
+            raise ConfigurationError(f"unknown pricing mode {pricing!r}")
         self.params = params or MarketParameters()
         self.engine = MarketClearing(params=self.params)
         self.verify = verify
         self.oracle_rebid = oracle_rebid
         self.pricing = pricing
+        self.admission = admission
 
     def _clear(self, bids, forecast, extra_constraints=()):
         if self.pricing == "per_pdu":
@@ -131,13 +145,20 @@ class SpotDCAllocator(Allocator):
         slot: int,
         tenants: Sequence[Tenant],
         predicted_price: float | None,
-    ) -> list[RackBid]:
+    ) -> tuple[list[RackBid], tuple[QuarantinedBid, ...]]:
         tenant_bids = []
         for tenant in tenants:
             bid = tenant.make_bid(slot, predicted_price=predicted_price)
             if bid is not None:
                 tenant_bids.append(bid)
-        return flatten_bids(tenant_bids)
+        quarantined: tuple[QuarantinedBid, ...] = ()
+        if self.admission:
+            # Admission happens on *bundles*: a bundle with any
+            # malformed rack bid is rejected whole — partial admission
+            # would grant a tenant capacity on exactly the racks whose
+            # bids happened to parse.
+            tenant_bids, quarantined = screen_bids(tenant_bids)
+        return flatten_bids(tenant_bids), quarantined
 
     def allocate(
         self,
@@ -154,10 +175,19 @@ class SpotDCAllocator(Allocator):
 
             tracer = NULL_TRACER
         with tracer.span("bid_collect", slot=slot) as bid_span:
-            bids = self._collect_bids(slot, tenants, predicted_price)
+            bids, quarantined = self._collect_bids(slot, tenants, predicted_price)
+            for q in quarantined:
+                tracer.event(
+                    "bid.quarantined",
+                    slot=slot,
+                    tenant=q.tenant_id,
+                    rack_id=q.rack_id,
+                    reason=q.reason,
+                )
             bid_span.set(
                 tenants=len(tenants),
                 racks_bid=len(bids),
+                quarantined=len(quarantined),
                 forecast_price=predicted_price,
             )
         with tracer.span("clear", slot=slot) as clear_span:
@@ -167,10 +197,13 @@ class SpotDCAllocator(Allocator):
             result = self._clear(frame, forecast, extra_constraints)
             if self.oracle_rebid and bids:
                 # Fig. 16: strategic tenants re-bid knowing the market price.
-                rebids = self._collect_bids(slot, tenants, result.price)
+                rebids, requarantined = self._collect_bids(
+                    slot, tenants, result.price
+                )
                 frame = BidFrame.from_bids(rebids)
                 result = self._clear(frame, forecast, extra_constraints)
                 bids = rebids
+                quarantined = requarantined
             if self.verify:
                 verify_allocation(
                     result,
@@ -191,7 +224,11 @@ class SpotDCAllocator(Allocator):
             result.grants_w, result.pdu_prices, result.price, slot_seconds
         )
         return SlotMarketRecord(
-            result=result, bids=tuple(bids), payments=payments, frame=frame
+            result=result,
+            bids=tuple(bids),
+            payments=payments,
+            frame=frame,
+            quarantined=quarantined,
         )
 
     @staticmethod

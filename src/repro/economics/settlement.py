@@ -44,6 +44,11 @@ class Invoice:
             Revoked grants are *rebilled out* at the slot, so the credit
             is already absent from :attr:`spot_charge` and is shown for
             audit only — it is not subtracted again from :attr:`total`.
+        quarantined_bids: Memo line: bid bundles the admission front
+            door rejected over the period.  A quarantined bundle is
+            never cleared or billed (the tenant sat the slot out), so
+            this too is audit-only — but a tenant disputing "why did I
+            get no capacity" finds the answer on their statement.
     """
 
     tenant_id: str
@@ -56,6 +61,7 @@ class Invoice:
     spot_watt_hours: float
     spot_charge: float
     spot_credit: float = 0.0
+    quarantined_bids: int = 0
 
     @property
     def total(self) -> float:
@@ -100,6 +106,9 @@ def build_invoice(result: SimulationResult, tenant_id: str) -> Invoice:
         spot_watt_hours=spot_watt_hours,
         spot_charge=result.tenant_spot_payment(tenant_id),
         spot_credit=spot_credit,
+        quarantined_bids=getattr(result, "quarantined_bids", {}).get(
+            tenant_id, 0
+        ),
     )
 
 
@@ -138,6 +147,7 @@ def render_invoices(invoices: list[Invoice]) -> str:
             inv.energy_charge,
             inv.spot_charge,
             inv.spot_credit,
+            inv.quarantined_bids,
             inv.total,
             inv.effective_spot_rate,
         ]
@@ -146,7 +156,8 @@ def render_invoices(invoices: list[Invoice]) -> str:
     return format_table(
         [
             "tenant", "subscription [$]", "energy [$]", "spot [$]",
-            "credited [$]", "total [$]", "avg spot rate [$/kW/h]",
+            "credited [$]", "quarantined", "total [$]",
+            "avg spot rate [$/kW/h]",
         ],
         rows,
         title="Tenant invoices",

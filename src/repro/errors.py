@@ -14,9 +14,12 @@ __all__ = [
     "TopologyError",
     "CapacityError",
     "BidError",
+    "BidValidationError",
     "ClearingError",
     "WorkloadError",
     "SimulationError",
+    "RecoveryError",
+    "OperatorCrash",
 ]
 
 
@@ -24,8 +27,14 @@ class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
 
 
-class ConfigurationError(ReproError):
-    """A scenario, model, or component was configured with invalid values."""
+class ConfigurationError(ReproError, ValueError):
+    """A scenario, model, or component was configured with invalid values.
+
+    Also a :class:`ValueError`: invalid configuration values are the one
+    place where callers historically caught ``ValueError``, so the
+    hierarchy keeps that contract while remaining catchable as
+    :class:`ReproError`.
+    """
 
 
 class TopologyError(ConfigurationError):
@@ -51,6 +60,24 @@ class BidError(ReproError):
     """A spot-capacity bid is malformed (e.g. ``D_min > D_max``)."""
 
 
+class BidValidationError(BidError):
+    """A bid was rejected by the operator's admission front door.
+
+    Raised by :mod:`repro.recovery.admission` when a submitted bid fails
+    the pre-clearing validation (non-finite values, inverted
+    breakpoints, demand exceeding the rack's physical headroom).  The
+    market itself never raises this — malformed bids are *quarantined*
+    (treated as lost, paper §III-C default-to-no-spot) — but callers
+    validating bids directly get a catchable, reasoned error.
+    """
+
+    def __init__(self, message: str, reason: str = "invalid") -> None:
+        super().__init__(message)
+        #: Machine-readable quarantine reason (one of
+        #: :data:`repro.recovery.admission.QUARANTINE_REASONS`).
+        self.reason = reason
+
+
 class ClearingError(ReproError):
     """Market clearing could not produce a valid outcome.
 
@@ -66,3 +93,24 @@ class WorkloadError(ReproError):
 
 class SimulationError(ReproError):
     """The time-slotted simulation reached an inconsistent state."""
+
+
+class RecoveryError(ReproError):
+    """Checkpoint/restore of the operator's slot loop failed.
+
+    Raised when a checkpoint file is missing, corrupt, from an
+    incompatible format version, or inconsistent with the requested
+    resume (e.g. a different run horizon than the one checkpointed).
+    """
+
+
+class OperatorCrash(RecoveryError):
+    """An injected operator-process crash (:class:`repro.resilience.faults.CrashFault`).
+
+    Kills the slot loop mid-run so the checkpoint/restore path can be
+    exercised end to end; carries the slot the crash fired in.
+    """
+
+    def __init__(self, slot: int) -> None:
+        super().__init__(f"injected operator crash at slot {slot}")
+        self.slot = int(slot)

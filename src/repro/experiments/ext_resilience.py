@@ -24,20 +24,28 @@ must also still balance (revoked grants are credited, never billed).
 from __future__ import annotations
 
 import dataclasses
+import pathlib
+import tempfile
+
+import numpy as np
 
 from repro.analysis.reporting import format_table
 from repro.config import DEFAULT_SEED
 from repro.core.baselines import PowerCappedAllocator
 from repro.economics.settlement import reconcile
-from repro.errors import SimulationError
+from repro.errors import OperatorCrash, SimulationError
+from repro.recovery import latest_checkpoint
 from repro.resilience import FAULT_CLASSES, FaultProfile
 from repro.sim.engine import run_simulation
 from repro.sim.results import SimulationResult
 from repro.sim.scenario import testbed_scenario
+from repro.telemetry import TelemetryConfig
 
 __all__ = [
+    "RecoveryCell",
     "ResilienceCell",
     "ResilienceStudy",
+    "run_recovery_check",
     "run_resilience_cell",
     "run_resilience_study",
     "render_resilience_study",
@@ -89,6 +97,40 @@ class ResilienceCell:
     spot_revenue: float
 
 
+@dataclasses.dataclass(frozen=True)
+class RecoveryCell:
+    """The crash-at-slot-k + resume case of the chaos sweep.
+
+    A run is killed mid-flight by an injected
+    :class:`~repro.resilience.faults.CrashFault`, restored from its last
+    checkpoint, and run to completion; the recovery invariant is that
+    the stitched run is *indistinguishable* from the same-seed run that
+    never crashed.
+
+    Attributes:
+        fault_class: The fault class active alongside the crash.
+        intensity: Its sweep intensity.
+        crash_slot: Slot at which the run was killed.
+        resumed_slot: First slot replayed by the resumed run.
+        trace_identical: Whether the resumed run's exported JSONL trace
+            is byte-identical to the uninterrupted run's.
+        result_identical: Whether prices, UPS power, and revenue match
+            the uninterrupted run exactly.
+    """
+
+    fault_class: str
+    intensity: float
+    crash_slot: int
+    resumed_slot: int
+    trace_identical: bool
+    result_identical: bool
+
+    @property
+    def ok(self) -> bool:
+        """The byte-identical-recovery invariant."""
+        return self.trace_identical and self.result_identical
+
+
 @dataclasses.dataclass
 class ResilienceStudy:
     """Results of the chaos sweep.
@@ -97,11 +139,14 @@ class ResilienceStudy:
         cells: One entry per (fault class, intensity) pair.
         seed: Seed every run shared.
         slots: Horizon of every run.
+        recovery: The crash-and-resume recovery check (``None`` when the
+            study was run without it).
     """
 
     cells: list[ResilienceCell]
     seed: int
     slots: int
+    recovery: RecoveryCell | None = None
 
     def violations(self) -> list[ResilienceCell]:
         """Cells in which SpotDC logged more overload slots than the
@@ -170,12 +215,94 @@ def run_resilience_cell(
     )
 
 
+def run_recovery_check(
+    seed: int = DEFAULT_SEED,
+    slots: int = 120,
+    crash_at: int | None = None,
+    fault_class: str = "chaos",
+    intensity: float = 0.25,
+    checkpoint_every: int = 10,
+) -> RecoveryCell:
+    """Crash a run at slot k, resume it, and compare against never crashing.
+
+    Three runs over one scenario seed: (1) the victim, checkpointing
+    every ``checkpoint_every`` slots until an injected
+    :class:`~repro.resilience.faults.CrashFault` kills it at
+    ``crash_at``; (2) its resumption from the latest checkpoint; (3) the
+    uninterrupted reference under the same profile minus the crash (the
+    ``crash`` channel draws no randomness, so every other fault stream
+    is byte-identical).  The check is exact: the resumed run's exported
+    JSONL trace must equal the reference's byte for byte, and the
+    numeric results must match with no tolerance.
+    """
+    crash_at = crash_at if crash_at is not None else max(2, 2 * slots // 3)
+    base = dataclasses.replace(FaultProfile.named(fault_class, intensity), seed=seed)
+    crashing = dataclasses.replace(base, crash_at_slot=crash_at)
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = pathlib.Path(tmp)
+        ckpt_dir = tmp / "ckpt"
+        try:
+            run_simulation(
+                testbed_scenario(seed=seed),
+                slots,
+                fault_profile=crashing,
+                telemetry=TelemetryConfig(out_dir=tmp / "crashed", label="run"),
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=ckpt_dir,
+            )
+        except OperatorCrash:
+            pass
+        else:
+            raise SimulationError(
+                f"injected crash at slot {crash_at} never fired"
+            )
+        checkpoint = latest_checkpoint(ckpt_dir)
+        if checkpoint is None:
+            raise SimulationError("crashed run left no checkpoint behind")
+        resumed_slot = int(checkpoint.stem.split("_")[1]) + 1
+        # The scenario/telemetry arguments here only shape the engine
+        # that the checkpointed state *replaces*; the resumed run keeps
+        # exporting into the crashed run's telemetry directory.
+        resumed = run_simulation(
+            testbed_scenario(seed=seed),
+            slots,
+            fault_profile=crashing,
+            resume_from=checkpoint,
+        )
+        reference = run_simulation(
+            testbed_scenario(seed=seed),
+            slots,
+            fault_profile=base,
+            telemetry=TelemetryConfig(out_dir=tmp / "reference", label="run"),
+        )
+        trace_identical = (
+            (tmp / "crashed" / "run_trace.jsonl").read_bytes()
+            == (tmp / "reference" / "run_trace.jsonl").read_bytes()
+        )
+    result_identical = (
+        np.array_equal(resumed.price_series(), reference.price_series())
+        and np.array_equal(
+            resumed.ups_power_series(), reference.ups_power_series()
+        )
+        and resumed.total_spot_revenue() == reference.total_spot_revenue()
+    )
+    return RecoveryCell(
+        fault_class=fault_class,
+        intensity=intensity,
+        crash_slot=crash_at,
+        resumed_slot=resumed_slot,
+        trace_identical=trace_identical,
+        result_identical=result_identical,
+    )
+
+
 def run_resilience_study(
     seed: int = DEFAULT_SEED,
     slots: int = DEFAULT_SLOTS,
     intensities: tuple[float, ...] = DEFAULT_INTENSITIES,
     fault_classes: tuple[str, ...] = FAULT_CLASSES,
     strict: bool = True,
+    with_recovery: bool = True,
 ) -> ResilienceStudy:
     """Sweep fault class x intensity and machine-check the invariant.
 
@@ -188,6 +315,9 @@ def run_resilience_study(
         strict: Raise :class:`~repro.errors.SimulationError` on any
             invariant violation (the machine check); pass ``False`` to
             inspect violations in the returned study instead.
+        with_recovery: Also run the crash-and-resume recovery check
+            (byte-identical trace and result after restoring from a
+            checkpoint).
     """
     cells: list[ResilienceCell] = []
     for fault_class in fault_classes:
@@ -196,7 +326,10 @@ def run_resilience_study(
             cells.append(
                 run_resilience_cell(fault_class, intensity, seed, slots)
             )
-    study = ResilienceStudy(cells=cells, seed=seed, slots=slots)
+    recovery = run_recovery_check(seed=seed) if with_recovery else None
+    study = ResilienceStudy(
+        cells=cells, seed=seed, slots=slots, recovery=recovery
+    )
     violations = study.violations()
     if strict and violations:
         worst = violations[0]
@@ -205,6 +338,14 @@ def run_resilience_study(
             f"logged more overload slots under SpotDC than PowerCapped "
             f"(first: {worst.fault_class}@{worst.intensity} — "
             f"{worst.spot_overload_slots} vs {worst.capped_overload_slots})"
+        )
+    if strict and recovery is not None and not recovery.ok:
+        raise SimulationError(
+            f"recovery invariant violated: crash at slot "
+            f"{recovery.crash_slot}, resume from slot "
+            f"{recovery.resumed_slot} — trace_identical="
+            f"{recovery.trace_identical}, result_identical="
+            f"{recovery.result_identical}"
         )
     return study
 
@@ -250,4 +391,14 @@ def render_resilience_study(study: ResilienceStudy) -> str:
         if n_bad == 0
         else f"INVARIANT VIOLATED in {n_bad} cell(s)"
     )
-    return f"{table}\n{verdict}"
+    lines = [table, verdict]
+    r = study.recovery
+    if r is not None:
+        status = "ok" if r.ok else "VIOLATED"
+        lines.append(
+            f"recovery check ({r.fault_class}@{r.intensity}): crash at "
+            f"slot {r.crash_slot}, resumed from slot {r.resumed_slot} — "
+            f"trace byte-identical: {r.trace_identical}, result "
+            f"identical: {r.result_identical} [{status}]"
+        )
+    return "\n".join(lines)

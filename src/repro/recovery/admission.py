@@ -1,0 +1,209 @@
+"""Bid admission control: validate or quarantine before clearing.
+
+One malformed bid — a NaN breakpoint, an inverted ``(q_min, q_max)``
+pair mutated after construction, a demand far beyond the rack's
+physical headroom — would otherwise poison the columnar
+:class:`~repro.core.frame.BidFrame` the whole slot clears through.  The
+admission front door screens every solicited bundle *before* frame
+construction: a bundle containing any malformed rack bid is quarantined
+whole (never partially admitted) and the tenant sits the slot out,
+exactly like a lost bid (the paper's §III-C default-to-no-spot
+semantics).  Quarantines carry a machine-readable reason surfaced in
+the trace, the run metrics, and the tenant's invoice.
+
+Honest bids are untouched: every built-in bidding strategy clips its
+demand to the rack's spot headroom, and the Eq. 2 rack clip in clearing
+remains in force for anything the tolerance lets through.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Iterable, Sequence
+
+from repro.core.bids import RackBid, TenantBid
+from repro.core.demand import LinearBid, StepBid
+from repro.errors import BidValidationError
+
+__all__ = [
+    "QUARANTINE_REASONS",
+    "QuarantinedBid",
+    "inspect_rack_bid",
+    "screen_bids",
+    "screen_rack_bids",
+    "validate_rack_bid",
+]
+
+#: Machine-readable quarantine reasons, in check order.
+QUARANTINE_REASONS = (
+    "non_finite",
+    "inverted_prices",
+    "inverted_quantities",
+    "negative_value",
+    "exceeds_rack_cap",
+)
+
+#: Relative slack on the rack-capacity check: honest strategies clip
+#: demand to exactly the rack headroom, so only demand meaningfully
+#: *above* it is malformed.
+_CAP_RTOL = 1e-9
+
+
+@dataclasses.dataclass(frozen=True)
+class QuarantinedBid:
+    """One rejected rack bid, with its reason.
+
+    Attributes:
+        tenant_id: Owner of the rejected bundle.
+        rack_id: Rack whose bid failed validation (the whole bundle is
+            quarantined with it).
+        reason: One of :data:`QUARANTINE_REASONS`.
+        detail: Human-readable description of the violation.
+    """
+
+    tenant_id: str
+    rack_id: str
+    reason: str
+    detail: str
+
+
+def _linear_params(bid: RackBid) -> tuple[float, float, float, float] | None:
+    """The four linear parameters, or ``None`` for sampled demand kinds."""
+    fn = bid.demand
+    if type(fn) is LinearBid:
+        return (fn.d_max_w, fn.q_min, fn.d_min_w, fn.q_max)
+    if type(fn) is StepBid:
+        return (fn.demand_w, fn.price_cap, fn.demand_w, fn.price_cap)
+    return None
+
+
+def inspect_rack_bid(bid: RackBid) -> tuple[str, str] | None:
+    """Check one rack bid; return ``(reason, detail)`` or ``None`` if valid.
+
+    The checks deliberately re-validate invariants the demand
+    constructors also enforce: demand objects are plain mutable Python
+    objects, so a misbehaving tenant (or a bug) can corrupt a bid
+    *after* construction — and ``NaN`` passes every ``<`` comparison in
+    the constructors anyway.
+    """
+    params = _linear_params(bid)
+    if params is not None:
+        d_max, q_min, d_min, q_max = params
+        max_demand = d_max
+    else:
+        # Sampled demand kinds (FullBid, custom curves) expose only
+        # their envelope; check what the clearing scan consumes.
+        d_max = d_min = None
+        try:
+            max_demand = float(bid.demand.max_demand_w)
+            q_max = float(bid.demand.max_price)
+        except (TypeError, ValueError, ArithmeticError) as exc:
+            return ("non_finite", f"demand envelope unreadable: {exc}")
+        q_min = 0.0
+    values = [
+        v
+        for v in (d_max, q_min, d_min, q_max, max_demand, bid.rack_cap_w)
+        if v is not None
+    ]
+    if not all(math.isfinite(v) for v in values):
+        return ("non_finite", f"non-finite bid parameter in {values}")
+    if q_max < q_min:
+        return (
+            "inverted_prices",
+            f"q_max ({q_max}) below q_min ({q_min})",
+        )
+    if d_max is not None and d_min is not None and d_min > d_max:
+        return (
+            "inverted_quantities",
+            f"D_min ({d_min}) above D_max ({d_max})",
+        )
+    if min(values) < 0:
+        return ("negative_value", f"negative bid parameter in {values}")
+    cap = bid.rack_cap_w
+    if max_demand > cap * (1.0 + _CAP_RTOL) + 1e-9:
+        return (
+            "exceeds_rack_cap",
+            f"demand {max_demand} W exceeds rack headroom {cap} W",
+        )
+    return None
+
+
+def validate_rack_bid(bid: RackBid) -> None:
+    """Raise :class:`BidValidationError` if the bid is malformed.
+
+    The raising variant for callers validating bids directly; the
+    market itself never raises — it quarantines via :func:`screen_bids`.
+    """
+    verdict = inspect_rack_bid(bid)
+    if verdict is not None:
+        reason, detail = verdict
+        raise BidValidationError(
+            f"rack {bid.rack_id} (tenant {bid.tenant_id}): {detail}",
+            reason=reason,
+        )
+
+
+def screen_bids(
+    tenant_bids: Iterable[TenantBid],
+) -> tuple[list[TenantBid], tuple[QuarantinedBid, ...]]:
+    """Partition solicited bundles into admitted and quarantined.
+
+    A bundle is admitted only if *every* rack bid in it is valid —
+    partial admission would grant a tenant capacity on exactly the
+    racks whose bids happened to parse, an outcome no tenant asked for.
+    Quarantined bundles report one :class:`QuarantinedBid` per
+    offending rack bid.
+
+    Returns:
+        ``(admitted, quarantined)``; admitted bundles preserve
+        submission order.
+    """
+    admitted: list[TenantBid] = []
+    quarantined: list[QuarantinedBid] = []
+    for bundle in tenant_bids:
+        offenders = [
+            (bid, verdict)
+            for bid in bundle.rack_bids
+            if (verdict := inspect_rack_bid(bid)) is not None
+        ]
+        if not offenders:
+            admitted.append(bundle)
+            continue
+        for bid, (reason, detail) in offenders:
+            quarantined.append(
+                QuarantinedBid(
+                    tenant_id=bundle.tenant_id,
+                    rack_id=bid.rack_id,
+                    reason=reason,
+                    detail=detail,
+                )
+            )
+    return admitted, tuple(quarantined)
+
+
+def screen_rack_bids(
+    bids: Sequence[RackBid],
+) -> tuple[list[RackBid], tuple[QuarantinedBid, ...]]:
+    """Screen already-flattened rack bids (no bundle atomicity).
+
+    Used by callers that never see bundles (e.g. re-screening oracle
+    rebids); each rack bid is judged on its own.
+    """
+    admitted: list[RackBid] = []
+    quarantined: list[QuarantinedBid] = []
+    for bid in bids:
+        verdict = inspect_rack_bid(bid)
+        if verdict is None:
+            admitted.append(bid)
+        else:
+            reason, detail = verdict
+            quarantined.append(
+                QuarantinedBid(
+                    tenant_id=bid.tenant_id,
+                    rack_id=bid.rack_id,
+                    reason=reason,
+                    detail=detail,
+                )
+            )
+    return admitted, tuple(quarantined)

@@ -32,6 +32,7 @@ from repro.resilience.degradation import (
 )
 from repro.resilience.faults import (
     BernoulliLoss,
+    CrashFault,
     DeratingEvent,
     DeratingSource,
     FaultInjector,
@@ -48,6 +49,7 @@ from repro.resilience.profile import FAULT_CLASSES, FaultProfile
 __all__ = [
     "BernoulliLoss",
     "ControlAction",
+    "CrashFault",
     "CreditNote",
     "DegradationController",
     "DeratingEvent",

@@ -33,7 +33,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, OperatorCrash
 
 __all__ = [
     "FaultRecord",
@@ -47,11 +47,15 @@ __all__ = [
     "MeterFaultSource",
     "DeratingEvent",
     "DeratingSource",
+    "CrashFault",
     "FaultInjector",
 ]
 
 #: Valid fault channels, in the order their random streams are derived.
-CHANNELS = ("bid", "grant", "meter", "capacity")
+#: ``"crash"`` is appended last so the stream keys of the original four
+#: channels — and therefore every existing seeded fault trace — are
+#: unchanged (it never draws randomness anyway: crashes are scripted).
+CHANNELS = ("bid", "grant", "meter", "capacity", "crash")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -517,6 +521,46 @@ class DeratingSource(FaultSource):
             log.record(slot, "derating_start", event.unit_id, event.fraction)
 
 
+class CrashFault(FaultSource):
+    """Scripted operator-process crash at a fixed slot.
+
+    Unlike every other source, a crash does not corrupt an *input* — it
+    kills the operator's slot loop itself, by raising
+    :class:`repro.errors.OperatorCrash` at the top of slot ``at_slot``
+    (before any market work for that slot).  It exists to exercise the
+    checkpoint/restore path end to end: crash at slot *k*, resume from
+    the latest checkpoint, and demand byte-identical results vs. the
+    uninterrupted run.
+
+    The crash is deliberately **not** recorded in the :class:`FaultLog`
+    and draws no randomness: either would make the crashed-then-resumed
+    run observably different from the uninterrupted one, breaking the
+    recovery invariant the source exists to test.
+
+    Args:
+        at_slot: Slot at which the crash fires (once).
+    """
+
+    channel = "crash"
+
+    def __init__(self, at_slot: int) -> None:
+        super().__init__()
+        self.name = "crash"
+        if at_slot < 1:
+            raise ConfigurationError(
+                f"CrashFault at_slot must be >= 1 (slot 0 has no market), "
+                f"got {at_slot}"
+            )
+        self.at_slot = int(at_slot)
+        self.armed = True
+
+    def check(self, slot: int) -> None:
+        """Raise :class:`OperatorCrash` if armed for this slot."""
+        if self.armed and slot == self.at_slot:
+            self.armed = False
+            raise OperatorCrash(slot)
+
+
 class FaultInjector:
     """Composable fault injection with one seed and one log.
 
@@ -622,3 +666,31 @@ class FaultInjector:
         """Apply this slot's derating transitions to the live topology."""
         for source in self._by_channel["capacity"]:
             source.transitions(slot, topology, self.log)
+
+    def check_crash(self, slot: int) -> None:
+        """Raise :class:`repro.errors.OperatorCrash` if a crash is due.
+
+        Called by the engine at the top of every slot, *after* the
+        previous slot's checkpoint was written, so a resumed run replays
+        the crashed slot from its beginning.
+        """
+        for source in self._by_channel["crash"]:
+            source.check(slot)
+
+    def disarm_next_crash(self, start_slot: int) -> None:
+        """Disarm the next crash at or after ``start_slot``.
+
+        Called on resume: the restored injector still carries the armed
+        :class:`CrashFault` that killed the previous process, and
+        without disarming it the resumed run would crash at the same
+        slot forever.  Only the *earliest* armed crash at or after the
+        resume point is disarmed, so multi-crash schedules (crash →
+        resume → crash again → resume) work.
+        """
+        armed = [
+            s
+            for s in self._by_channel["crash"]
+            if getattr(s, "armed", False) and s.at_slot >= start_slot
+        ]
+        if armed:
+            min(armed, key=lambda s: s.at_slot).armed = False

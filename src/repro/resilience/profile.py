@@ -29,6 +29,7 @@ from repro.config import DEFAULT_SEED
 from repro.errors import ConfigurationError
 from repro.resilience.faults import (
     BernoulliLoss,
+    CrashFault,
     DeratingEvent,
     DeratingSource,
     FaultInjector,
@@ -79,6 +80,10 @@ class FaultProfile:
         derating_fraction: Capacity fraction lost while derated.
         derating_slots: Mean derating window length.
         derating_events: Explicit, deterministic derating schedule.
+        crash_at_slot: Slot at which an injected operator crash kills
+            the run (``None`` disables; see
+            :class:`~repro.resilience.faults.CrashFault`).  Used by the
+            recovery experiments to exercise checkpoint/restore.
         seed: Default seed for :meth:`build` (``None`` falls back to the
             library default).
     """
@@ -99,6 +104,7 @@ class FaultProfile:
     derating_fraction: float = 0.2
     derating_slots: int = 12
     derating_events: tuple[DeratingEvent, ...] = ()
+    crash_at_slot: int | None = None
     seed: int | None = None
 
     @classmethod
@@ -208,6 +214,8 @@ class FaultProfile:
                     duration_slots=self.derating_slots,
                 )
             )
+        if self.crash_at_slot is not None:
+            sources.append(CrashFault(self.crash_at_slot))
         return sources
 
     def build(self, seed: int | None = None) -> FaultInjector | None:

@@ -100,6 +100,7 @@ class ScenarioBuilder:
         self._rng = make_rng(seed)
         self._fault_profile = None
         self._telemetry = None
+        self._clearing_deadline = None
 
     def with_fault_profile(self, profile) -> "ScenarioBuilder":
         """Attach a :class:`repro.resilience.FaultProfile` to the run.
@@ -119,6 +120,25 @@ class ScenarioBuilder:
         ``out_dir``) exports the JSONL / Prometheus / summary artifacts.
         """
         self._telemetry = config
+        return self
+
+    def with_clearing_deadline(
+        self, budget_s: "float | bool" = True
+    ) -> "ScenarioBuilder":
+        """Arm the wall-clock deadline guard on the clear phase.
+
+        ``True`` derives the budget from the slot length
+        (:func:`repro.recovery.deadline.default_budget_s`); a float sets
+        it in seconds.  An over-deadline clear falls back down the
+        always-safe ladder (reuse last price, else no spot) instead of
+        stalling the slot loop.  Leave off for runs that pin
+        byte-identical traces: wall time is nondeterministic.
+        """
+        if budget_s is not True and float(budget_s) <= 0:
+            raise ConfigurationError(
+                "clearing deadline budget must be positive"
+            )
+        self._clearing_deadline = budget_s
         return self
 
     # ------------------------------------------------------------------
@@ -376,4 +396,5 @@ class ScenarioBuilder:
             infrastructure_cost_per_hour=infra_per_hour,
             fault_profile=self._fault_profile,
             telemetry=self._telemetry,
+            clearing_deadline_s=self._clearing_deadline,
         )

@@ -32,11 +32,17 @@ from __future__ import annotations
 from repro.config import MarketParameters
 from repro.core.market import Allocator, SlotMarketRecord, SpotDCAllocator
 from repro.economics.profit import OperatorLedger
-from repro.errors import SimulationError
+from repro.errors import RecoveryError, SimulationError
 from repro.infrastructure.emergencies import EmergencyLog
 from repro.infrastructure.monitor import PowerMonitor
 from repro.prediction.price import EwmaPricePredictor, PricePredictor
 from repro.prediction.spot import SpotCapacityForecast, SpotCapacityPredictor
+from repro.recovery.checkpoint import load_checkpoint, save_checkpoint
+from repro.recovery.deadline import (
+    ClearingDeadlineGuard,
+    build_fallback_record,
+    default_budget_s,
+)
 from repro.resilience.degradation import DegradationController, revoke_and_rebill
 from repro.sim.metrics import MetricsCollector
 from repro.sim.results import SimulationResult
@@ -159,14 +165,86 @@ class SimulationEngine:
         # Delayed (stale) grant broadcasts awaiting delivery:
         # delivery slot -> [(rack_id, grant_w), ...].
         self._pending_stale: dict[int, list[tuple[str, float]]] = {}
+        # Last *successfully cleared* market price, feeding the deadline
+        # guard's reuse_price fallback.  A fallback slot does not update
+        # it: falling back twice in a row must not compound.
+        self._last_price: float | None = None
+        # Bundles quarantined by the admission front door, per tenant.
+        self._quarantined_by_tenant: dict[str, int] = {}
+        deadline = getattr(scenario, "clearing_deadline_s", None)
+        if deadline is None or deadline is False:
+            self.deadline_guard = None
+        else:
+            budget = (
+                default_budget_s(scenario.slot_seconds)
+                if deadline is True
+                else float(deadline)
+            )
+            self.deadline_guard = ClearingDeadlineGuard(budget)
 
-    def run(self, slots: int) -> SimulationResult:
-        """Simulate ``slots`` slots and return the finished result."""
+    def run(
+        self,
+        slots: int,
+        *,
+        checkpoint_every: int | None = None,
+        checkpoint_dir=None,
+        resume_from=None,
+    ) -> SimulationResult:
+        """Simulate ``slots`` slots and return the finished result.
+
+        Args:
+            slots: Run length (the horizon).
+            checkpoint_every: Write a recovery checkpoint after every K
+                completed slots (requires ``checkpoint_dir``).
+            checkpoint_dir: Directory for checkpoint files.
+            resume_from: Path to a checkpoint written by an earlier run
+                of the *same* scenario and horizon.  The engine's entire
+                state is replaced by the checkpointed one and the loop
+                restarts at the first unprocessed slot; the finished
+                result (and trace, when telemetry is on) is identical to
+                the uninterrupted run's.
+
+        Raises:
+            RecoveryError: On a bad checkpoint, a horizon mismatch, or a
+                checkpoint that already covers the full horizon.
+            OperatorCrash: When an armed
+                :class:`~repro.resilience.faults.CrashFault` fires.
+        """
         if slots <= 0:
             raise SimulationError("slots must be positive")
+        if checkpoint_every is not None:
+            if checkpoint_every <= 0:
+                raise SimulationError("checkpoint_every must be positive")
+            if checkpoint_dir is None:
+                raise SimulationError(
+                    "checkpoint_every requires a checkpoint_dir"
+                )
+        start_slot = 0
+        if resume_from is not None:
+            envelope = load_checkpoint(resume_from)
+            if envelope["horizon"] != slots:
+                raise RecoveryError(
+                    f"checkpoint was written for a {envelope['horizon']}-slot "
+                    f"run, cannot resume a {slots}-slot one"
+                )
+            start_slot = envelope["slot"] + 1
+            if start_slot >= slots:
+                raise RecoveryError(
+                    f"checkpoint already covers slot {envelope['slot']} of "
+                    f"{slots}; nothing left to resume"
+                )
+            # Adopt the checkpointed engine wholesale: every attribute —
+            # RNG streams, monitor history, ledger, telemetry, fault and
+            # degradation state — continues exactly where the crashed
+            # run left it.
+            self.__dict__.update(envelope["engine"].__dict__)
         scenario = self.scenario
         topology = scenario.topology
-        scenario.prepare(slots)
+        if resume_from is None:
+            # prepare() re-seeds tenant RNG streams for a fresh run; on
+            # resume the checkpointed streams are mid-sequence and must
+            # not be reset.
+            scenario.prepare(slots)
         participants = scenario.participating_tenants()
         slot_seconds = scenario.slot_seconds
         slot_hours = slot_seconds / 3600.0
@@ -190,12 +268,27 @@ class SimulationEngine:
         h_granted = registry.histogram(
             "slot_granted_watts", buckets=DEFAULT_WATTS_BUCKETS
         )
-        faults_seen = 0
-        actions_seen = 0
-        credits_seen = 0
-        emergencies_seen = 0
+        # On a fresh run these are all zero; on resume they pick up the
+        # checkpointed logs' lengths so "new since" deltas stay correct.
+        faults_seen = len(injector.log) if injector is not None else 0
+        actions_seen = (
+            len(self.degradation.actions) if self.degradation is not None else 0
+        )
+        credits_seen = (
+            len(self.degradation.credits) if self.degradation is not None else 0
+        )
+        emergencies_seen = len(self.emergencies.events)
+        if resume_from is not None and injector is not None:
+            # The crash that killed the previous run must not re-fire on
+            # the resumed one (later scheduled crashes still do).
+            injector.disarm_next_crash(start_slot)
 
-        for slot in range(slots):
+        for slot in range(start_slot, slots):
+          if injector is not None:
+              # An armed CrashFault kills the run *between* slots — after
+              # the previous slot's checkpoint, before this slot touches
+              # any state — so a resume replays slot `slot` from scratch.
+              injector.check_crash(slot)
           with tracer.span("slot", slot=slot) as slot_span:
             topology.clear_all_spot_budgets()
 
@@ -258,6 +351,8 @@ class SimulationEngine:
                         for tenant in participants
                         if not injector.bid_lost(slot, tenant.tenant_id)
                     ]
+                guard = self.deadline_guard
+                started = guard.start() if guard is not None else 0.0
                 record = self.allocator.allocate(
                     slot,
                     active,
@@ -267,6 +362,39 @@ class SimulationEngine:
                     extra_constraints=extra_constraints,
                     tracer=tracer,
                 )
+                if guard is not None and guard.over_budget(
+                    guard.elapsed(started)
+                ):
+                    # The clear blew its wall-clock budget: discard its
+                    # outcome for the always-safe fallback.  The event
+                    # deliberately omits the measured elapsed time —
+                    # traces stay deterministic for a given seed.
+                    record, fallback = build_fallback_record(
+                        record,
+                        self._last_price,
+                        forecast,
+                        slot_seconds,
+                        extra_constraints=extra_constraints,
+                    )
+                    guard.record_hit(fallback)
+                    tracer.event(
+                        "deadline.exceeded",
+                        slot=slot,
+                        budget_s=guard.budget_s,
+                        fallback=fallback,
+                    )
+                    registry.counter(
+                        "clearing_deadline_hits_total", {"fallback": fallback}
+                    ).inc()
+                else:
+                    self._last_price = record.result.price
+                for q in record.quarantined:
+                    self._quarantined_by_tenant[q.tenant_id] = (
+                        self._quarantined_by_tenant.get(q.tenant_id, 0) + 1
+                    )
+                    registry.counter(
+                        "bids_quarantined_total", {"reason": q.reason}
+                    ).inc()
 
             with tracer.span("grant", slot=slot) as grant_span:
                 lost_grants = delayed_grants = barred_grants = 0
@@ -481,6 +609,16 @@ class SimulationEngine:
                 price=record.result.price,
                 granted_w=record.result.total_granted_w,
             )
+          # Checkpoint only *between* fully processed slots (the slot
+          # span above has closed), so a restore replays the next slot
+          # from its very first action.  The final slot needs none: the
+          # run is about to finish.
+          if (
+              checkpoint_every is not None
+              and (slot + 1) % checkpoint_every == 0
+              and slot + 1 < slots
+          ):
+              save_checkpoint(self, checkpoint_dir, slot, slots)
 
         # Leave the topology as designed: any derating still in force at
         # the end of the run is transient state, not facility structure.
@@ -508,6 +646,7 @@ class SimulationEngine:
             credit_notes=(
                 self.degradation.credits if self.degradation is not None else ()
             ),
+            quarantined_bids=dict(self._quarantined_by_tenant),
         )
         if tel.enabled:
             self._emit_settlement_events(result, tracer)
@@ -547,6 +686,7 @@ class SimulationEngine:
                 energy=invoice.energy_charge,
                 spot=invoice.spot_charge,
                 credited=invoice.spot_credit,
+                quarantined=invoice.quarantined_bids,
                 total=invoice.total,
             )
 
@@ -579,6 +719,12 @@ class SimulationEngine:
                 if self.degradation is not None
                 else 0.0
             ),
+            "quarantined_bids": sum(self._quarantined_by_tenant.values()),
+            "deadline_hits": (
+                sum(self.deadline_guard.hits.values())
+                if self.deadline_guard is not None
+                else 0
+            ),
         }
 
 
@@ -596,6 +742,9 @@ def run_simulation(
     use_price_forecasting: bool = False,
     fault_profile=None,
     telemetry=None,
+    checkpoint_every: int | None = None,
+    checkpoint_dir=None,
+    resume_from=None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`SimulationEngine`.
 
@@ -614,6 +763,13 @@ def run_simulation(
         telemetry: Optional :class:`repro.telemetry.TelemetryConfig` (or
             prebuilt :class:`repro.telemetry.Telemetry`); ``None`` defers
             to the scenario's config, then the process-wide default.
+        checkpoint_every: Write a recovery checkpoint after every K
+            completed slots (requires ``checkpoint_dir``); see
+            :mod:`repro.recovery.checkpoint`.
+        checkpoint_dir: Directory for checkpoint files.
+        resume_from: Resume a crashed run from this checkpoint path; the
+            scenario/allocator arguments still shape the engine that is
+            *replaced* by the checkpointed state, so pass the same ones.
     """
     fault_model = None
     if fault_profile is not None:
@@ -629,4 +785,9 @@ def run_simulation(
         fault_model=fault_model,
         telemetry=telemetry,
     )
-    return engine.run(slots)
+    return engine.run(
+        slots,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        resume_from=resume_from,
+    )

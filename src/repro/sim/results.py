@@ -74,6 +74,9 @@ class SimulationResult:
             run (:class:`repro.resilience.degradation.ControlAction`).
         credit_notes: Settlement credits for revoked grants
             (:class:`repro.resilience.degradation.CreditNote`).
+        quarantined_bids: Bundles rejected by the admission front door
+            over the run, by tenant id (empty when admission never
+            fired or was disabled).
     """
 
     def __init__(
@@ -92,6 +95,7 @@ class SimulationResult:
         faults=None,
         control_actions=(),
         credit_notes=(),
+        quarantined_bids: dict[str, int] | None = None,
     ) -> None:
         self.allocator_name = allocator_name
         self.slot_seconds = slot_seconds
@@ -107,6 +111,7 @@ class SimulationResult:
         self.faults = faults
         self.control_actions = tuple(control_actions)
         self.credit_notes = tuple(credit_notes)
+        self.quarantined_bids = dict(quarantined_bids or {})
         #: The run's span/event trace (:class:`repro.telemetry.RunTrace`)
         #: when telemetry was enabled, else ``None``.  Set by the engine
         #: after construction — the trace closes after settlement events

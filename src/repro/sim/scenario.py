@@ -151,6 +151,12 @@ class Scenario:
             (:class:`repro.telemetry.TelemetryConfig`).  ``None`` defers
             to the engine's ``telemetry`` argument or the process-wide
             default (:func:`repro.telemetry.default_config`).
+        clearing_deadline_s: Wall-clock budget for the clear phase
+            (:mod:`repro.recovery.deadline`).  ``None`` (default)
+            disables the guard — wall time is nondeterministic, so runs
+            pinning byte-identical traces leave it off.  Pass a budget
+            in seconds, or ``True`` for the default derived from the
+            slot length.
     """
 
     topology: PowerTopology
@@ -161,6 +167,7 @@ class Scenario:
     infrastructure_cost_per_hour: float
     fault_profile: "FaultProfile | None" = None
     telemetry: "TelemetryConfig | None" = None
+    clearing_deadline_s: "float | bool | None" = None
 
     def prepare(self, slots: int) -> None:
         """Materialise every tenant's workload traces for a run."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import pathlib
 
+from repro.errors import ConfigurationError
 from repro.telemetry.config import TelemetryConfig
 from repro.telemetry.exporters import (
     write_prometheus,
@@ -63,7 +64,7 @@ class Telemetry:
             return Telemetry(candidate)
         if candidate is None:
             return DISABLED
-        raise TypeError(
+        raise ConfigurationError(
             f"telemetry must be Telemetry, TelemetryConfig or None, "
             f"got {type(candidate).__name__}"
         )

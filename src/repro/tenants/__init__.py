@@ -4,7 +4,7 @@ and the sprinting / opportunistic / non-participating tenant models.
 
 from repro.tenants.bundled import BundledSprintingTenant, TierWorkload
 from repro.tenants.composite import CompositeTenant
-from repro.tenants.misbehaving import OverdrawingTenant
+from repro.tenants.misbehaving import MalformedBidTenant, OverdrawingTenant
 from repro.tenants.bidding import (
     BiddingStrategy,
     FullCurveStrategy,
@@ -31,6 +31,7 @@ __all__ = [
     "CompositeTenant",
     "FullCurveStrategy",
     "LinearElasticStrategy",
+    "MalformedBidTenant",
     "NonParticipatingTenant",
     "OpportunisticTenant",
     "OverdrawingTenant",

@@ -1,4 +1,4 @@
-"""A misbehaving tenant wrapper for enforcement testing.
+"""Misbehaving tenant wrappers for enforcement and admission testing.
 
 Real tenants own their servers, so nothing physically stops one from
 drawing above its enforced budget — that is precisely why the paper's
@@ -7,6 +7,16 @@ exception handling includes warnings and involuntary power cuts.
 with a configurable probability, bounded by the rack's physical
 capacity, so enforcement and emergency accounting can be exercised
 end to end.
+
+Likewise nothing stops a tenant's bidding agent from submitting
+garbage: :class:`MalformedBidTenant` corrupts a configurable fraction
+of its inner tenant's bids (NaN parameters, inverted breakpoints,
+demand beyond the rack headroom) so the admission front door
+(:mod:`repro.recovery.admission`) can be exercised end to end.
+
+Both wrappers reset their mutable counters in :meth:`prepare`, so one
+tenant object can be reused across engine runs without leaking state
+between them.
 """
 
 from __future__ import annotations
@@ -17,12 +27,13 @@ from collections.abc import Mapping
 import numpy as np
 
 from repro.core.bids import TenantBid
+from repro.core.demand import LinearBid, StepBid
 from repro.economics.valuation import SpotValueCurve
 from repro.errors import ConfigurationError
 from repro.tenants.tenant import Tenant
 from repro.workloads.base import SlotPerformance
 
-__all__ = ["OverdrawingTenant"]
+__all__ = ["OverdrawingTenant", "MalformedBidTenant"]
 
 
 class OverdrawingTenant(Tenant):
@@ -67,6 +78,10 @@ class OverdrawingTenant(Tenant):
         return self.inner.participates
 
     def prepare(self, slots: int, rng: np.random.Generator) -> None:
+        # Reset mutable run state: prepare() marks the start of a fresh
+        # run, and a reused wrapper must not carry the previous run's
+        # overdraw tally into it.
+        self.overdraw_slots = 0
         self.inner.prepare(slots, rng)
 
     def needed_spot_w(self, slot: int) -> dict[str, float]:
@@ -105,3 +120,125 @@ class OverdrawingTenant(Tenant):
                     perf = dataclasses.replace(perf, power_w=rogue)
             adjusted[rack_id] = perf
         return adjusted
+
+
+class MalformedBidTenant(Tenant):
+    """Delegating wrapper that submits corrupted bids.
+
+    With probability ``corrupt_probability`` per solicited slot, the
+    wrapper takes the inner tenant's bundle and corrupts its *first*
+    rack bid with one of the admission front door's rejection classes —
+    corrupting a single bid deliberately leaves the bundle's other bids
+    valid, so tests exercise bundle-atomic quarantine (the valid
+    siblings must be rejected too, never partially admitted).
+
+    Corruption happens by attribute mutation on a fresh
+    :class:`LinearBid` copy — exactly the attack surface the admission
+    layer exists for: demand objects are plain mutable Python objects,
+    and ``NaN`` passes every constructor comparison.
+
+    Args:
+        inner: The well-behaved tenant being wrapped.
+        corrupt_probability: Per-solicited-slot probability the bundle
+            is corrupted.
+        rng: Random source (corruption timing and mode choice).
+        corruptions: Restrict to these corruption modes (default: all
+            of :data:`repro.recovery.admission.QUARANTINE_REASONS`).
+    """
+
+    #: One corruption mode per quarantine reason.
+    CORRUPTIONS = (
+        "non_finite",
+        "inverted_prices",
+        "inverted_quantities",
+        "negative_value",
+        "exceeds_rack_cap",
+    )
+
+    def __init__(
+        self,
+        inner: Tenant,
+        corrupt_probability: float,
+        rng: np.random.Generator,
+        corruptions=None,
+    ) -> None:
+        if not 0 <= corrupt_probability <= 1:
+            raise ConfigurationError("corrupt_probability must be in [0, 1]")
+        corruptions = tuple(corruptions) if corruptions else self.CORRUPTIONS
+        unknown = set(corruptions) - set(self.CORRUPTIONS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown corruption modes {sorted(unknown)}; choose from "
+                f"{self.CORRUPTIONS}"
+            )
+        self.inner = inner
+        self.tenant_id = inner.tenant_id
+        self.racks = inner.racks
+        self.corrupt_probability = corrupt_probability
+        self.corruptions = corruptions
+        self._rng = rng
+        self.corrupted_bids = 0
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return self.inner.kind
+
+    @property
+    def participates(self) -> bool:
+        return self.inner.participates
+
+    def prepare(self, slots: int, rng: np.random.Generator) -> None:
+        # Same contract as OverdrawingTenant.prepare: a fresh run must
+        # not inherit the previous run's corruption tally.
+        self.corrupted_bids = 0
+        self.inner.prepare(slots, rng)
+
+    def needed_spot_w(self, slot: int) -> dict[str, float]:
+        return self.inner.needed_spot_w(slot)
+
+    def value_curves(self, slot: int) -> dict[str, SpotValueCurve]:
+        return self.inner.value_curves(slot)
+
+    def execute_slot(
+        self, slot: int, budgets_w: Mapping[str, float], slot_seconds: float
+    ) -> dict[str, SlotPerformance]:
+        return self.inner.execute_slot(slot, budgets_w, slot_seconds)
+
+    def make_bid(
+        self, slot: int, predicted_price: float | None = None
+    ) -> TenantBid | None:
+        bundle = self.inner.make_bid(slot, predicted_price)
+        if bundle is None:
+            return None
+        if self._rng.random() >= self.corrupt_probability:
+            return bundle
+        mode = self.corruptions[int(self._rng.integers(len(self.corruptions)))]
+        rack_bids = list(bundle.rack_bids)
+        rack_bids[0] = self._corrupt(rack_bids[0], mode)
+        self.corrupted_bids += 1
+        return TenantBid(
+            tenant_id=bundle.tenant_id, rack_bids=tuple(rack_bids)
+        )
+
+    @staticmethod
+    def _corrupt(bid, mode: str):
+        fn = bid.demand
+        if type(fn) is LinearBid:
+            params = fn.as_parameters()
+        elif type(fn) is StepBid:
+            params = (fn.demand_w, fn.price_cap, fn.demand_w, fn.price_cap)
+        else:
+            params = (fn.max_demand_w, 0.0, 0.0, fn.max_price)
+        corrupted = LinearBid(*params)
+        if mode == "non_finite":
+            corrupted.d_max_w = float("nan")
+        elif mode == "inverted_prices":
+            corrupted.q_min = corrupted.q_max + 1.0
+        elif mode == "inverted_quantities":
+            corrupted.d_min_w = corrupted.d_max_w + 1.0
+        elif mode == "negative_value":
+            corrupted.q_min = -1.0
+        else:  # exceeds_rack_cap
+            corrupted.d_max_w = bid.rack_cap_w * 10.0 + 1.0
+            corrupted.d_min_w = min(corrupted.d_min_w, corrupted.d_max_w)
+        return dataclasses.replace(bid, demand=corrupted)

@@ -20,6 +20,8 @@ presentation (rack budgets in watts, market price in cents/kW).
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
+
 __all__ = [
     "WATTS_PER_KILOWATT",
     "SECONDS_PER_MINUTE",
@@ -106,5 +108,5 @@ def amortized_capex_per_hour(
     over 15 years when computing the operator's net profit (Section V-B1).
     """
     if amortization_years <= 0:
-        raise ValueError("amortization_years must be positive")
+        raise ConfigurationError("amortization_years must be positive")
     return capex_dollars / (amortization_years * MONTHS_PER_YEAR * HOURS_PER_MONTH)

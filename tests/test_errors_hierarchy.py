@@ -1,0 +1,123 @@
+"""Pin the exception-hierarchy contract across the whole library.
+
+Every error the library raises on a user-facing path must come from
+:mod:`repro.errors` — callers distinguish domain failures from
+programming errors with a single ``except ReproError``.  An AST audit
+over ``src/`` enforces this structurally, so a future module cannot
+quietly reintroduce ``raise ValueError(...)``.
+"""
+
+import ast
+import importlib
+import pathlib
+import pkgutil
+
+import pytest
+
+import repro
+from repro import errors
+
+SRC_ROOT = pathlib.Path(repro.__file__).resolve().parent
+
+#: Builtin exceptions that must never be raised directly by library
+#: code.  ``NotImplementedError`` (abstract hooks) and re-raises
+#: (``raise`` / ``raise exc``) stay allowed.
+BANNED_RAISES = {
+    "ValueError",
+    "TypeError",
+    "RuntimeError",
+    "KeyError",
+    "IndexError",
+    "Exception",
+    "AssertionError",
+}
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+def _iter_library_modules():
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it runs the CLI
+        yield info.name
+
+
+class TestRaiseSiteAudit:
+    def test_no_bare_builtin_raises_in_library_code(self):
+        violations = []
+        for path in sorted(SRC_ROOT.rglob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.Raise):
+                    continue
+                name = _raised_name(node)
+                if name in BANNED_RAISES:
+                    rel = path.relative_to(SRC_ROOT.parent)
+                    violations.append(f"{rel}:{node.lineno} raises {name}")
+        assert violations == [], (
+            "library code must raise repro.errors classes, found:\n"
+            + "\n".join(violations)
+        )
+
+    def test_every_raise_site_is_a_known_exception(self):
+        # Every name raised anywhere in the library is either a
+        # repro.errors class, an allowed builtin, or a local variable
+        # (re-raise of a caught/constructed exception).
+        allowed = set(errors.__all__) | {
+            "NotImplementedError",
+            "StopIteration",
+            "SystemExit",  # CLI exit codes
+        }
+        raised = set()
+        for path in sorted(SRC_ROOT.rglob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Raise):
+                    name = _raised_name(node)
+                    if name is not None:
+                        raised.add(name)
+        unknown = {
+            n for n in raised - allowed
+            # lowercase names are local variables holding an exception
+            if not n[:1].islower()
+        }
+        assert unknown == set(), (
+            f"unexpected exception classes raised in library code: {unknown}"
+        )
+
+
+class TestHierarchyShape:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_configuration_errors_stay_catchable_as_value_error(self):
+        # The historical contract: invalid configuration values were
+        # ValueError, and callers may still catch them as such.
+        assert issubclass(errors.ConfigurationError, ValueError)
+        assert issubclass(errors.TopologyError, ValueError)
+
+    def test_recovery_errors_nest_correctly(self):
+        assert issubclass(errors.OperatorCrash, errors.RecoveryError)
+        assert issubclass(errors.BidValidationError, errors.BidError)
+
+    def test_bid_validation_error_carries_reason(self):
+        err = errors.BidValidationError("bad", reason="non_finite")
+        assert err.reason == "non_finite"
+        with pytest.raises(errors.BidError):
+            raise err
+
+
+class TestLibraryImports:
+    def test_every_module_imports_cleanly(self):
+        for name in _iter_library_modules():
+            importlib.import_module(name)

@@ -6,9 +6,11 @@ from hypothesis import strategies as st
 
 from repro.config import MarketParameters
 from repro.core.allocation import verify_allocation
-from repro.core.bids import RackBid
+from repro.core.bids import RackBid, TenantBid
 from repro.core.clearing import MarketClearing
 from repro.core.demand import LinearBid, StepBid
+from repro.recovery import QUARANTINE_REASONS, inspect_rack_bid, screen_bids
+from repro.tenants.misbehaving import MalformedBidTenant
 
 
 @st.composite
@@ -132,3 +134,139 @@ class TestClearingInvariants:
             for bid in bids
         )
         assert result.revenue_rate == pytest.approx(expected, abs=1e-9)
+
+
+@st.composite
+def degenerate_bid_sets(draw):
+    """Degenerate-but-valid bids: every boundary equality allowed.
+
+    Admission rejects only strict violations (``q_max < q_min``,
+    ``D_min > D_max``), so zero-width demand segments, flat price
+    curves, zero demand, and demand exactly at the rack cap are all
+    legal inputs the clearing scan must survive.
+    """
+    n_racks = draw(st.integers(min_value=1, max_value=8))
+    bids = []
+    for i in range(n_racks):
+        shape = draw(
+            st.sampled_from(
+                ["zero_width", "flat_price", "zero_demand", "cap_exact"]
+            )
+        )
+        if shape == "zero_width":  # D_min == D_max: perfectly inelastic
+            d = draw(st.floats(min_value=0.0, max_value=60.0))
+            q_min = draw(st.floats(min_value=0.0, max_value=0.2))
+            q_max = q_min + draw(st.floats(min_value=0.0, max_value=0.2))
+            demand = LinearBid(d, q_min, d, q_max)
+            cap = d + draw(st.floats(min_value=0.0, max_value=20.0))
+        elif shape == "flat_price":  # q_min == q_max: all breakpoints equal
+            d_min = draw(st.floats(min_value=0.0, max_value=30.0))
+            d_max = d_min + draw(st.floats(min_value=0.0, max_value=50.0))
+            q = draw(st.floats(min_value=0.0, max_value=0.3))
+            demand = LinearBid(d_max, q, d_min, q)
+            cap = d_max + draw(st.floats(min_value=0.0, max_value=20.0))
+        elif shape == "zero_demand":
+            q = draw(st.floats(min_value=0.001, max_value=0.3))
+            demand = StepBid(0.0, q)
+            cap = draw(st.floats(min_value=0.0, max_value=50.0))
+        else:  # cap_exact: demand exactly at the rack's headroom
+            d = draw(st.floats(min_value=0.1, max_value=60.0))
+            q = draw(st.floats(min_value=0.001, max_value=0.3))
+            demand = StepBid(d, q)
+            cap = d
+        bids.append(
+            RackBid(
+                rack_id=f"r{i}",
+                pdu_id=f"p{i % 2}",
+                tenant_id=f"t{i}",
+                demand=demand,
+                rack_cap_w=cap,
+            )
+        )
+    pdu_spot = {
+        "p0": draw(st.floats(min_value=0.0, max_value=150.0)),
+        "p1": draw(st.floats(min_value=0.0, max_value=150.0)),
+    }
+    ups_spot = draw(st.floats(min_value=0.0, max_value=250.0))
+    return bids, pdu_spot, ups_spot
+
+
+class TestDegenerateBids:
+    @given(data=degenerate_bid_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_admission_accepts_degenerate_bids(self, data):
+        bids, _, _ = data
+        for bid in bids:
+            assert inspect_rack_bid(bid) is None
+
+    @given(data=degenerate_bid_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_clearing_survives_degenerate_bids(self, data):
+        bids, pdu_spot, ups_spot = data
+        engine = MarketClearing(params=MarketParameters(price_step=0.01))
+        result = engine.clear(bids, pdu_spot, ups_spot)
+        verify_allocation(result, bids, pdu_spot, ups_spot)
+
+
+@st.composite
+def mixed_bundles(draw):
+    """Tenant bundles where a random subset of rack bids is corrupted."""
+    n_tenants = draw(st.integers(min_value=1, max_value=5))
+    bundles = []
+    dirty = {}
+    rack = 0
+    for t in range(n_tenants):
+        n_bids = draw(st.integers(min_value=1, max_value=4))
+        rack_bids = []
+        corrupt_any = False
+        for _ in range(n_bids):
+            bid = RackBid(
+                rack_id=f"r{rack}",
+                pdu_id=f"p{rack % 2}",
+                tenant_id=f"t{t}",
+                demand=LinearBid(50.0, 0.02, 10.0, 0.30),
+                rack_cap_w=50.0,
+            )
+            rack += 1
+            mode = draw(
+                st.sampled_from((None,) + MalformedBidTenant.CORRUPTIONS)
+            )
+            if mode is not None:
+                bid = MalformedBidTenant._corrupt(bid, mode)
+                corrupt_any = True
+            rack_bids.append(bid)
+        bundles.append(
+            TenantBid(tenant_id=f"t{t}", rack_bids=tuple(rack_bids))
+        )
+        dirty[f"t{t}"] = corrupt_any
+    return bundles, dirty
+
+
+class TestAdmissionProperties:
+    @given(data=mixed_bundles())
+    @settings(max_examples=100, deadline=None)
+    def test_bundles_admitted_whole_or_not_at_all(self, data):
+        bundles, dirty = data
+        admitted, quarantined = screen_bids(bundles)
+        admitted_tenants = {b.tenant_id for b in admitted}
+        quarantined_tenants = {q.tenant_id for q in quarantined}
+        # A bundle with any corrupt bid is quarantined whole; a clean
+        # bundle is admitted untouched.  No tenant appears on both sides.
+        assert admitted_tenants.isdisjoint(quarantined_tenants)
+        for tenant_id, corrupt in dirty.items():
+            if corrupt:
+                assert tenant_id in quarantined_tenants
+            else:
+                assert tenant_id in admitted_tenants
+        assert all(q.reason in QUARANTINE_REASONS for q in quarantined)
+
+    @given(data=mixed_bundles())
+    @settings(max_examples=60, deadline=None)
+    def test_admitted_bids_always_clear_cleanly(self, data):
+        bundles, _ = data
+        admitted, _ = screen_bids(bundles)
+        bids = [rb for bundle in admitted for rb in bundle.rack_bids]
+        pdu_spot = {"p0": 120.0, "p1": 120.0}
+        engine = MarketClearing(params=MarketParameters(price_step=0.01))
+        result = engine.clear(bids, pdu_spot, 200.0)
+        verify_allocation(result, bids, pdu_spot, 200.0)

@@ -8,6 +8,7 @@ import pytest
 
 from repro.experiments.ext_resilience import (
     render_resilience_study,
+    run_recovery_check,
     run_resilience_cell,
     run_resilience_study,
 )
@@ -25,6 +26,9 @@ class TestChaosSweep:
         for cell in study.cells:
             if cell.fault_class != "none":
                 assert cell.fault_count > 0, cell.fault_class
+        # The sweep's recovery leg machine-checked byte-identical resume.
+        assert study.recovery is not None
+        assert study.recovery.ok
 
     def test_control_cell_is_fault_free(self):
         cell = run_resilience_cell("none", 0.0, seed=1, slots=120)
@@ -46,3 +50,15 @@ class TestChaosSweep:
         text = render_resilience_study(study)
         assert "Chaos sweep" in text
         assert "invariant holds" in text
+
+    def test_crash_and_resume_under_chaos_is_byte_identical(self):
+        # Standalone recovery cell at a different operating point from
+        # the sweep's built-in leg: crash mid-run under the full chaos
+        # profile, resume from the checkpoint, require a byte-identical
+        # trace and equal numeric results.
+        cell = run_recovery_check(
+            seed=5, slots=90, crash_at=60, intensity=0.3, checkpoint_every=7
+        )
+        assert cell.trace_identical
+        assert cell.result_identical
+        assert cell.resumed_slot <= cell.crash_slot

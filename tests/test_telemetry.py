@@ -206,7 +206,7 @@ class TestConfigAndRuntime:
         assert Telemetry.resolve(TelemetryConfig()).enabled is True
         t = Telemetry(TelemetryConfig())
         assert Telemetry.resolve(t) is t
-        with pytest.raises(TypeError):
+        with pytest.raises(ConfigurationError):
             Telemetry.resolve("yes")
 
     def test_disabled_uses_null_singletons(self):

@@ -62,7 +62,9 @@ class TestEngineTracing:
         assert result.telemetry_artifacts == []
 
     def test_engine_rejects_bad_telemetry_arg(self):
-        with pytest.raises(TypeError):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
             SimulationEngine(build_testbed(seed=11), telemetry="on")
 
 
