@@ -11,7 +11,13 @@ from collections.abc import Mapping, Sequence
 
 from repro.errors import ConfigurationError
 
-__all__ = ["format_table", "format_series", "format_kv"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_kv",
+    "format_rounded_series",
+    "rounded",
+]
 
 
 def format_table(
@@ -68,6 +74,46 @@ def format_series(
         [x, *(series[name][i] for name in series)] for i, x in enumerate(xs)
     ]
     return format_table(headers, rows, title=title)
+
+
+def rounded(values: Sequence[float], kind) -> list:
+    """Round one numeric series for paper-style display.
+
+    Args:
+        values: Raw series.
+        kind: ``"percent"`` shows fractions as percentage points
+            (x100, 2 dp — the ``profit +%`` convention), ``"ratio"``
+            shows multiplicative factors at 3 dp (the ``perf x``
+            convention), and an integer rounds to that many decimal
+            places as-is.
+    """
+    if kind == "percent":
+        return [round(100 * v, 2) for v in values]
+    if kind == "ratio":
+        return [round(v, 3) for v in values]
+    if isinstance(kind, int) and not isinstance(kind, bool):
+        return [round(v, kind) for v in values]
+    raise ConfigurationError(
+        f"unknown rounding kind {kind!r} (use 'percent', 'ratio', or an int)"
+    )
+
+
+def format_rounded_series(
+    x_label: str,
+    xs: Sequence[object],
+    columns: Mapping[str, tuple],
+    title: str | None = None,
+) -> str:
+    """Render y-series with the repo's standard display rounding.
+
+    The shared form of the per-figure summary tables: each column is a
+    ``(kind, values)`` pair rounded by :func:`rounded` before rendering
+    with :func:`format_series`.
+    """
+    series = {
+        label: rounded(values, kind) for label, (kind, values) in columns.items()
+    }
+    return format_series(x_label, xs, series, title=title)
 
 
 def format_kv(pairs: Mapping[str, object], title: str | None = None) -> str:

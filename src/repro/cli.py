@@ -14,6 +14,9 @@ Usage::
         --slots 500                          # resume after a crash
     python -m repro trace telemetry/spotdc-001_trace.jsonl --slot 3
     python -m repro metrics telemetry/spotdc-001_metrics.prom
+    python -m repro scenario validate examples/scenarios/testbed.json
+    python -m repro scenario show --preset scaled --groups 3
+    python -m repro sweep run examples/scenarios/sweep_smoke.yaml --jobs 2
 
 Each ``run`` target prints the paper-style rows for that table/figure
 (the same output the benchmarks archive under ``benchmarks/results/``).
@@ -91,30 +94,36 @@ EXPERIMENT_REGISTRY: dict[str, tuple[str, Callable]] = {
     ),
     "fig17": (
         "Spot-capacity under-prediction (Fig. 17)",
-        lambda a: E.render_fig17(E.run_fig17(seed=a.seed, slots=a.slots)),
+        lambda a: E.render_fig17(
+            E.run_fig17(seed=a.seed, slots=a.slots, jobs=a.jobs)
+        ),
     ),
     "fig18": (
         "Scaling to 1,000 tenants (Fig. 18)",
-        lambda a: E.render_fig18(E.run_fig18(seed=a.seed)),
+        lambda a: E.render_fig18(E.run_fig18(seed=a.seed, jobs=a.jobs)),
     ),
     "ablations": (
         "Design-choice ablations (pricing / conservatism / breakpoints / reserve)",
         lambda a: "\n\n".join(
             [
                 E.ablations.render_pricing_ablation(
-                    E.ablations.run_pricing_ablation(seed=a.seed)
+                    E.ablations.run_pricing_ablation(seed=a.seed, jobs=a.jobs)
                 ),
                 E.ablations.render_safety_ablation(
-                    E.ablations.run_safety_ablation(seed=a.seed)
+                    E.ablations.run_safety_ablation(seed=a.seed, jobs=a.jobs)
                 ),
                 E.ablations.render_breakpoint_ablation(
-                    E.ablations.run_breakpoint_ablation(seed=a.seed)
+                    E.ablations.run_breakpoint_ablation(
+                        seed=a.seed, jobs=a.jobs
+                    )
                 ),
                 E.ablations.render_reserve_price_sweep(
-                    E.ablations.run_reserve_price_sweep(seed=a.seed)
+                    E.ablations.run_reserve_price_sweep(
+                        seed=a.seed, jobs=a.jobs
+                    )
                 ),
                 E.ablations.render_slot_length_sweep(
-                    E.ablations.run_slot_length_sweep(seed=a.seed)
+                    E.ablations.run_slot_length_sweep(seed=a.seed, jobs=a.jobs)
                 ),
             ]
         ),
@@ -135,6 +144,7 @@ EXPERIMENT_REGISTRY: dict[str, tuple[str, Callable]] = {
                     if a.slots != _RUN_SLOTS_DEFAULT
                     else E.ext_resilience.DEFAULT_SLOTS
                 ),
+                jobs=a.jobs,
             )
         ),
     ),
@@ -401,6 +411,90 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.scenarios import (
+        dump_spec,
+        load_spec_file,
+        normalize_spec,
+        preset_spec,
+    )
+
+    if (args.file is None) == (args.preset is None):
+        print(
+            "give exactly one of FILE or --preset", file=sys.stderr
+        )
+        return 2
+    try:
+        if args.file is not None:
+            spec = load_spec_file(args.file)
+            source = args.file
+        else:
+            kwargs = {}
+            if args.seed is not None:
+                kwargs["seed"] = args.seed
+            if args.groups is not None:
+                if args.preset != "scaled":
+                    raise ConfigurationError(
+                        "--groups only applies to the 'scaled' preset"
+                    )
+                kwargs["groups"] = args.groups
+            spec = preset_spec(args.preset, **kwargs)
+            source = f"preset {args.preset!r}"
+        normal = normalize_spec(spec)
+    except ConfigurationError as exc:
+        print(f"invalid scenario: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "show":
+        print(dump_spec(normal), end="")
+        return 0
+    tenants = normal["demand"]["tenants"]
+    print(
+        f"{source}: valid — scenario {normal['name']!r}, "
+        f"{len(tenants)} tenants on "
+        f"{len(normal['topology']['pdus'])} PDU(s), seed {normal['seed']}"
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.errors import ConfigurationError
+    from repro.sweep import load_sweep_file, run_sweep, sweep_summary_path
+
+    try:
+        config = load_sweep_file(args.file)
+        data = run_sweep(config, jobs=args.jobs, out_dir=args.out)
+    except ConfigurationError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+    cells = data["cells"]
+    metric_names = sorted(cells[0]["metrics"]) if cells else []
+    rows = [
+        [
+            cell["index"],
+            ", ".join(f"{k}={v}" for k, v in cell["overrides"].items())
+            or "(base)",
+            cell["seed"],
+            *(cell["metrics"][name] for name in metric_names),
+        ]
+        for cell in cells
+    ]
+    print(
+        format_table(
+            ["cell", "overrides", "seed", *metric_names],
+            rows,
+            title=(
+                f"sweep {data['name']!r}: {len(cells)} cells x "
+                f"{data['slots']} slots (jobs={args.jobs})"
+            ),
+        )
+    )
+    if args.out is not None:
+        print(f"\nenvelope: {sweep_summary_path(args.out, data['name'])}")
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     path = pathlib.Path(args.file)
     try:
@@ -443,6 +537,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--slots", type=int, default=_RUN_SLOTS_DEFAULT,
         help="simulation horizon for the extended-run experiments",
+    )
+    run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep-style experiments "
+        "(fig17, fig18, ablations, resilience); results are identical "
+        "at any job count",
     )
     run.add_argument(
         "--telemetry", action="store_true",
@@ -535,6 +635,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="only show lines containing this substring",
     )
     metrics.set_defaults(func=_cmd_metrics)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="validate or canonically print a declarative scenario spec",
+    )
+    scenario.add_argument(
+        "action", choices=("validate", "show"),
+        help="'validate' checks and summarises; 'show' prints the "
+        "canonical normalised spec",
+    )
+    scenario.add_argument(
+        "file", nargs="?", default=None,
+        help="a scenario spec file (JSON or YAML)",
+    )
+    scenario.add_argument(
+        "--preset", choices=("testbed", "scaled"), default=None,
+        help="use a built-in preset instead of a file",
+    )
+    scenario.add_argument(
+        "--groups", type=int, default=None,
+        help="Table I replication count for the 'scaled' preset",
+    )
+    scenario.add_argument(
+        "--seed", type=int, default=None,
+        help="override the preset's scenario seed",
+    )
+    scenario.set_defaults(func=_cmd_scenario)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a declarative sweep file over scenario specs"
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+    sweep_run = sweep_sub.add_parser(
+        "run", help="run every cell of a sweep file's grid"
+    )
+    sweep_run.add_argument("file", help="a sweep file (JSON or YAML)")
+    sweep_run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (results identical at any job count)",
+    )
+    sweep_run.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also write the validated BENCH_sweep_<name>.json envelope "
+        "into DIR",
+    )
+    sweep_run.set_defaults(func=_cmd_sweep)
     return parser
 
 

@@ -11,6 +11,7 @@ days); pass larger ``slots`` for longer horizons.
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 import numpy as np
 
@@ -20,12 +21,15 @@ from repro.core.market import SpotDCAllocator
 from repro.sim.engine import run_simulation
 from repro.sim.results import SimulationResult
 from repro.sim.scenario import testbed_scenario
+from repro.sweep import parallel_map
 
 __all__ = [
     "DEFAULT_SLOTS",
     "LONG_SLOTS",
     "TRACE_SLOTS",
     "ComparisonRuns",
+    "parallel_map",
+    "powercapped_baseline",
     "run_comparison",
     "sprinting_ids",
     "opportunistic_ids",
@@ -106,6 +110,22 @@ def run_comparison(
             fault_profile=fault_profile,
         )
     return ComparisonRuns(spotdc=spotdc, powercapped=powercapped, maxperf=maxperf)
+
+
+@functools.lru_cache(maxsize=4)
+def powercapped_baseline(
+    seed: int = DEFAULT_SEED, slots: int = DEFAULT_SLOTS
+) -> SimulationResult:
+    """The testbed PowerCapped reference run, cached per process.
+
+    Several sweeps compare every cell against the same no-market run.
+    Caching it per ``(seed, slots)`` makes the serial path compute it
+    once; parallel workers recompute it in their own processes, which is
+    numerically identical because the run is deterministic in the seed.
+    """
+    return run_simulation(
+        testbed_scenario(seed=seed), slots, allocator=PowerCappedAllocator()
+    )
 
 
 def sprinting_ids(result: SimulationResult) -> list[str]:

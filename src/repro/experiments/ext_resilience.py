@@ -34,6 +34,7 @@ from repro.config import DEFAULT_SEED
 from repro.core.baselines import PowerCappedAllocator
 from repro.economics.settlement import reconcile
 from repro.errors import OperatorCrash, SimulationError
+from repro.experiments.common import parallel_map
 from repro.recovery import latest_checkpoint
 from repro.resilience import FAULT_CLASSES, FaultProfile
 from repro.sim.engine import run_simulation
@@ -296,6 +297,12 @@ def run_recovery_check(
     )
 
 
+def _study_cell(payload) -> ResilienceCell:
+    """One chaos cell as a picklable payload (for ``parallel_map``)."""
+    fault_class, intensity, seed, slots = payload
+    return run_resilience_cell(fault_class, intensity, seed, slots)
+
+
 def run_resilience_study(
     seed: int = DEFAULT_SEED,
     slots: int = DEFAULT_SLOTS,
@@ -303,6 +310,7 @@ def run_resilience_study(
     fault_classes: tuple[str, ...] = FAULT_CLASSES,
     strict: bool = True,
     with_recovery: bool = True,
+    jobs: int = 1,
 ) -> ResilienceStudy:
     """Sweep fault class x intensity and machine-check the invariant.
 
@@ -318,14 +326,17 @@ def run_resilience_study(
         with_recovery: Also run the crash-and-resume recovery check
             (byte-identical trace and result after restoring from a
             checkpoint).
+        jobs: Worker processes for the chaos cells (each cell is an
+            independent, seed-deterministic pair of runs).  The recovery
+            check stays serial — it is one stateful crash/resume story,
+            not a grid.
     """
-    cells: list[ResilienceCell] = []
+    payloads = []
     for fault_class in fault_classes:
         levels = (0.0,) if fault_class == "none" else intensities
         for intensity in levels:
-            cells.append(
-                run_resilience_cell(fault_class, intensity, seed, slots)
-            )
+            payloads.append((fault_class, intensity, seed, slots))
+    cells = parallel_map(_study_cell, payloads, jobs=jobs)
     recovery = run_recovery_check(seed=seed) if with_recovery else None
     study = ResilienceStudy(
         cells=cells, seed=seed, slots=slots, recovery=recovery

@@ -12,10 +12,14 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.analysis.reporting import format_series
+from repro.analysis.reporting import format_rounded_series
 from repro.config import DEFAULT_SEED
-from repro.core.baselines import PowerCappedAllocator
-from repro.experiments.common import DEFAULT_SLOTS, mean_perf_improvement
+from repro.experiments.common import (
+    DEFAULT_SLOTS,
+    mean_perf_improvement,
+    parallel_map,
+    powercapped_baseline,
+)
 from repro.prediction.spot import SpotCapacityPredictor
 from repro.sim.engine import run_simulation
 from repro.sim.scenario import testbed_scenario
@@ -41,39 +45,54 @@ class UnderPredictionSweep:
     perf_improvement: list[float]
 
 
+def _fig17_cell(payload) -> tuple[float, float, float]:
+    """One under-prediction-factor point (module-level: picklable)."""
+    seed, slots, factor = payload
+    baseline = powercapped_baseline(seed, slots)
+    result = run_simulation(
+        testbed_scenario(seed=seed),
+        slots,
+        spot_predictor=SpotCapacityPredictor(under_prediction_factor=factor),
+    )
+    return (
+        1.0 - factor,
+        result.operator_profit_increase_vs(baseline),
+        mean_perf_improvement(result, baseline),
+    )
+
+
 def run_fig17(
     seed: int = DEFAULT_SEED,
     slots: int = DEFAULT_SLOTS,
     factors=_DEFAULT_FACTORS,
+    jobs: int = 1,
 ) -> UnderPredictionSweep:
-    """Sweep the under-prediction factor (shared traces via the seed)."""
-    baseline = run_simulation(
-        testbed_scenario(seed=seed), slots, allocator=PowerCappedAllocator()
+    """Sweep the under-prediction factor (shared traces via the seed).
+
+    ``jobs > 1`` fans the factor points out over worker processes; every
+    run is deterministic in the seed, so results are identical to the
+    serial path.
+    """
+    rows = parallel_map(
+        _fig17_cell, [(seed, slots, f) for f in factors], jobs=jobs
     )
     sweep = UnderPredictionSweep([], [], [])
-    for factor in factors:
-        result = run_simulation(
-            testbed_scenario(seed=seed),
-            slots,
-            spot_predictor=SpotCapacityPredictor(under_prediction_factor=factor),
-        )
-        sweep.under_prediction.append(1.0 - factor)
-        sweep.profit_increase.append(
-            result.operator_profit_increase_vs(baseline)
-        )
-        sweep.perf_improvement.append(mean_perf_improvement(result, baseline))
+    for under, profit, perf in rows:
+        sweep.under_prediction.append(under)
+        sweep.profit_increase.append(profit)
+        sweep.perf_improvement.append(perf)
     return sweep
 
 
 def render_fig17(sweep: UnderPredictionSweep) -> str:
     """Paper-style text: profit and performance vs under-prediction."""
     xs = [round(100 * u, 0) for u in sweep.under_prediction]
-    return format_series(
+    return format_rounded_series(
         "under-prediction [%]",
         xs,
         {
-            "profit +%": [round(100 * v, 2) for v in sweep.profit_increase],
-            "perf x": [round(v, 3) for v in sweep.perf_improvement],
+            "profit +%": ("percent", sweep.profit_increase),
+            "perf x": ("ratio", sweep.perf_improvement),
         },
         title="Fig. 17: impact of spot-capacity under-prediction",
     )

@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.analysis.reporting import format_series
+from repro.analysis.reporting import format_rounded_series
 from repro.config import DEFAULT_SEED
 from repro.experiments.common import (
     mean_cost_increase,
     mean_perf_improvement,
+    parallel_map,
     run_comparison,
 )
 from repro.sim.scenario import scaled_scenario
@@ -44,10 +45,28 @@ class ScaleSweep:
     perf_improvement: list[float]
 
 
+def _fig18_cell(payload) -> tuple[int, float, float, float]:
+    """One facility-scale point (module-level: picklable)."""
+    seed, slots, count = payload
+    runs = run_comparison(
+        scenario_factory=scaled_scenario,
+        slots=slots,
+        seed=seed,
+        groups=count,
+    )
+    return (
+        10 * count,
+        runs.profit_increase(),
+        mean_cost_increase(runs.spotdc, runs.powercapped),
+        mean_perf_improvement(runs.spotdc, runs.powercapped),
+    )
+
+
 def run_fig18(
     seed: int = DEFAULT_SEED,
     slots: int = 1200,
     groups=_DEFAULT_GROUPS,
+    jobs: int = 1,
 ) -> ScaleSweep:
     """Sweep the facility scale.
 
@@ -56,35 +75,30 @@ def run_fig18(
         slots: Run length per point (shorter than the testbed sweeps —
             large facilities average over many tenants per slot).
         groups: Table I replication counts.
+        jobs: Worker processes; each scale point is an independent,
+            deterministic cell, so fan-out never changes a number.
     """
+    rows = parallel_map(
+        _fig18_cell, [(seed, slots, count) for count in groups], jobs=jobs
+    )
     sweep = ScaleSweep([], [], [], [])
-    for count in groups:
-        runs = run_comparison(
-            scenario_factory=scaled_scenario,
-            slots=slots,
-            seed=seed,
-            groups=count,
-        )
-        sweep.tenant_counts.append(10 * count)
-        sweep.profit_increase.append(runs.profit_increase())
-        sweep.cost_increase.append(
-            mean_cost_increase(runs.spotdc, runs.powercapped)
-        )
-        sweep.perf_improvement.append(
-            mean_perf_improvement(runs.spotdc, runs.powercapped)
-        )
+    for tenants, profit, cost, perf in rows:
+        sweep.tenant_counts.append(tenants)
+        sweep.profit_increase.append(profit)
+        sweep.cost_increase.append(cost)
+        sweep.perf_improvement.append(perf)
     return sweep
 
 
 def render_fig18(sweep: ScaleSweep) -> str:
     """Paper-style text: normalised outcomes vs number of tenants."""
-    return format_series(
+    return format_rounded_series(
         "tenants",
         sweep.tenant_counts,
         {
-            "profit +%": [round(100 * v, 2) for v in sweep.profit_increase],
-            "tenant cost +%": [round(100 * v, 2) for v in sweep.cost_increase],
-            "perf x": [round(v, 3) for v in sweep.perf_improvement],
+            "profit +%": ("percent", sweep.profit_increase),
+            "tenant cost +%": ("percent", sweep.cost_increase),
+            "perf x": ("ratio", sweep.perf_improvement),
         },
         title="Fig. 18: impact of the number of tenants",
     )

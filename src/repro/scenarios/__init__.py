@@ -1,0 +1,46 @@
+"""Declarative scenario platform: schema, specs, presets, loader.
+
+A scenario spec is plain data (JSON/YAML) split into components —
+topology, time, demand, supply, faults, telemetry, recovery — validated
+against :data:`~repro.scenarios.schema.SCHEMA` with JSON-pointer error
+paths, assembled into a live :class:`~repro.sim.scenario.Scenario` by
+:func:`build_scenario`, and dumped back byte-deterministically by
+:func:`dump_scenario`.  See ``docs/scenarios.md``.
+"""
+
+from repro.scenarios.loader import (
+    build_scenario,
+    dump_scenario,
+    fault_profile_from_spec,
+    load_scenario,
+    strategy_factory_from_spec,
+    telemetry_from_spec,
+)
+from repro.scenarios.presets import PRESETS, preset_spec, scaled_spec, testbed_spec
+from repro.scenarios.schema import SCHEMA, SPEC_VERSION, validate_spec
+from repro.scenarios.spec import (
+    dump_spec,
+    load_spec_file,
+    normalize_spec,
+    parse_spec_text,
+)
+
+__all__ = [
+    "SCHEMA",
+    "SPEC_VERSION",
+    "PRESETS",
+    "build_scenario",
+    "dump_scenario",
+    "dump_spec",
+    "fault_profile_from_spec",
+    "load_scenario",
+    "load_spec_file",
+    "normalize_spec",
+    "parse_spec_text",
+    "preset_spec",
+    "scaled_spec",
+    "strategy_factory_from_spec",
+    "telemetry_from_spec",
+    "testbed_spec",
+    "validate_spec",
+]

@@ -1,0 +1,178 @@
+"""Spec emitters for the paper's canonical facilities.
+
+These produce *data* — normal-form scenario specs — for the two
+facilities the paper evaluates: the Table I testbed and Fig. 18's
+scaled-up variant.  :func:`repro.sim.scenario.testbed_scenario` and
+:func:`~repro.sim.scenario.scaled_scenario` are now thin wrappers that
+feed these specs to :func:`repro.scenarios.loader.build_scenario`.
+
+The scaled preset *materialises* the ±jitter tenant-diversity draws into
+explicit per-tenant subscriptions (same RNG, same draw order as the
+pre-spec implementation), so the emitted spec is self-contained: loading
+it from disk reproduces the exact facility, byte for byte.
+"""
+
+from __future__ import annotations
+
+from repro.config import (
+    DEFAULT_SEED,
+    DEFAULT_SLOT_SECONDS,
+    RACK_HEADROOM_FRACTION,
+    make_rng,
+)
+from repro.errors import ConfigurationError
+
+__all__ = ["PRESETS", "preset_spec", "testbed_spec", "scaled_spec"]
+
+
+def _tenant_record(name, workload, subscription_w, pdu_id, volatile=False):
+    record = {
+        "name": name,
+        "workload": workload,
+        "subscription_w": float(subscription_w),
+        "pdu": pdu_id,
+    }
+    if workload == "other":
+        record["volatile"] = volatile
+    return record
+
+
+def testbed_spec(
+    seed: int = DEFAULT_SEED,
+    slot_seconds: float = DEFAULT_SLOT_SECONDS,
+    pdu_oversubscription: float = 1.05,
+    ups_oversubscription: float = 1.05,
+    rack_headroom_fraction: float = RACK_HEADROOM_FRACTION,
+    volatile_other: bool = False,
+    infrastructure_cost_per_watt: float = 25.0,
+    strategy: str = "linear_elastic",
+) -> dict:
+    """The paper's Table I testbed as a normal-form spec.
+
+    Two PDUs (750 W / 760 W leased at 5% oversubscription → ≈715 W /
+    ≈724 W physical), ten tenants, UPS ≈1370 W.  Parameters mirror
+    :func:`repro.sim.scenario.testbed_scenario`.
+    """
+    from repro.scenarios.spec import normalize_spec
+    from repro.sim.scenario import TABLE1_SPECS
+
+    pdu_indices = sorted({spec.pdu for spec in TABLE1_SPECS})
+    return normalize_spec(
+        {
+            "spec_version": 1,
+            "name": "testbed",
+            "seed": seed,
+            "topology": {
+                "pdus": [
+                    {"id": f"pdu:{i}", "oversubscription": pdu_oversubscription}
+                    for i in pdu_indices
+                ],
+                "rack_headroom_fraction": rack_headroom_fraction,
+            },
+            "time": {"slot_seconds": slot_seconds},
+            "demand": {
+                "strategy": strategy,
+                "tenants": [
+                    _tenant_record(
+                        spec.name,
+                        spec.workload,
+                        spec.subscription_w,
+                        f"pdu:{spec.pdu}",
+                        volatile=volatile_other,
+                    )
+                    for spec in TABLE1_SPECS
+                ],
+            },
+            "supply": {
+                "ups_oversubscription": ups_oversubscription,
+                "infrastructure_cost_per_watt": infrastructure_cost_per_watt,
+            },
+        }
+    )
+
+
+def scaled_spec(
+    groups: int,
+    seed: int = DEFAULT_SEED,
+    slot_seconds: float = DEFAULT_SLOT_SECONDS,
+    jitter: float = 0.2,
+    pdu_oversubscription: float = 1.05,
+    ups_oversubscription: float = 1.05,
+    rack_headroom_fraction: float = RACK_HEADROOM_FRACTION,
+    infrastructure_cost_per_watt: float = 25.0,
+    strategy: str = "linear_elastic",
+) -> dict:
+    """Fig. 18's scaled facility as a normal-form spec.
+
+    Replicates the Table I composition ``groups`` times (first group
+    exact, later groups' subscriptions jittered by up to ±``jitter``),
+    with the jitter draws materialised into explicit subscriptions so
+    the spec stands alone.  The draw order matches the pre-spec
+    ``scaled_scenario`` exactly: one uniform per tenant for every group
+    after the first, consumed even when ``jitter`` is zero.
+    """
+    from repro.scenarios.spec import normalize_spec
+    from repro.sim.scenario import TABLE1_SPECS
+
+    if groups < 1:
+        raise ConfigurationError("groups must be >= 1")
+    rng = make_rng(seed)
+    tenants = []
+    pdu_indices: list[int] = []
+    for g in range(groups):
+        group_jitter = 0.0 if g == 0 else jitter
+        for spec in TABLE1_SPECS:
+            pdu_index = 2 * g + spec.pdu
+            if pdu_index not in pdu_indices:
+                pdu_indices.append(pdu_index)
+            scale = 1.0 if g == 0 else float(
+                1.0 + rng.uniform(-group_jitter, group_jitter)
+            )
+            tenants.append(
+                _tenant_record(
+                    f"{spec.name}@{g}" if g > 0 else spec.name,
+                    spec.workload,
+                    spec.subscription_w * scale,
+                    f"pdu:{pdu_index}",
+                )
+            )
+    return normalize_spec(
+        {
+            "spec_version": 1,
+            "name": f"scaled-{groups}x",
+            "seed": seed,
+            "topology": {
+                "pdus": [
+                    {"id": f"pdu:{i}", "oversubscription": pdu_oversubscription}
+                    for i in pdu_indices
+                ],
+                "rack_headroom_fraction": rack_headroom_fraction,
+            },
+            "time": {"slot_seconds": slot_seconds},
+            "demand": {"strategy": strategy, "tenants": tenants},
+            "supply": {
+                "ups_oversubscription": ups_oversubscription,
+                "infrastructure_cost_per_watt": infrastructure_cost_per_watt,
+            },
+        }
+    )
+
+
+#: Named presets for the CLI (``spotdc scenario show --preset ...``) and
+#: sweep-config ``base: {preset: ...}`` references.
+PRESETS = {
+    "testbed": testbed_spec,
+    "scaled": scaled_spec,
+}
+
+
+def preset_spec(name: str, **kwargs) -> dict:
+    """Emit one named preset spec (``testbed`` or ``scaled``)."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        choices = ", ".join(sorted(PRESETS))
+        raise ConfigurationError(
+            f"unknown scenario preset {name!r} (known: {choices})"
+        ) from None
+    return factory(**kwargs)

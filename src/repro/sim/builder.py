@@ -321,8 +321,141 @@ class ScenarioBuilder:
             slo_ms=slo_ms,
         )
 
+    def to_spec(self) -> dict:
+        """Emit this facility as a declarative scenario spec.
+
+        The spec captures everything data can express: topology, time,
+        demand (with ``"custom"`` standing in for a non-default
+        ``strategy_factory``), supply, recovery, and — when
+        representable — the fault profile and telemetry config.
+        :meth:`build` routes through
+        :func:`repro.scenarios.loader.build_scenario` with the live
+        objects as overrides, so behaviour is exact even when the spec
+        form is lossy (e.g. an explicit derating schedule).
+        """
+        from repro.scenarios.spec import normalize_spec
+        from repro.sim.scenario import _default_strategy_factory
+
+        tenants = []
+        for kind, payload in self._pending:
+            if kind == "classed":
+                name, workload, subscription_w, pdu_id = payload
+                tenants.append(
+                    {
+                        "name": name,
+                        "workload": workload,
+                        "subscription_w": subscription_w,
+                        "pdu": pdu_id,
+                    }
+                )
+            elif kind == "other":
+                name, subscription_w, pdu_id, volatile = payload
+                tenants.append(
+                    {
+                        "name": name,
+                        "workload": "other",
+                        "subscription_w": subscription_w,
+                        "pdu": pdu_id,
+                        "volatile": volatile,
+                    }
+                )
+            else:
+                name, tiers, q_low, q_high, slo_ms = payload
+                tenants.append(
+                    {
+                        "name": name,
+                        "workload": "tiered",
+                        "tiers": [
+                            {"subscription_w": w, "pdu": p} for w, p in tiers
+                        ],
+                        "q_low": q_low,
+                        "q_high": q_high,
+                        "slo_ms": slo_ms,
+                    }
+                )
+        strategy = (
+            "linear_elastic"
+            if self.strategy_factory is _default_strategy_factory
+            else "custom"
+        )
+        return normalize_spec(
+            {
+                "spec_version": 1,
+                "name": "builder",
+                "seed": self.seed,
+                "topology": {
+                    "pdus": [
+                        {
+                            "id": plan.pdu_id,
+                            "oversubscription": plan.oversubscription,
+                        }
+                        for plan in self._pdus.values()
+                    ],
+                    "rack_headroom_fraction": self.rack_headroom_fraction,
+                },
+                "time": {"slot_seconds": self.slot_seconds},
+                "demand": {"strategy": strategy, "tenants": tenants},
+                "supply": {
+                    "ups_oversubscription": self.ups_oversubscription,
+                    "infrastructure_cost_per_watt": (
+                        self.infrastructure_cost_per_watt
+                    ),
+                },
+                "faults": self._faults_spec(),
+                "telemetry": self._telemetry_spec(),
+                "recovery": {"clearing_deadline_s": self._clearing_deadline},
+            }
+        )
+
+    def _faults_spec(self) -> "dict | None":
+        """Spec form of the attached fault profile, when data can carry it."""
+        profile = self._fault_profile
+        if profile is None or profile.derating_events:
+            return None
+        fields = dataclasses.asdict(profile)
+        fields.pop("derating_events")
+        return {"profile": fields}
+
+    def _telemetry_spec(self) -> "dict | None":
+        """Spec form of the attached telemetry config (scalar fields)."""
+        config = self._telemetry
+        if config is None:
+            return None
+        return {
+            "enabled": config.enabled,
+            "out_dir": None if config.out_dir is None else str(config.out_dir),
+            "label": config.label,
+            "export_trace": config.export_trace,
+            "export_metrics": config.export_metrics,
+            "export_summary": config.export_summary,
+            "include_timings": config.include_timings,
+        }
+
     def build(self) -> Scenario:
-        """Assemble the scenario (validates the full facility)."""
+        """Assemble the scenario (validates the full facility).
+
+        Thin wrapper: emits :meth:`to_spec` and feeds it to the spec
+        loader, passing the live strategy/fault/telemetry objects as
+        overrides so nothing is lost to the data form.  Spec validation
+        (schema ``minItems`` on PDUs and tenants) supplies the
+        empty-facility errors.
+        """
+        from repro.scenarios.loader import build_scenario
+
+        return build_scenario(
+            self.to_spec(),
+            strategy_factory=self.strategy_factory,
+            fault_profile=self._fault_profile,
+            telemetry=self._telemetry,
+        )
+
+    def _assemble_scenario(self) -> Scenario:
+        """The single assembly engine behind the builder and the loader.
+
+        One RNG stream per tenant, spawned in declaration order from the
+        builder seed — the invariant every byte-identical-trace test
+        rests on.
+        """
         if not self._pdus:
             raise ConfigurationError("declare at least one PDU")
         if not self._pending:

@@ -17,6 +17,7 @@ Every stochastic choice flows from a single seed.
 from __future__ import annotations
 
 import dataclasses
+import math
 
 import numpy as np
 
@@ -29,10 +30,7 @@ from repro.config import (
 )
 from repro.economics.pricing import PriceSheet
 from repro.errors import ConfigurationError
-from repro.infrastructure.pdu import Pdu
-from repro.infrastructure.rack import Rack
 from repro.infrastructure.topology import PowerTopology
-from repro.infrastructure.ups import Ups
 from repro.power.server import ServerPowerModel
 from repro.resilience.profile import FaultProfile
 from repro.sim.results import RackInfo, TenantInfo
@@ -157,6 +155,9 @@ class Scenario:
             pinning byte-identical traces leave it off.  Pass a budget
             in seconds, or ``True`` for the default derived from the
             slot length.
+        spec: The normal-form declarative spec this scenario was
+            assembled from (:mod:`repro.scenarios`), or ``None`` for
+            scenarios constructed by hand.  Excluded from equality.
     """
 
     topology: PowerTopology
@@ -168,6 +169,32 @@ class Scenario:
     fault_profile: "FaultProfile | None" = None
     telemetry: "TelemetryConfig | None" = None
     clearing_deadline_s: "float | bool | None" = None
+    spec: "dict | None" = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        # Catch bad run parameters at construction, not slots deep in
+        # the engine: a NaN cost or zero-length slot silently corrupts
+        # every downstream profit/throughput figure.
+        if not _finite_number(self.slot_seconds) or self.slot_seconds <= 0:
+            raise ConfigurationError(
+                "slot_seconds must be a positive finite number, "
+                f"got {self.slot_seconds!r}"
+            )
+        cost = self.infrastructure_cost_per_hour
+        if not _finite_number(cost) or cost < 0:
+            raise ConfigurationError(
+                "infrastructure_cost_per_hour must be a finite number "
+                f">= 0, got {cost!r}"
+            )
+        deadline = self.clearing_deadline_s
+        if deadline is not None and deadline is not True:
+            if not _finite_number(deadline) or deadline <= 0:
+                raise ConfigurationError(
+                    "clearing_deadline_s must be None, True, or a "
+                    f"positive finite budget in seconds, got {deadline!r}"
+                )
 
     def prepare(self, slots: int) -> None:
         """Materialise every tenant's workload traces for a run."""
@@ -219,6 +246,14 @@ class Scenario:
     def total_guaranteed_w(self) -> float:
         """Facility-wide subscribed capacity."""
         return sum(t.total_guaranteed_w for t in self.tenants)
+
+
+def _finite_number(value) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
 
 
 def _reference_rate(workload: InteractiveWorkload, power_target_w: float) -> float:
@@ -361,76 +396,6 @@ def _default_strategy_factory(kind: str) -> BiddingStrategy:
     return LinearElasticStrategy()
 
 
-def _assemble(
-    specs: tuple[TenantSpec, ...],
-    pdu_capacities_w: dict[str, float],
-    ups_capacity_w: float,
-    seed: int,
-    slot_seconds: float,
-    rack_headroom_fraction: float,
-    strategy_factory,
-    jitter: float,
-    volatile_other: bool,
-    infrastructure_cost_per_watt: float,
-) -> Scenario:
-    """Shared assembly path for all scenario builders."""
-    rng = make_rng(seed)
-    slots_per_day = 24 * 3600 / slot_seconds
-    tenant_rngs = spawn_rngs(rng, len(specs))
-
-    tenants: list[Tenant] = []
-    for spec, tenant_rng in zip(specs, tenant_rngs):
-        pdu_id = f"pdu:{spec.pdu}"
-        if pdu_id not in pdu_capacities_w:
-            raise ConfigurationError(f"spec {spec.name} references unknown {pdu_id}")
-        if spec.workload == "other":
-            tenants.append(
-                _build_other_tenant(
-                    spec, pdu_id, volatile_other, tenant_rng, slots_per_day
-                )
-            )
-        else:
-            tenants.append(
-                _build_participating_tenant(
-                    spec,
-                    pdu_id,
-                    rack_headroom_fraction,
-                    strategy_factory,
-                    jitter,
-                    tenant_rng,
-                    slots_per_day,
-                )
-            )
-
-    pdus = [Pdu(pdu_id, cap) for pdu_id, cap in pdu_capacities_w.items()]
-    racks = []
-    for tenant in tenants:
-        for track in tenant.racks:
-            racks.append(
-                Rack(
-                    rack_id=track.rack_id,
-                    tenant_id=tenant.tenant_id,
-                    pdu_id=track.pdu_id,
-                    guaranteed_w=track.guaranteed_w,
-                    physical_w=track.guaranteed_w + track.max_spot_w,
-                )
-            )
-    topology = PowerTopology.build(Ups("ups:0", ups_capacity_w), pdus, racks)
-    # Amortise the shared-infrastructure capex (paper: US$10-25/W over
-    # ~15 years) into an hourly operator cost.
-    infra_per_hour = (
-        ups_capacity_w * infrastructure_cost_per_watt / (15.0 * 8760.0)
-    )
-    return Scenario(
-        topology=topology,
-        tenants=tenants,
-        price_sheet=PriceSheet(),
-        slot_seconds=slot_seconds,
-        seed=seed,
-        infrastructure_cost_per_hour=infra_per_hour,
-    )
-
-
 def testbed_scenario(
     seed: int = DEFAULT_SEED,
     slot_seconds: float = DEFAULT_SLOT_SECONDS,
@@ -462,26 +427,20 @@ def testbed_scenario(
             20-minute experiment (Fig. 10).
         infrastructure_cost_per_watt: Shared-infrastructure capex, $/W.
     """
-    if pdu_oversubscription < 1 or ups_oversubscription < 1:
-        raise ConfigurationError("oversubscription ratios must be >= 1")
-    leased = {0: 0.0, 1: 0.0}
-    for spec in TABLE1_SPECS:
-        leased[spec.pdu] += spec.subscription_w
-    pdu_capacities = {
-        f"pdu:{i}": total / pdu_oversubscription for i, total in leased.items()
-    }
-    ups_capacity = sum(pdu_capacities.values()) / ups_oversubscription
-    return _assemble(
-        TABLE1_SPECS,
-        pdu_capacities,
-        ups_capacity,
-        seed,
-        slot_seconds,
-        rack_headroom_fraction,
-        strategy_factory or _default_strategy_factory,
-        jitter=0.0,
-        volatile_other=volatile_other,
-        infrastructure_cost_per_watt=infrastructure_cost_per_watt,
+    from repro.scenarios.loader import build_scenario
+    from repro.scenarios.presets import testbed_spec
+
+    return build_scenario(
+        testbed_spec(
+            seed=seed,
+            slot_seconds=slot_seconds,
+            pdu_oversubscription=pdu_oversubscription,
+            ups_oversubscription=ups_oversubscription,
+            rack_headroom_fraction=rack_headroom_fraction,
+            volatile_other=volatile_other,
+            infrastructure_cost_per_watt=infrastructure_cost_per_watt,
+        ),
+        strategy_factory=strategy_factory,
     )
 
 
@@ -515,41 +474,19 @@ def scaled_scenario(
         strategy_factory: As in :func:`testbed_scenario`.
         infrastructure_cost_per_watt: Shared-infrastructure capex, $/W.
     """
-    if groups < 1:
-        raise ConfigurationError("groups must be >= 1")
-    rng = make_rng(seed)
-    specs: list[TenantSpec] = []
-    leased: dict[int, float] = {}
-    for g in range(groups):
-        group_jitter = 0.0 if g == 0 else jitter
-        for spec in TABLE1_SPECS:
-            pdu_index = 2 * g + spec.pdu
-            scale = 1.0 if g == 0 else float(
-                1.0 + rng.uniform(-group_jitter, group_jitter)
-            )
-            subscription = spec.subscription_w * scale
-            specs.append(
-                TenantSpec(
-                    name=f"{spec.name}@{g}" if g > 0 else spec.name,
-                    workload=spec.workload,
-                    subscription_w=subscription,
-                    pdu=pdu_index,
-                )
-            )
-            leased[pdu_index] = leased.get(pdu_index, 0.0) + subscription
-    pdu_capacities = {
-        f"pdu:{i}": total / pdu_oversubscription for i, total in leased.items()
-    }
-    ups_capacity = sum(pdu_capacities.values()) / ups_oversubscription
-    return _assemble(
-        tuple(specs),
-        pdu_capacities,
-        ups_capacity,
-        seed,
-        slot_seconds,
-        rack_headroom_fraction,
-        strategy_factory or _default_strategy_factory,
-        jitter=0.0,  # per-spec jitter already applied to subscriptions
-        volatile_other=False,
-        infrastructure_cost_per_watt=infrastructure_cost_per_watt,
+    from repro.scenarios.loader import build_scenario
+    from repro.scenarios.presets import scaled_spec
+
+    return build_scenario(
+        scaled_spec(
+            groups,
+            seed=seed,
+            slot_seconds=slot_seconds,
+            jitter=jitter,
+            pdu_oversubscription=pdu_oversubscription,
+            ups_oversubscription=ups_oversubscription,
+            rack_headroom_fraction=rack_headroom_fraction,
+            infrastructure_cost_per_watt=infrastructure_cost_per_watt,
+        ),
+        strategy_factory=strategy_factory,
     )

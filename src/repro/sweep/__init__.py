@@ -1,0 +1,36 @@
+"""Declarative, process-parallel sweeps over scenario specs.
+
+Grid expansion and per-cell seed derivation live in
+:mod:`repro.sweep.grid`; the fan-out runner and the sweep-file format in
+:mod:`repro.sweep.runner`.  The experiment harnesses (`fig17`, `fig18`,
+ablations, the chaos sweep) share :func:`parallel_map` for their
+``jobs=N`` fan-out.  See ``docs/scenarios.md``.
+"""
+
+from repro.sweep.grid import (
+    SweepCell,
+    apply_overrides,
+    build_cells,
+    derive_cell_seed,
+    expand_axes,
+)
+from repro.sweep.runner import (
+    SWEEP_CONFIG_SCHEMA,
+    load_sweep_file,
+    parallel_map,
+    run_sweep,
+    sweep_summary_path,
+)
+
+__all__ = [
+    "SWEEP_CONFIG_SCHEMA",
+    "SweepCell",
+    "apply_overrides",
+    "build_cells",
+    "derive_cell_seed",
+    "expand_axes",
+    "load_sweep_file",
+    "parallel_map",
+    "run_sweep",
+    "sweep_summary_path",
+]

@@ -1,0 +1,173 @@
+"""Declarative sweep grids over scenario-spec overrides.
+
+A *grid* is a mapping of dotted override paths to value lists::
+
+    axes = {
+        "supply.ups_oversubscription": [1.0, 1.05, 1.1],
+        "time.slot_seconds": [60, 120],
+    }
+
+:func:`expand_axes` takes its Cartesian product (first axis slowest, in
+declaration order, so cell order is deterministic), and
+:func:`apply_overrides` materialises one cell's spec.  Every override
+path must name a field that already exists in the normalised spec —
+typos fail loudly with a JSON-pointer error instead of silently adding
+an ignored key.  Numeric path segments index into lists
+(``topology.pdus.0.oversubscription``).
+
+Per-cell seeds derive deterministically from the base seed and the
+cell's overrides (:func:`derive_cell_seed`): distinct cells get
+decorrelated workload streams, yet any cell can be reproduced in
+isolation without running the rest of the sweep.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import hashlib
+import itertools
+import json
+
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import normalize_spec
+
+__all__ = [
+    "SweepCell",
+    "apply_overrides",
+    "build_cells",
+    "derive_cell_seed",
+    "expand_axes",
+]
+
+
+def expand_axes(axes) -> list[dict]:
+    """Cartesian product of a ``{path: [values...]}`` grid.
+
+    Returns one override mapping per cell, first axis varying slowest.
+    An empty grid yields the single empty-override cell.
+    """
+    if not isinstance(axes, dict):
+        raise ConfigurationError(
+            f"axes must be a mapping of path -> values, got {type(axes).__name__}"
+        )
+    for path, values in axes.items():
+        if not isinstance(values, (list, tuple)) or not values:
+            raise ConfigurationError(
+                f"axis {path!r} must be a non-empty list of values"
+            )
+    paths = list(axes)
+    return [
+        dict(zip(paths, combo))
+        for combo in itertools.product(*(axes[p] for p in paths))
+    ]
+
+
+def apply_overrides(spec: dict, overrides) -> dict:
+    """Return a copy of a normalised spec with dotted-path overrides set.
+
+    Each path must resolve to an *existing* field (the final segment
+    included), so an override can never silently create a key the
+    loader ignores.  Failures carry the JSON pointer of the bad segment.
+    """
+    result = copy.deepcopy(spec)
+    for path, value in overrides.items():
+        segments = str(path).split(".")
+        node = result
+        pointer = ""
+        for i, segment in enumerate(segments):
+            last = i == len(segments) - 1
+            if isinstance(node, list):
+                try:
+                    index = int(segment)
+                    node[index]
+                except (ValueError, IndexError):
+                    raise ConfigurationError(
+                        f"override {path!r}: {pointer}/{segment} does not "
+                        f"index a list of {len(node)} item(s)"
+                    ) from None
+                if last:
+                    node[index] = value
+                else:
+                    node = node[index]
+            elif isinstance(node, dict):
+                if segment not in node:
+                    known = ", ".join(sorted(map(str, node))) or "(none)"
+                    raise ConfigurationError(
+                        f"override {path!r}: no field {pointer}/{segment} "
+                        f"(known: {known})"
+                    )
+                if last:
+                    node[segment] = value
+                else:
+                    node = node[segment]
+            else:
+                raise ConfigurationError(
+                    f"override {path!r}: {pointer or '/'} is a scalar, "
+                    f"cannot descend into {segment!r}"
+                )
+            pointer = f"{pointer}/{segment}"
+    # Re-normalise: overrides are user input and must re-pass the schema.
+    return normalize_spec(result)
+
+
+def derive_cell_seed(base_seed: int, overrides) -> int:
+    """A deterministic, decorrelated seed for one sweep cell.
+
+    Hashes the base seed together with the cell's canonicalised
+    overrides, so (a) every distinct cell draws an independent workload
+    stream, (b) the same cell always gets the same seed — any cell is
+    reproducible standalone — and (c) the empty-override cell keeps the
+    base seed, making a 1-cell sweep identical to a plain run.
+    """
+    if not overrides:
+        return int(base_seed)
+    canonical = json.dumps(
+        {"seed": int(base_seed), "overrides": overrides},
+        sort_keys=True,
+        default=str,
+    )
+    digest = hashlib.sha256(canonical.encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepCell:
+    """One cell of an expanded sweep: its overrides and final spec.
+
+    Picklable (plain data only), so cells travel to worker processes.
+
+    Attributes:
+        index: Position in the expanded grid (deterministic order).
+        overrides: The ``{path: value}`` mapping that distinguishes this
+            cell.
+        seed: The derived per-cell seed, already applied to ``spec``.
+        spec: The cell's fully-normalised scenario spec.
+    """
+
+    index: int
+    overrides: dict
+    seed: int
+    spec: dict
+
+
+def build_cells(base_spec, axes, base_seed: "int | None" = None) -> list[SweepCell]:
+    """Expand a grid over a base spec into concrete sweep cells.
+
+    Args:
+        base_spec: The spec every cell starts from (normalised here).
+        axes: ``{dotted-path: [values...]}`` grid.
+        base_seed: Seed the per-cell seeds derive from; defaults to the
+            base spec's own seed.
+    """
+    base = normalize_spec(base_spec)
+    seed = base["seed"] if base_seed is None else int(base_seed)
+    cells = []
+    for index, overrides in enumerate(expand_axes(axes)):
+        spec = apply_overrides(base, overrides)
+        cell_seed = derive_cell_seed(seed, overrides)
+        spec["seed"] = cell_seed
+        cells.append(
+            SweepCell(index=index, overrides=overrides, seed=cell_seed, spec=spec)
+        )
+    return cells

@@ -1,0 +1,261 @@
+"""The parallel sweep runner.
+
+Runs every cell of a declarative sweep — a grid of scenario-spec
+overrides (:mod:`repro.sweep.grid`) over a base scenario — fanning out
+across CPU cores with :class:`~concurrent.futures.ProcessPoolExecutor`,
+and collects the per-cell metrics into the repo's validated BENCH
+summary envelope (:func:`repro.telemetry.exporters.write_summary_json`).
+
+Determinism: cells are pure functions of ``(spec, slots)`` — every
+stochastic choice flows from the cell's derived seed — so ``--jobs N``
+changes wall-clock only, never a number.  ``tests/test_sweep.py`` pins
+serial/parallel result identity; ``benchmarks/bench_sweep.py`` pins the
+speedup.
+
+A *sweep file* (JSON or YAML) declares the whole study::
+
+    name: oversubscription-grid
+    base: {preset: testbed}
+    slots: 400
+    compare: true
+    axes:
+      supply.ups_oversubscription: [1.0, 1.05]
+      time.slot_seconds: [60, 120]
+
+``base`` names a preset (with optional ``args``), a spec ``file`` path,
+or an inline ``spec``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.errors import ConfigurationError
+from repro.scenarios.schema import validate_instance
+from repro.scenarios.spec import load_spec_file, normalize_spec
+from repro.sweep.grid import build_cells
+
+__all__ = [
+    "SWEEP_CONFIG_SCHEMA",
+    "load_sweep_file",
+    "parallel_map",
+    "run_sweep",
+    "sweep_summary_path",
+]
+
+#: Schema for sweep files, validated with the scenario-schema walker
+#: (same JSON-pointer errors).
+SWEEP_CONFIG_SCHEMA = {
+    "type": "object",
+    "properties": {
+        "name": {"type": "string", "minLength": 1},
+        "base": {
+            "type": "object",
+            "properties": {
+                "preset": {"type": "string", "minLength": 1},
+                "args": {"type": "object"},
+                "file": {"type": "string", "minLength": 1},
+                "spec": {"type": "object"},
+            },
+            "required": [],
+            "additionalProperties": False,
+        },
+        "slots": {"type": "integer", "exclusiveMinimum": 0},
+        "seed": {"type": ["integer", "null"]},
+        "compare": {"type": "boolean"},
+        "axes": {"type": "object"},
+    },
+    "required": ["name", "base", "axes"],
+    "additionalProperties": False,
+}
+
+#: Default per-cell horizon for sweep files that do not set ``slots``.
+DEFAULT_SWEEP_SLOTS = 400
+
+
+def parallel_map(fn, items, jobs: int = 1) -> list:
+    """``[fn(x) for x in items]``, fanned out over worker processes.
+
+    ``jobs <= 1`` runs serially in-process (no pool, no pickling — the
+    fast path for small sweeps and the reference for result-identity
+    tests).  ``fn`` and the items must be picklable for ``jobs > 1``:
+    define cell functions at module level and pass plain-data payloads.
+    Result order always matches item order.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = min(jobs, len(items))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))
+
+
+def _run_cell(payload) -> dict:
+    """Run one sweep cell and reduce it to plain-float metrics.
+
+    Module-level and plain-data in/out, so it crosses process
+    boundaries.  ``payload`` is ``(cell, slots, compare)``.
+    """
+    from repro.core.baselines import PowerCappedAllocator
+    from repro.scenarios.loader import build_scenario
+    from repro.sim.engine import run_simulation
+
+    cell, slots, compare = payload
+    result = run_simulation(build_scenario(cell.spec), slots)
+    prices = result.price_series()
+    positive = prices[prices > 0]
+    metrics = {
+        "spot_revenue": float(result.total_spot_revenue()),
+        "mean_price": float(positive.mean()) if positive.size else 0.0,
+        "emergencies": int(result.emergencies.count()),
+        "spot_granted_w_mean": float(
+            result.collector.spot_granted_array().mean()
+        ),
+    }
+    if compare:
+        from repro.experiments.common import (
+            mean_cost_increase,
+            mean_perf_improvement,
+        )
+
+        baseline = run_simulation(
+            build_scenario(cell.spec), slots, allocator=PowerCappedAllocator()
+        )
+        metrics["profit_increase"] = float(
+            result.operator_profit_increase_vs(baseline)
+        )
+        metrics["perf_improvement"] = float(
+            mean_perf_improvement(result, baseline)
+        )
+        metrics["cost_increase"] = float(
+            mean_cost_increase(result, baseline)
+        )
+    return metrics
+
+
+def _resolve_base(base: dict) -> dict:
+    """Materialise a sweep file's ``base`` stanza into a spec."""
+    forms = [key for key in ("preset", "file", "spec") if key in base]
+    if len(forms) != 1:
+        raise ConfigurationError(
+            "/base: give exactly one of 'preset', 'file', or 'spec', "
+            f"got {forms or 'none'}"
+        )
+    if "args" in base and forms != ["preset"]:
+        raise ConfigurationError("/base/args: only valid with 'preset'")
+    if "preset" in base:
+        from repro.scenarios.presets import preset_spec
+
+        return preset_spec(base["preset"], **base.get("args", {}))
+    if "file" in base:
+        return load_spec_file(base["file"])
+    return base["spec"]
+
+
+def run_sweep(
+    config: dict,
+    jobs: int = 1,
+    out_dir=None,
+) -> dict:
+    """Run one declarative sweep; optionally archive its BENCH envelope.
+
+    Args:
+        config: Sweep config (the sweep-file mapping; see module doc).
+        jobs: Worker processes; 1 runs serially.
+        out_dir: When set, write ``BENCH_sweep_<name>.json`` there via
+            the validated summary-envelope writer.
+
+    Returns:
+        The envelope ``data`` payload: sweep name, grid, per-cell
+        overrides/seeds/metrics (in deterministic cell order).
+    """
+    validate_instance(config, SWEEP_CONFIG_SCHEMA, "")
+    base_spec = normalize_spec(_resolve_base(config["base"]))
+    slots = config.get("slots", DEFAULT_SWEEP_SLOTS)
+    compare = config.get("compare", True)
+    base_seed = config.get("seed")
+    if base_seed is None:
+        base_seed = base_spec["seed"]
+    cells = build_cells(base_spec, config["axes"], base_seed=base_seed)
+    payloads = [(cell, slots, compare) for cell in cells]
+    metrics = parallel_map(_run_cell, payloads, jobs=jobs)
+    data = {
+        "name": config["name"],
+        "slots": slots,
+        "compare": compare,
+        "axes": {path: list(values) for path, values in config["axes"].items()},
+        "cells": [
+            {
+                "index": cell.index,
+                "overrides": cell.overrides,
+                "seed": cell.seed,
+                "metrics": cell_metrics,
+            }
+            for cell, cell_metrics in zip(cells, metrics)
+        ],
+    }
+    if out_dir is not None:
+        from repro.telemetry.exporters import write_summary_json
+
+        write_summary_json(
+            sweep_summary_path(out_dir, config["name"]),
+            bench=f"sweep_{config['name']}",
+            data=data,
+            meta={
+                "jobs": jobs,
+                "cell_count": len(cells),
+                "base_seed": base_seed,
+            },
+        )
+    return data
+
+
+def sweep_summary_path(out_dir, name: str):
+    """Envelope path for one sweep (filename-safe name)."""
+    import pathlib
+
+    safe = "".join(c if c.isalnum() or c in "-_" else "-" for c in name)
+    return pathlib.Path(out_dir) / f"BENCH_sweep_{safe}.json"
+
+
+def load_sweep_file(path) -> dict:
+    """Read and validate one sweep file (JSON or YAML)."""
+    import pathlib
+
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read sweep file {path}: {exc}"
+        ) from exc
+    config = _parse_config_text(text, source=str(path))
+    validate_instance(config, SWEEP_CONFIG_SCHEMA, "")
+    # Resolve spec files relative to the sweep file's directory.
+    base = config["base"]
+    if "file" in base:
+        base["file"] = str((path.parent / base["file"]).resolve())
+    return config
+
+
+def _parse_config_text(text: str, source: str) -> dict:
+    import json
+
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError:
+        try:
+            import yaml
+        except ImportError:
+            raise ConfigurationError(
+                f"{source}: not valid JSON and PyYAML is not installed"
+            ) from None
+        try:
+            raw = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ConfigurationError(f"{source}: invalid YAML: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ConfigurationError(
+            f"{source}: sweep config must be a mapping, got {type(raw).__name__}"
+        )
+    return raw

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.analysis.cdf import EmpiricalCdf
-from repro.analysis.reporting import format_kv, format_series, format_table
+from repro.analysis.reporting import (
+    format_kv,
+    format_rounded_series,
+    format_series,
+    format_table,
+    rounded,
+)
 from repro.analysis.stats import (
     fraction_true,
     geometric_mean,
@@ -150,3 +156,30 @@ class TestReporting:
     def test_empty_table_renders(self):
         text = format_table(["h"], [])
         assert "h" in text
+
+    def test_rounded_kinds(self):
+        assert rounded([0.12345, -0.005], "percent") == [12.35, -0.5]
+        assert rounded([1.23456], "ratio") == [1.235]
+        assert rounded([1.23456], 1) == [1.2]
+
+    def test_rounded_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="rounding kind"):
+            rounded([1.0], "furlongs")
+        # bool is an int subclass but not a decimal-places count.
+        with pytest.raises(ConfigurationError, match="rounding kind"):
+            rounded([1.0], True)
+
+    def test_format_rounded_series_matches_manual_rounding(self):
+        via_helper = format_rounded_series(
+            "x",
+            [1, 2],
+            {"p +%": ("percent", [0.1234, 0.5]), "r x": ("ratio", [1.5, 2.25])},
+            title="T",
+        )
+        manual = format_series(
+            "x",
+            [1, 2],
+            {"p +%": [12.34, 50.0], "r x": [1.5, 2.25]},
+            title="T",
+        )
+        assert via_helper == manual

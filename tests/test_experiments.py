@@ -179,3 +179,11 @@ class TestSweeps:
             assert profit > 0
         for perf in sweep.perf_improvement:
             assert perf > 1.0
+
+    def test_jobs_fanout_never_changes_a_number(self):
+        # The experiment harnesses' determinism contract: every sweep
+        # point is a pure function of the seed, so worker-process
+        # fan-out affects wall-clock only.
+        serial = E.run_fig17(seed=11, slots=40, factors=(1.0, 0.9), jobs=1)
+        parallel = E.run_fig17(seed=11, slots=40, factors=(1.0, 0.9), jobs=2)
+        assert serial == parallel

@@ -1,0 +1,99 @@
+"""The refactor's machine check: builder path == spec path, byte for byte.
+
+``testbed_scenario`` / ``scaled_scenario`` / ``ScenarioBuilder.build``
+all assemble through the same engine the spec loader drives, so a
+same-seed run must export a **byte-identical** JSONL trace whichever
+way the scenario was constructed — including after a full
+spec -> text -> spec round trip.
+"""
+
+import json
+
+from repro.scenarios import (
+    build_scenario,
+    dump_scenario,
+    dump_spec,
+    parse_spec_text,
+    scaled_spec,
+)
+from repro.scenarios import testbed_spec as make_testbed_spec
+from repro.sim.builder import ScenarioBuilder
+from repro.sim.engine import run_simulation
+from repro.sim.scenario import scaled_scenario
+from repro.sim.scenario import testbed_scenario as make_testbed_scenario
+from repro.telemetry import TelemetryConfig
+
+
+def _trace_bytes(scenario, slots, tmp_path, tag):
+    out = tmp_path / tag
+    run_simulation(
+        scenario, slots, telemetry=TelemetryConfig(out_dir=out, label="run")
+    )
+    return (out / "run_trace.jsonl").read_bytes()
+
+
+def _tiered_builder(seed=5):
+    return (
+        ScenarioBuilder(seed=seed)
+        .add_pdu("row-a", oversubscription=1.05)
+        .add_pdu("row-b", oversubscription=1.05)
+        .add_search_tenant("search", 150.0, "row-a")
+        .add_wordcount_tenant("count", 130.0, "row-a")
+        .add_other_group("colo-a", 250.0, "row-a")
+        .add_web_tenant("web", 120.0, "row-b")
+        .add_graph_tenant("graph", 110.0, "row-b")
+        .add_other_group("colo-b", 250.0, "row-b")
+        .add_tiered_tenant("shop", [(140.0, "row-a"), (110.0, "row-b")])
+    )
+
+
+class TestBuilderVsSpecPath:
+    def test_testbed_trace_identical(self, tmp_path):
+        legacy = _trace_bytes(make_testbed_scenario(seed=7), 10, tmp_path, "legacy")
+        spec = _trace_bytes(
+            build_scenario(make_testbed_spec(seed=7)), 10, tmp_path, "spec"
+        )
+        assert legacy == spec
+
+    def test_volatile_testbed_trace_identical(self, tmp_path):
+        legacy = _trace_bytes(
+            make_testbed_scenario(seed=3, volatile_other=True), 8, tmp_path, "legacy"
+        )
+        spec = _trace_bytes(
+            build_scenario(make_testbed_spec(seed=3, volatile_other=True)),
+            8,
+            tmp_path,
+            "spec",
+        )
+        assert legacy == spec
+
+    def test_scaled_trace_identical(self, tmp_path):
+        legacy = _trace_bytes(
+            scaled_scenario(groups=2, seed=5), 6, tmp_path, "legacy"
+        )
+        spec = _trace_bytes(
+            build_scenario(scaled_spec(groups=2, seed=5)), 6, tmp_path, "spec"
+        )
+        assert legacy == spec
+
+    def test_builder_with_tiered_round_trips_through_text(self, tmp_path):
+        # builder -> Scenario -> canonical text -> Scenario: same bytes.
+        direct = _trace_bytes(_tiered_builder().build(), 8, tmp_path, "direct")
+        text = dump_scenario(_tiered_builder().build())
+        rebuilt = build_scenario(parse_spec_text(text, source="round-trip"))
+        assert _trace_bytes(rebuilt, 8, tmp_path, "rebuilt") == direct
+
+
+class TestSpecRoundTrip:
+    def test_dump_scenario_matches_dump_spec(self):
+        scenario = build_scenario(make_testbed_spec(seed=7))
+        assert dump_scenario(scenario) == dump_spec(make_testbed_spec(seed=7))
+
+    def test_spec_text_round_trip_is_identity(self):
+        text = dump_spec(scaled_spec(groups=2, seed=5))
+        reparsed = parse_spec_text(text, source="round-trip")
+        assert dump_scenario(build_scenario(reparsed)) == text
+
+    def test_scenario_spec_attribute_is_normal_form(self):
+        scenario = build_scenario(make_testbed_spec())
+        assert scenario.spec == json.loads(dump_spec(make_testbed_spec()))
