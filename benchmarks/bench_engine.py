@@ -25,6 +25,7 @@ from repro.core.frame import BidFrame
 from repro.experiments.fig07_prediction_and_scaling import make_synthetic_bids
 from repro.sim.engine import run_simulation
 from repro.sim.scenario import testbed_scenario as _testbed_scenario
+from repro.sweep import parallel_map
 from repro.telemetry import TelemetryConfig, write_summary_json
 from repro.telemetry.registry import NULL_REGISTRY
 from repro.telemetry.tracing import NULL_TRACER
@@ -32,6 +33,10 @@ from repro.telemetry.tracing import NULL_TRACER
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+#: Worker processes for the telemetry-mode timing runs; 1 (default)
+#: times them serially for the least contention noise.
+JOBS = int(os.environ.get("BENCH_JOBS", "1"))
 
 #: (slots, clearing racks, timing repeats) per mode.
 SLOTS = 80 if SMOKE else 400
@@ -46,10 +51,18 @@ def _run_once(slots: int, telemetry: TelemetryConfig | None) -> float:
     return time.perf_counter() - start
 
 
+def _timed_mode(telemetry_enabled: bool) -> float:
+    """Module-level cell for :func:`parallel_map` (must pickle).
+
+    Builds the :class:`TelemetryConfig` inside the worker — in-memory
+    trace + metrics, no export — so the payload is a plain bool.
+    """
+    config = TelemetryConfig() if telemetry_enabled else None
+    return _run_once(SLOTS, config)
+
+
 def test_engine_slot_loop(archive):
-    disabled_s = _run_once(SLOTS, None)
-    config = TelemetryConfig()  # in-memory: trace + metrics, no export
-    enabled_s = _run_once(SLOTS, config)
+    disabled_s, enabled_s = parallel_map(_timed_mode, [False, True], jobs=JOBS)
     scenario = _testbed_scenario(seed=DEFAULT_SEED)
     result = run_simulation(
         scenario, slots=SLOTS, telemetry=TelemetryConfig()
@@ -68,7 +81,7 @@ def test_engine_slot_loop(archive):
         RESULTS_DIR / "BENCH_engine.json",
         bench="engine",
         data=data,
-        meta={"seed": DEFAULT_SEED, "smoke": SMOKE},
+        meta={"seed": DEFAULT_SEED, "smoke": SMOKE, "jobs": JOBS},
     )
     archive(
         "engine_slot_loop",

@@ -8,12 +8,18 @@ legacy object path) so future PRs can track the perf trajectory — see
 ``docs/observability.md``.
 """
 
+import os
 import pathlib
 
 from repro.experiments import render_fig07, run_fig07a, run_fig07b
 from repro.telemetry import write_summary_json
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Worker processes for the per-rack-count sweep cells.  Defaults to
+#: serial (least timing noise); CI smoke runs can raise it to trade a
+#: little noise for wall-clock.
+JOBS = int(os.environ.get("BENCH_JOBS", "1"))
 
 
 def test_fig07a_pdu_variation(benchmark, archive):
@@ -40,6 +46,7 @@ def test_fig07b_clearing_time(benchmark, archive):
             "price_steps": (0.001, 0.01),
             "repeats": 2,
             "compare_object_path": True,
+            "jobs": JOBS,
         },
         rounds=1,
         iterations=1,

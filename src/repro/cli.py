@@ -53,7 +53,8 @@ EXPERIMENT_REGISTRY: dict[str, tuple[str, Callable]] = {
     "fig07": (
         "PDU power variation and clearing time at scale (Fig. 7)",
         lambda a: E.render_fig07(
-            E.run_fig07a(seed=a.seed), E.run_fig07b(seed=a.seed)
+            E.run_fig07a(seed=a.seed),
+            E.run_fig07b(seed=a.seed, jobs=a.jobs),
         ),
     ),
     "fig08": (
@@ -292,6 +293,184 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.daemon.server import serve
+    from repro.errors import (
+        ConfigurationError,
+        DaemonError,
+        OperatorCrash,
+        RecoveryError,
+    )
+    from repro.sim.scenario import testbed_scenario
+
+    scenario = testbed_scenario(seed=args.seed)
+    if args.fault_profile != "none" or args.crash_at is not None:
+        fault_profile = FaultProfile.named(
+            args.fault_profile, args.fault_intensity
+        )
+        if args.crash_at is not None:
+            fault_profile = dataclasses.replace(
+                fault_profile, crash_at_slot=args.crash_at
+            )
+        scenario = dataclasses.replace(scenario, fault_profile=fault_profile)
+
+    config = None
+    previous = None
+    if args.telemetry:
+        config = TelemetryConfig(out_dir=args.telemetry_dir)
+        previous = set_default_config(config)
+    try:
+        serve(
+            scenario,
+            args.slots,
+            args.state_dir,
+            args.socket,
+            tick_seconds=args.tick_seconds,
+            max_pending=args.max_pending,
+            resume=args.resume,
+            kill_at=args.kill_at,
+            kill_point=args.kill_point,
+        )
+    except OperatorCrash as crash:
+        print(
+            f"operator crash at slot {crash.slot}; restart with "
+            f"--resume --state-dir {args.state_dir}",
+            file=sys.stderr,
+        )
+        return 3
+    except (ConfigurationError, DaemonError, RecoveryError) as exc:
+        print(f"daemon error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if config is not None:
+            set_default_config(previous)
+    return 0
+
+
+def _parse_rack_arg(text: str) -> dict:
+    """Parse ``rack_id:linear:d_max,q_min,d_min,q_max`` (or ``:step:``)."""
+    from repro.errors import ConfigurationError
+
+    # Rack ids themselves contain colons (e.g. ``rack:Search-1``), so
+    # the kind and value fields are split off from the right.
+    parts = text.rsplit(":", 2)
+    if len(parts) != 3 or not parts[0]:
+        raise ConfigurationError(
+            f"--rack must be RACK_ID:KIND:V1,V2[,...], got {text!r}"
+        )
+    rack_id, kind, values = parts
+    fields = {
+        "linear": ("d_max_w", "q_min", "d_min_w", "q_max"),
+        "step": ("demand_w", "price_cap"),
+    }.get(kind)
+    if fields is None:
+        raise ConfigurationError(
+            f"--rack kind must be 'linear' or 'step', got {kind!r}"
+        )
+    numbers = values.split(",")
+    if len(numbers) != len(fields):
+        raise ConfigurationError(
+            f"--rack {kind} demand needs {len(fields)} values "
+            f"({','.join(fields)}), got {len(numbers)}"
+        )
+    try:
+        demand = {f: float(v) for f, v in zip(fields, numbers)}
+    except ValueError as exc:
+        raise ConfigurationError(f"bad --rack value in {text!r}: {exc}") from exc
+    return {"rack_id": rack_id, "demand": {"kind": kind, **demand}}
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.daemon.chaos import synthetic_bundle
+    from repro.daemon.client import DaemonClient
+    from repro.errors import ConfigurationError, DaemonError
+
+    client = DaemonClient(
+        args.socket, seed=args.seed, retries=args.retries
+    )
+    try:
+        if not args.auto:
+            if args.tenant is None or args.slot is None or not args.rack:
+                print(
+                    "submit needs --tenant, --slot and --rack "
+                    "(or --auto for the synthetic fleet driver)",
+                    file=sys.stderr,
+                )
+                return 2
+            racks = [_parse_rack_arg(entry) for entry in args.rack]
+            response = client.submit(
+                args.tenant, args.slot, racks, key=args.key
+            )
+            print(json.dumps(response, indent=2, sort_keys=True))
+            return 0 if response.get("ok") else 1
+
+        # --auto: deterministic synthetic session for every tenant and
+        # slot (the CI smoke driver).  Keys are "{tenant}:{slot}", so
+        # re-running after a daemon restart redelivers idempotently.
+        hello = client.hello()
+        directory = client.describe()["tenants"]
+        slots = hello["slots"]
+        accepted = absorbed = 0
+        for slot in range(1, slots):
+            for tenant_id, info in sorted(directory.items()):
+                bundle = synthetic_bundle(
+                    args.seed, tenant_id, slot, info["racks"]
+                )
+                response = client.submit(tenant_id, slot, bundle)
+                if response.get("ok"):
+                    accepted += 1
+                    continue
+                code = response.get("error", {}).get("code")
+                if code in ("too_late", "shed"):
+                    absorbed += 1
+                    continue
+                print(f"submission rejected: {response!r}", file=sys.stderr)
+                return 2
+        print(f"submitted {accepted} bundles ({absorbed} skipped)")
+        if args.submit_only:
+            return 0
+        if hello["manual"]:
+            while True:
+                response = client.tick()
+                if response.get("ok"):
+                    if response.get("done"):
+                        break
+                    continue
+                code = response.get("error", {}).get("code")
+                if code == "crashed":
+                    print(
+                        "daemon crashed mid-run; restart it with --resume "
+                        "and re-run submit --auto",
+                        file=sys.stderr,
+                    )
+                    return 3
+                print(f"tick failed: {response!r}", file=sys.stderr)
+                return 2
+        else:
+            client.wait_done(budget=args.wait)
+        invoices = client.invoices()["invoices"]
+        text = json.dumps(invoices, indent=2, sort_keys=True) + "\n"
+        if args.out is not None:
+            pathlib.Path(args.out).write_text(text)
+            print(f"invoices: {args.out}")
+        else:
+            print(text, end="")
+        client.shutdown()
+        return 0
+    except ConfigurationError as exc:
+        print(f"invalid submission: {exc}", file=sys.stderr)
+        return 2
+    except DaemonError as exc:
+        print(f"daemon unreachable: {exc}", file=sys.stderr)
+        return 3
+    finally:
+        client.close()
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis import format_table
     from repro.experiments.common import run_comparison
@@ -459,13 +638,13 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis import format_table
-    from repro.errors import ConfigurationError
+    from repro.errors import ConfigurationError, SweepError
     from repro.sweep import load_sweep_file, run_sweep, sweep_summary_path
 
     try:
         config = load_sweep_file(args.file)
         data = run_sweep(config, jobs=args.jobs, out_dir=args.out)
-    except ConfigurationError as exc:
+    except (ConfigurationError, SweepError) as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 2
     cells = data["cells"]
@@ -599,6 +778,115 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for telemetry artifacts (default: ./telemetry)",
     )
     simulate.set_defaults(func=_cmd_simulate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the spot market as a daemon on a unix socket",
+    )
+    serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument("--slots", type=int, default=20)
+    serve.add_argument(
+        "--state-dir", required=True,
+        help="daemon state directory (bid log, market journal, checkpoints)",
+    )
+    serve.add_argument(
+        "--socket", required=True,
+        help="unix socket path to listen on (keep it short: ~100 bytes)",
+    )
+    serve.add_argument(
+        "--tick-seconds", type=float, default=None, metavar="S",
+        help="clear a slot every S wall-clock seconds; omit for manual "
+        "mode, where clients drive slots with 'tick' requests "
+        "(deterministic lockstep)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=1024, metavar="N",
+        help="bound on accepted bundles per slot; overflow sheds the "
+        "oldest accepted bundle",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="resume from the newest valid checkpoint in the state dir",
+    )
+    serve.add_argument(
+        "--fault-profile", choices=FAULT_CLASSES, default="none",
+        help="inject a named fault class into the daemon's slot loop",
+    )
+    serve.add_argument(
+        "--fault-intensity", type=float, default=0.1,
+        help="intensity of the injected fault class, in [0, 1]",
+    )
+    serve.add_argument(
+        "--crash-at", type=int, default=None, metavar="SLOT",
+        help="inject an operator crash (clean OperatorCrash, exit 3) at "
+        "this slot",
+    )
+    serve.add_argument(
+        "--kill-at", type=int, default=None, metavar="SLOT",
+        help="SIGKILL our own process at this slot (crash testing)",
+    )
+    serve.add_argument(
+        "--kill-point", default="post_journal",
+        choices=("pre_step", "post_journal", "post_checkpoint"),
+        help="where inside the --kill-at slot to die",
+    )
+    serve.add_argument(
+        "--telemetry", action="store_true",
+        help="record a span trace, metrics dump, and summary JSON",
+    )
+    serve.add_argument(
+        "--telemetry-dir", default="telemetry",
+        help="directory for telemetry artifacts (default: ./telemetry)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit bids to a running market daemon (client)",
+    )
+    submit.add_argument(
+        "--socket", required=True, help="the daemon's unix socket"
+    )
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument(
+        "--retries", type=int, default=8,
+        help="transport retries (exponential backoff with jitter)",
+    )
+    submit.add_argument(
+        "--auto", action="store_true",
+        help="drive a full synthetic session: submit bundles for every "
+        "tenant and slot, run to completion, fetch invoices, shut the "
+        "daemon down",
+    )
+    submit.add_argument(
+        "--submit-only", action="store_true",
+        help="with --auto: stop after submitting (no ticking/waiting)",
+    )
+    submit.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="with --auto: write the invoices JSON here",
+    )
+    submit.add_argument(
+        "--wait", type=float, default=120.0, metavar="SECONDS",
+        help="with --auto against a wall-clock daemon: completion budget",
+    )
+    submit.add_argument(
+        "--tenant", default=None, help="tenant id (single-bundle mode)"
+    )
+    submit.add_argument(
+        "--slot", type=int, default=None,
+        help="target slot (single-bundle mode)",
+    )
+    submit.add_argument(
+        "--rack", action="append", default=[], metavar="SPEC",
+        help="RACK_ID:linear:d_max,q_min,d_min,q_max or "
+        "RACK_ID:step:demand_w,price_cap (repeatable)",
+    )
+    submit.add_argument(
+        "--key", default=None,
+        help="idempotency key (default: '<tenant>:<slot>')",
+    )
+    submit.set_defaults(func=_cmd_submit)
 
     compare = sub.add_parser(
         "compare", help="SpotDC vs PowerCapped vs MaxPerf summary"

@@ -45,6 +45,8 @@ class PowerCappedAllocator(Allocator):
         predicted_price: float | None = None,
         extra_constraints: Sequence = (),
         tracer=None,
+        submitted_bids=None,
+        duplicated=None,
     ) -> SlotMarketRecord:
         if tracer is not None:
             with tracer.span("bid_collect", slot=slot) as span:
@@ -86,6 +88,8 @@ class MaxPerfAllocator(Allocator):
         predicted_price: float | None = None,
         extra_constraints: Sequence = (),
         tracer=None,
+        submitted_bids=None,
+        duplicated=None,
     ) -> SlotMarketRecord:
         if tracer is None:
             from repro.telemetry.tracing import NULL_TRACER

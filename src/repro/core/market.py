@@ -23,7 +23,8 @@ from repro.core.clearing import MarketClearing
 from repro.core.frame import BidFrame
 from repro.errors import ConfigurationError
 from repro.prediction.spot import SpotCapacityForecast
-from repro.recovery.admission import QuarantinedBid, screen_bids
+from repro.core.bids import TenantBid
+from repro.recovery.admission import QuarantinedBid, dedupe_bundles, screen_bids
 from repro.tenants.tenant import Tenant
 
 __all__ = ["Allocator", "SpotDCAllocator", "SlotMarketRecord"]
@@ -75,6 +76,8 @@ class Allocator(abc.ABC):
         predicted_price: float | None = None,
         extra_constraints: Sequence = (),
         tracer=None,
+        submitted_bids: Sequence[TenantBid] | None = None,
+        duplicated=None,
     ) -> SlotMarketRecord:
         """Decide this slot's spot-capacity grants.
 
@@ -84,6 +87,14 @@ class Allocator(abc.ABC):
         :class:`repro.telemetry.Tracer` under which the allocator opens
         its ``bid_collect`` / ``clear`` phase spans (``None`` disables
         tracing).
+
+        ``submitted_bids`` carries externally delivered
+        :class:`~repro.core.bids.TenantBid` bundles (daemon mode);
+        ``None`` means the allocator solicits bids from ``tenants``
+        itself (batch mode).  ``duplicated`` is an optional set of
+        tenant ids whose bundle was delivered twice (at-least-once
+        transports, duplicate-delivery faults); market-style allocators
+        absorb the extra copies, others may ignore both arguments.
         """
 
 
@@ -145,12 +156,31 @@ class SpotDCAllocator(Allocator):
         slot: int,
         tenants: Sequence[Tenant],
         predicted_price: float | None,
-    ) -> tuple[list[RackBid], tuple[QuarantinedBid, ...]]:
-        tenant_bids = []
-        for tenant in tenants:
-            bid = tenant.make_bid(slot, predicted_price=predicted_price)
-            if bid is not None:
-                tenant_bids.append(bid)
+        submitted_bids: Sequence[TenantBid] | None = None,
+        duplicated=None,
+    ) -> tuple[list[RackBid], tuple[QuarantinedBid, ...], tuple[str, ...]]:
+        if submitted_bids is None:
+            tenant_bids = []
+            for tenant in tenants:
+                bid = tenant.make_bid(slot, predicted_price=predicted_price)
+                if bid is not None:
+                    tenant_bids.append(bid)
+        else:
+            tenant_bids = list(submitted_bids)
+        if duplicated:
+            # Duplicate-delivery fault: the transport hands the market a
+            # second copy of the bundle, exactly as an at-least-once
+            # client retry would.
+            delivered = []
+            for bundle in tenant_bids:
+                delivered.append(bundle)
+                if bundle.tenant_id in duplicated:
+                    delivered.append(bundle)
+            tenant_bids = delivered
+        # Idempotent ingestion: duplicate deliveries are absorbed before
+        # admission, so a redelivered bundle can never double-bill (and
+        # never trips flatten_bids' duplicate-rack integrity check).
+        tenant_bids, absorbed = dedupe_bundles(tenant_bids)
         quarantined: tuple[QuarantinedBid, ...] = ()
         if self.admission:
             # Admission happens on *bundles*: a bundle with any
@@ -158,7 +188,7 @@ class SpotDCAllocator(Allocator):
             # would grant a tenant capacity on exactly the racks whose
             # bids happened to parse.
             tenant_bids, quarantined = screen_bids(tenant_bids)
-        return flatten_bids(tenant_bids), quarantined
+        return flatten_bids(tenant_bids), quarantined, absorbed
 
     def allocate(
         self,
@@ -169,13 +199,25 @@ class SpotDCAllocator(Allocator):
         predicted_price: float | None = None,
         extra_constraints: Sequence = (),
         tracer=None,
+        submitted_bids: Sequence[TenantBid] | None = None,
+        duplicated=None,
     ) -> SlotMarketRecord:
         if tracer is None:
             from repro.telemetry.tracing import NULL_TRACER
 
             tracer = NULL_TRACER
         with tracer.span("bid_collect", slot=slot) as bid_span:
-            bids, quarantined = self._collect_bids(slot, tenants, predicted_price)
+            bids, quarantined, absorbed = self._collect_bids(
+                slot,
+                tenants,
+                predicted_price,
+                submitted_bids=submitted_bids,
+                duplicated=duplicated,
+            )
+            for tenant_id in absorbed:
+                tracer.event(
+                    "bid.duplicate_absorbed", slot=slot, tenant=tenant_id
+                )
             for q in quarantined:
                 tracer.event(
                     "bid.quarantined",
@@ -197,7 +239,7 @@ class SpotDCAllocator(Allocator):
             result = self._clear(frame, forecast, extra_constraints)
             if self.oracle_rebid and bids:
                 # Fig. 16: strategic tenants re-bid knowing the market price.
-                rebids, requarantined = self._collect_bids(
+                rebids, requarantined, _ = self._collect_bids(
                     slot, tenants, result.price
                 )
                 frame = BidFrame.from_bids(rebids)

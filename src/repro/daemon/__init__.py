@@ -1,0 +1,55 @@
+"""The SpotDC market daemon: the spot market as an always-on service.
+
+Batch mode (:meth:`repro.sim.engine.SimulationEngine.run`) simulates
+tenants and market in one loop; this package runs the *same* slot-step
+machinery as a long-lived service — bid bundles arrive from clients
+over a unix socket, are screened at ingestion by the
+:mod:`repro.recovery` admission front door, queue under a bounded
+per-slot backlog, and clear on a slot tick.  Grants and invoices are
+served back over the socket and journalled crash-safely:
+
+* :mod:`repro.daemon.protocol` — the newline-delimited JSON wire
+  protocol and machine-readable rejection codes;
+* :mod:`repro.daemon.journal` — the write-ahead bid log and the market
+  journal;
+* :mod:`repro.daemon.server` — :class:`MarketDaemon` (the state
+  machine) and :class:`DaemonServer` (the asyncio transport);
+* :mod:`repro.daemon.client` — :class:`DaemonClient`, a retrying
+  at-least-once client with idempotency keys;
+* :mod:`repro.daemon.chaos` — the harness machine-checking the
+  crash-safety invariant (kill anywhere, resume, byte-identical
+  journal).
+"""
+
+from repro.daemon.client import DaemonClient, default_key
+from repro.daemon.journal import BidLog, MarketJournal, read_records
+from repro.daemon.protocol import (
+    REJECTION_CODES,
+    decode_line,
+    encode_message,
+    parse_submission,
+    stored_tenant_bid,
+)
+from repro.daemon.server import (
+    KILL_POINTS,
+    DaemonServer,
+    MarketDaemon,
+    serve,
+)
+
+__all__ = [
+    "BidLog",
+    "DaemonClient",
+    "DaemonServer",
+    "KILL_POINTS",
+    "MarketDaemon",
+    "MarketJournal",
+    "REJECTION_CODES",
+    "decode_line",
+    "default_key",
+    "encode_message",
+    "parse_submission",
+    "read_records",
+    "serve",
+    "stored_tenant_bid",
+]

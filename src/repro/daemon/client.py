@@ -1,0 +1,233 @@
+"""Client library for the SpotDC market daemon.
+
+:class:`DaemonClient` is a small synchronous client over the daemon's
+unix socket speaking the newline-delimited JSON protocol of
+:mod:`repro.daemon.protocol`.  It is built for an *at-least-once* world:
+
+* **Retries with full-jitter exponential backoff** — connection refused,
+  a vanished socket file, a reset mid-request, or a read timeout all
+  mean "the daemon may be restarting"; the client reconnects and resends
+  after ``uniform(0, min(cap, base * 2^attempt))`` seconds (jitter from
+  a client-owned seeded RNG, so tests are deterministic and a fleet of
+  clients doesn't thundering-herd a restarted daemon).
+* **Idempotency keys** — every submit carries a key (default
+  ``"{tenant_id}:{slot}"``); resending after a lost ack returns the
+  daemon's stored response for that key instead of double-entering the
+  market, so retrying blindly is always safe.
+
+Responses are returned as dicts exactly as received; ``ok`` is the
+success flag and failures carry ``error.code`` /
+``error.detail`` (see :data:`repro.daemon.protocol.REJECTION_CODES`).
+Only transport-level failures raise (:class:`~repro.errors.DaemonError`
+after retries are exhausted, :class:`~repro.errors.ProtocolError` on an
+undecodable response) — a market rejection is a *result*, not an
+exception.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from pathlib import Path
+
+from repro.daemon.protocol import decode_line, encode_message
+from repro.errors import DaemonError, ProtocolError
+
+__all__ = ["DaemonClient", "default_key"]
+
+#: Transport failures worth retrying: the daemon crashed, is restarting,
+#: or has not re-bound its socket yet.  ``OSError`` covers
+#: ``ConnectionRefusedError``/``ConnectionResetError``/``BrokenPipeError``
+#: and ``FileNotFoundError`` (no socket file), plus ``socket.timeout``.
+_RETRYABLE = (OSError, EOFError)
+
+
+def default_key(tenant_id: str, slot: int) -> str:
+    """The default idempotency key: one submission per tenant per slot."""
+    return f"{tenant_id}:{slot}"
+
+
+class DaemonClient:
+    """Retrying unix-socket client for the market daemon.
+
+    Args:
+        socket_path: The daemon's unix socket.
+        timeout: Per-request socket timeout in seconds.
+        retries: Transport retries per request after the first attempt.
+        backoff_base: First-retry backoff ceiling in seconds; doubles
+            each attempt.
+        backoff_cap: Upper bound on any single backoff sleep.
+        seed: Seed for the jitter RNG (deterministic backoff in tests).
+    """
+
+    def __init__(
+        self,
+        socket_path: str | Path,
+        *,
+        timeout: float = 5.0,
+        retries: int = 5,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        self.socket_path = Path(socket_path)
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = random.Random(seed)
+        self._sock: socket.socket | None = None
+        self._buffer = b""
+
+    # -- transport -----------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(str(self.socket_path))
+            self._sock = sock
+            self._buffer = b""
+        return self._sock
+
+    def close(self) -> None:
+        """Drop the connection (a later request reconnects)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._buffer = b""
+
+    def __enter__(self) -> DaemonClient:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _read_line(self, sock: socket.socket) -> bytes:
+        while b"\n" not in self._buffer:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise EOFError("daemon closed the connection mid-response")
+            self._buffer += chunk
+        line, _, self._buffer = self._buffer.partition(b"\n")
+        return line
+
+    def request(self, message: dict) -> dict:
+        """Send one request, retrying transport failures with backoff.
+
+        Safe to call with submits precisely because they carry
+        idempotency keys: a resend after a lost ack is absorbed by the
+        daemon's stored-response map.
+
+        Raises:
+            DaemonError: When every attempt failed at the transport
+                level (daemon down for longer than the backoff budget).
+            ProtocolError: When the daemon answered with an undecodable
+                line.
+        """
+        payload = encode_message(message)
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                # Full jitter: sleep anywhere in [0, min(cap, base*2^a)]
+                # so a restarted daemon is not hit by synchronized
+                # retries.
+                ceiling = min(
+                    self.backoff_cap, self.backoff_base * (2 ** (attempt - 1))
+                )
+                time.sleep(self._rng.uniform(0.0, ceiling))
+            try:
+                sock = self._connect()
+                sock.sendall(payload)
+                return decode_line(self._read_line(sock))
+            except _RETRYABLE as exc:
+                last_error = exc
+                self.close()
+        raise DaemonError(
+            f"daemon at {self.socket_path} unreachable after "
+            f"{self.retries + 1} attempts: {last_error!r}"
+        ) from last_error
+
+    # -- protocol ops --------------------------------------------------
+
+    def hello(self) -> dict:
+        """Server identity: horizon, next slot, tick mode."""
+        return self.request({"op": "hello"})
+
+    def describe(self) -> dict:
+        """The tenant/rack directory (ids, PDU attachment, spot caps)."""
+        return self.request({"op": "describe"})
+
+    def submit(
+        self,
+        tenant_id: str,
+        slot: int,
+        racks: list[dict],
+        *,
+        key: str | None = None,
+    ) -> dict:
+        """Submit one bid bundle for a slot.
+
+        Args:
+            tenant_id: The bidding tenant.
+            slot: Target market slot (must not have cleared yet).
+            racks: ``[{"rack_id", "demand"}]`` wire entries; ``demand``
+                is a linear or step demand spec (see
+                :mod:`repro.daemon.protocol`).
+            key: Idempotency key; defaults to :func:`default_key`, which
+                makes retries of the same tenant+slot submission
+                collapse into one market entry.
+        """
+        return self.request(
+            {
+                "op": "submit",
+                "key": key if key is not None else default_key(tenant_id, slot),
+                "tenant_id": tenant_id,
+                "slot": slot,
+                "racks": racks,
+            }
+        )
+
+    def tick(self) -> dict:
+        """Clear the next slot (manual-tick servers only)."""
+        return self.request({"op": "tick"})
+
+    def status(self) -> dict:
+        """Run progress: next slot, done flag, queue depths."""
+        return self.request({"op": "status"})
+
+    def result(self, slot: int) -> dict:
+        """The journal record of a cleared slot."""
+        return self.request({"op": "result", "slot": slot})
+
+    def invoices(self) -> dict:
+        """Per-tenant invoice totals (once the run has completed)."""
+        return self.request({"op": "invoices"})
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to stop serving."""
+        response = self.request({"op": "shutdown"})
+        self.close()
+        return response
+
+    def wait_done(self, *, poll_seconds: float = 0.05, budget: float = 60.0) -> dict:
+        """Poll ``status`` until the run completes (wall-clock servers).
+
+        Raises:
+            DaemonError: If the run is still incomplete after ``budget``
+                seconds.
+        """
+        deadline = time.monotonic() + budget
+        while True:
+            status = self.request({"op": "status"})
+            if status.get("done"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ProtocolError(
+                    f"daemon run incomplete after {budget}s "
+                    f"(next_slot={status.get('next_slot')})"
+                )
+            time.sleep(poll_seconds)

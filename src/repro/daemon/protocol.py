@@ -1,0 +1,258 @@
+"""Wire protocol of the SpotDC market daemon.
+
+Newline-delimited JSON over a unix socket: every request is one JSON
+object on one line, every response is one JSON object on one line.
+Responses always carry ``"ok"`` (bool) and echo the request ``"op"``;
+failures carry ``"error": {"code", "detail"}`` with a machine-readable
+code from :data:`REJECTION_CODES`.
+
+The protocol is deliberately *server-authoritative*: a submission names
+only the rack and its demand function — the PDU attachment and the
+rack's physical spot headroom (``rack_cap_w``) are filled in from the
+daemon's topology, so a client can never forge its rack's cap.  Clients
+learn their racks from ``describe``, making them pure protocol
+consumers with no scenario object in hand.
+
+Requests
+--------
+
+=========== ==========================================================
+op          payload
+=========== ==========================================================
+hello       ``{}`` — server identity: slots, next_slot, slot_seconds
+describe    ``{}`` — tenants and their racks (ids, pdu, max_spot_w)
+submit      ``{key, slot, tenant_id, racks: [{rack_id, demand}]}``
+status      ``{}`` — next_slot, done flag, pending queue depths
+result      ``{slot}`` — the cleared slot's journal record
+invoices    ``{}`` — per-tenant invoice totals (after the run finished)
+tick        ``{}`` — process the next slot (manual-tick servers only)
+shutdown    ``{}`` — stop serving after this response
+=========== ==========================================================
+
+``demand`` is ``{"kind": "linear", "d_max_w", "q_min", "d_min_w",
+"q_max"}`` or ``{"kind": "step", "demand_w", "price_cap"}`` — the two
+demand-function forms of :mod:`repro.core.demand`.
+
+Idempotent submission
+---------------------
+
+Every submit carries a client-chosen ``key``.  The daemon remembers the
+final response per key; redelivering the same key (an at-least-once
+client retrying after a lost ack) returns the stored response without
+re-enqueueing anything — the enforcement half of the double-billing
+guarantee.  A *different* key for a slot the tenant already occupies is
+rejected with ``already_submitted``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.core.bids import RackBid, TenantBid
+from repro.core.demand import LinearBid, StepBid
+from repro.errors import BidError, ProtocolError
+from repro.recovery.admission import inspect_rack_bid
+
+__all__ = [
+    "REJECTION_CODES",
+    "decode_line",
+    "encode_message",
+    "parse_submission",
+    "stored_tenant_bid",
+]
+
+#: Machine-readable rejection codes a submit (or any request) can earn.
+REJECTION_CODES = (
+    "bad_request",  # unparseable JSON or missing/ill-typed fields
+    "unknown_op",  # op not in the table above
+    "unknown_tenant",  # tenant_id not in the scenario
+    "unknown_rack",  # rack not owned by the tenant
+    "malformed_bundle",  # demand failed construction or admission checks
+    "too_late",  # slot already cleared (or slot 0, which has no market)
+    "beyond_horizon",  # slot >= run horizon
+    "already_submitted",  # same tenant+slot under a different key
+    "shed",  # accepted, then shed by queue overflow (returned on retry)
+    "not_ready",  # result/invoices requested before they exist
+    "shutting_down",  # daemon is stopping
+)
+
+_DEMAND_FIELDS = {
+    "linear": ("d_max_w", "q_min", "d_min_w", "q_max"),
+    "step": ("demand_w", "price_cap"),
+}
+
+
+def encode_message(message: dict) -> bytes:
+    """One protocol message as a newline-terminated JSON line.
+
+    ``sort_keys`` keeps the wire form (and everything journalled from
+    it) byte-deterministic.
+    """
+    return (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one received line into a message dict.
+
+    Raises:
+        ProtocolError: If the line is not a JSON object.
+    """
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"undecodable protocol line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"protocol messages must be JSON objects, got {type(message).__name__}"
+        )
+    return message
+
+
+def _demand_from_spec(spec) -> LinearBid | StepBid:
+    """Build the demand function named by a wire spec.
+
+    Raises:
+        BidError: On an unknown kind, missing/ill-typed fields, or
+            parameters the demand constructors reject.
+    """
+    if not isinstance(spec, dict):
+        raise BidError(f"demand must be an object, got {type(spec).__name__}")
+    kind = spec.get("kind")
+    if kind not in _DEMAND_FIELDS:
+        raise BidError(
+            f"demand kind must be 'linear' or 'step', got {kind!r}"
+        )
+    values = []
+    for field in _DEMAND_FIELDS[kind]:
+        value = spec.get(field)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise BidError(f"demand field {field!r} must be a number")
+        if not math.isfinite(value):
+            raise BidError(f"demand field {field!r} must be finite")
+        values.append(float(value))
+    if kind == "linear":
+        return LinearBid(*values)
+    return StepBid(*values)
+
+
+def parse_submission(message: dict, racks_of_tenant: dict) -> dict:
+    """Validate a submit request into its canonical stored form.
+
+    Args:
+        message: The decoded submit request.
+        racks_of_tenant: ``{tenant_id: {rack_id: rack}}`` directory built
+            from the daemon's scenario (racks expose ``pdu_id`` and
+            ``max_spot_w``).
+
+    Returns:
+        The canonical stored form — ``{"key", "slot", "tenant_id",
+        "racks": [{"rack_id", "demand"}]}`` with racks sorted by id —
+        which is what the write-ahead bid log persists and what
+        :func:`stored_tenant_bid` later rebuilds the market bundle from.
+        Storing the *wire* form (not the built objects) keeps replay
+        after a crash bit-for-bit identical to first delivery.
+
+    Raises:
+        ProtocolError: With ``.code`` set to one of
+            :data:`REJECTION_CODES` on any validation failure.
+    """
+    tenant_id = message.get("tenant_id")
+    if not isinstance(tenant_id, str) or not tenant_id:
+        raise _rejection("bad_request", "submit requires a tenant_id string")
+    slot = message.get("slot")
+    if not isinstance(slot, int) or isinstance(slot, bool):
+        raise _rejection("bad_request", "submit requires an integer slot")
+    key = message.get("key")
+    if not isinstance(key, str) or not key:
+        raise _rejection("bad_request", "submit requires a non-empty key string")
+    racks = message.get("racks")
+    if not isinstance(racks, list) or not racks:
+        raise _rejection("bad_request", "submit requires a non-empty racks list")
+    owned = racks_of_tenant.get(tenant_id)
+    if owned is None:
+        raise _rejection("unknown_tenant", f"unknown tenant {tenant_id!r}")
+    stored_racks = []
+    seen: set[str] = set()
+    for entry in racks:
+        if not isinstance(entry, dict):
+            raise _rejection("bad_request", "each rack entry must be an object")
+        rack_id = entry.get("rack_id")
+        if not isinstance(rack_id, str) or rack_id not in owned:
+            raise _rejection(
+                "unknown_rack",
+                f"tenant {tenant_id!r} owns no rack {rack_id!r}",
+            )
+        if rack_id in seen:
+            raise _rejection(
+                "malformed_bundle", f"rack {rack_id!r} appears twice in bundle"
+            )
+        seen.add(rack_id)
+        rack = owned[rack_id]
+        try:
+            demand = _demand_from_spec(entry.get("demand"))
+        except BidError as exc:
+            raise _rejection("malformed_bundle", str(exc)) from exc
+        # The admission front door runs *here*, at ingestion, as
+        # backpressure: a bundle that would be quarantined at clearing
+        # is rejected with the same machine-readable reason instead of
+        # occupying queue space.
+        bid = RackBid(
+            rack_id=rack_id,
+            pdu_id=rack.pdu_id,
+            tenant_id=tenant_id,
+            demand=demand,
+            rack_cap_w=rack.max_spot_w,
+        )
+        verdict = inspect_rack_bid(bid)
+        if verdict is not None:
+            reason, detail = verdict
+            raise _rejection("malformed_bundle", f"{reason}: {detail}")
+        spec = dict(entry["demand"])
+        spec["kind"] = spec.get("kind")
+        stored_racks.append(
+            {
+                "rack_id": rack_id,
+                "demand": {
+                    k: spec[k]
+                    for k in ("kind", *_DEMAND_FIELDS[spec["kind"]])
+                },
+            }
+        )
+    stored_racks.sort(key=lambda r: r["rack_id"])
+    return {
+        "key": key,
+        "slot": slot,
+        "tenant_id": tenant_id,
+        "racks": stored_racks,
+    }
+
+
+def stored_tenant_bid(stored: dict, racks_of_tenant: dict) -> TenantBid:
+    """Rebuild the market bundle from a stored submission.
+
+    Called at clearing time (and during write-ahead-log replay after a
+    crash), so first-delivery and replayed bundles are built by the
+    exact same code path from the exact same stored bytes.
+    """
+    tenant_id = stored["tenant_id"]
+    owned = racks_of_tenant[tenant_id]
+    rack_bids = tuple(
+        RackBid(
+            rack_id=entry["rack_id"],
+            pdu_id=owned[entry["rack_id"]].pdu_id,
+            tenant_id=tenant_id,
+            demand=_demand_from_spec(entry["demand"]),
+            rack_cap_w=owned[entry["rack_id"]].max_spot_w,
+        )
+        for entry in stored["racks"]
+    )
+    return TenantBid(tenant_id=tenant_id, rack_bids=rack_bids)
+
+
+def _rejection(code: str, detail: str) -> ProtocolError:
+    """A ProtocolError tagged with a machine-readable rejection code."""
+    error = ProtocolError(f"{code}: {detail}")
+    error.code = code
+    error.detail = detail
+    return error

@@ -18,8 +18,12 @@ __all__ = [
     "ClearingError",
     "WorkloadError",
     "SimulationError",
+    "SweepError",
+    "SweepCellError",
     "RecoveryError",
     "OperatorCrash",
+    "DaemonError",
+    "ProtocolError",
 ]
 
 
@@ -95,6 +99,31 @@ class SimulationError(ReproError):
     """The time-slotted simulation reached an inconsistent state."""
 
 
+class SweepError(ReproError):
+    """A parameter sweep could not be configured or executed."""
+
+
+class SweepCellError(SweepError):
+    """One sweep cell failed while the rest of the grid completed.
+
+    Carries the failing cell's override dict and index so the error is
+    actionable without re-running the sweep; the underlying failure is
+    preserved as ``__cause__`` and summarised in the message.
+    """
+
+    def __init__(self, index: int, overrides: dict, cause: str) -> None:
+        super().__init__(
+            f"sweep cell {index} failed (overrides={overrides!r}): {cause}"
+        )
+        #: Grid position of the failing cell.
+        self.index = int(index)
+        #: The cell's override dict (dotted spec paths -> values).
+        self.overrides = dict(overrides)
+        #: String form of the worker-side exception (the original object
+        #: may not survive the process boundary; this always does).
+        self.cause = cause
+
+
 class RecoveryError(ReproError):
     """Checkpoint/restore of the operator's slot loop failed.
 
@@ -114,3 +143,11 @@ class OperatorCrash(RecoveryError):
     def __init__(self, slot: int) -> None:
         super().__init__(f"injected operator crash at slot {slot}")
         self.slot = int(slot)
+
+
+class DaemonError(ReproError):
+    """The market daemon could not start, serve, or shut down cleanly."""
+
+
+class ProtocolError(DaemonError):
+    """A daemon client received a malformed or unexpected response."""

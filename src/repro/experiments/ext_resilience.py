@@ -32,7 +32,7 @@ import numpy as np
 from repro.analysis.reporting import format_table
 from repro.config import DEFAULT_SEED
 from repro.core.baselines import PowerCappedAllocator
-from repro.economics.settlement import reconcile
+from repro.economics.settlement import build_all_invoices, reconcile
 from repro.errors import OperatorCrash, SimulationError
 from repro.experiments.common import parallel_map
 from repro.recovery import latest_checkpoint
@@ -43,9 +43,11 @@ from repro.sim.scenario import testbed_scenario
 from repro.telemetry import TelemetryConfig
 
 __all__ = [
+    "DuplicateNeutralityCell",
     "RecoveryCell",
     "ResilienceCell",
     "ResilienceStudy",
+    "run_duplicate_neutrality_check",
     "run_recovery_check",
     "run_resilience_cell",
     "run_resilience_study",
@@ -132,6 +134,43 @@ class RecoveryCell:
         return self.trace_identical and self.result_identical
 
 
+@dataclasses.dataclass(frozen=True)
+class DuplicateNeutralityCell:
+    """The at-least-once-delivery leg of the chaos sweep.
+
+    A run under the ``"duplicate"`` fault class (tenant bundles randomly
+    delivered twice) is compared against the clean same-seed run.  The
+    invariant is *settlement neutrality*: idempotent ingestion absorbs
+    every duplicate, so the spot price series, spot revenue, and every
+    tenant's invoice total must be **exactly** equal — a duplicate that
+    moves one cent has double-billed somebody.
+
+    Attributes:
+        intensity: Duplicate-delivery probability swept.
+        duplicates_injected: ``bid_duplicated`` fault records in the
+            duplicate run (must be > 0 for the check to mean anything).
+        revenue_equal: Spot revenue identical between the two runs.
+        prices_equal: Spot price series identical between the two runs.
+        invoices_equal: Every tenant's invoice total identical.
+    """
+
+    intensity: float
+    duplicates_injected: int
+    revenue_equal: bool
+    prices_equal: bool
+    invoices_equal: bool
+
+    @property
+    def ok(self) -> bool:
+        """Duplicates fired and changed nothing."""
+        return (
+            self.duplicates_injected > 0
+            and self.revenue_equal
+            and self.prices_equal
+            and self.invoices_equal
+        )
+
+
 @dataclasses.dataclass
 class ResilienceStudy:
     """Results of the chaos sweep.
@@ -142,12 +181,15 @@ class ResilienceStudy:
         slots: Horizon of every run.
         recovery: The crash-and-resume recovery check (``None`` when the
             study was run without it).
+        duplicate_neutrality: The settlement-neutrality check for
+            duplicate deliveries (``None`` when skipped).
     """
 
     cells: list[ResilienceCell]
     seed: int
     slots: int
     recovery: RecoveryCell | None = None
+    duplicate_neutrality: DuplicateNeutralityCell | None = None
 
     def violations(self) -> list[ResilienceCell]:
         """Cells in which SpotDC logged more overload slots than the
@@ -297,6 +339,54 @@ def run_recovery_check(
     )
 
 
+def run_duplicate_neutrality_check(
+    seed: int = DEFAULT_SEED,
+    slots: int = 200,
+    intensity: float = 0.3,
+) -> DuplicateNeutralityCell:
+    """Machine-check that duplicate bid deliveries are settlement-neutral.
+
+    Runs SpotDC twice over one scenario seed: once under the
+    ``"duplicate"`` fault class (bundles randomly redelivered) and once
+    clean.  The duplicate channel draws from its own per-channel random
+    stream and every extra copy must be absorbed by the market's
+    idempotent ingestion, so the comparison is *exact* — no tolerance.
+    """
+    profile = dataclasses.replace(
+        FaultProfile.named("duplicate", intensity), seed=seed
+    )
+    duplicated = run_simulation(
+        testbed_scenario(seed=seed), slots, fault_profile=profile
+    )
+    clean = run_simulation(testbed_scenario(seed=seed), slots)
+    reconcile(duplicated)
+    dup_invoices = {i.tenant_id: i for i in build_all_invoices(duplicated)}
+    clean_invoices = {i.tenant_id: i for i in build_all_invoices(clean)}
+    return DuplicateNeutralityCell(
+        intensity=intensity,
+        duplicates_injected=(
+            duplicated.faults.count("bid_duplicated")
+            if duplicated.faults is not None
+            else 0
+        ),
+        revenue_equal=(
+            duplicated.total_spot_revenue() == clean.total_spot_revenue()
+        ),
+        prices_equal=bool(
+            np.array_equal(
+                duplicated.price_series(), clean.price_series()
+            )
+        ),
+        invoices_equal=(
+            set(dup_invoices) == set(clean_invoices)
+            and all(
+                dup_invoices[t].total == clean_invoices[t].total
+                for t in dup_invoices
+            )
+        ),
+    )
+
+
 def _study_cell(payload) -> ResilienceCell:
     """One chaos cell as a picklable payload (for ``parallel_map``)."""
     fault_class, intensity, seed, slots = payload
@@ -330,6 +420,10 @@ def run_resilience_study(
             independent, seed-deterministic pair of runs).  The recovery
             check stays serial — it is one stateful crash/resume story,
             not a grid.
+
+    The sweep always runs the duplicate-delivery settlement-neutrality
+    leg when the ``"duplicate"`` class is in scope: duplicates must fire
+    and must change no price, no revenue, and no invoice total.
     """
     payloads = []
     for fault_class in fault_classes:
@@ -338,8 +432,19 @@ def run_resilience_study(
             payloads.append((fault_class, intensity, seed, slots))
     cells = parallel_map(_study_cell, payloads, jobs=jobs)
     recovery = run_recovery_check(seed=seed) if with_recovery else None
+    duplicate_neutrality = (
+        run_duplicate_neutrality_check(
+            seed=seed, slots=slots, intensity=max(intensities)
+        )
+        if "duplicate" in fault_classes or "chaos" in fault_classes
+        else None
+    )
     study = ResilienceStudy(
-        cells=cells, seed=seed, slots=slots, recovery=recovery
+        cells=cells,
+        seed=seed,
+        slots=slots,
+        recovery=recovery,
+        duplicate_neutrality=duplicate_neutrality,
     )
     violations = study.violations()
     if strict and violations:
@@ -357,6 +462,14 @@ def run_resilience_study(
             f"{recovery.resumed_slot} — trace_identical="
             f"{recovery.trace_identical}, result_identical="
             f"{recovery.result_identical}"
+        )
+    d = duplicate_neutrality
+    if strict and d is not None and not d.ok:
+        raise SimulationError(
+            f"duplicate-delivery invariant violated at intensity "
+            f"{d.intensity}: {d.duplicates_injected} duplicates injected, "
+            f"revenue_equal={d.revenue_equal}, prices_equal="
+            f"{d.prices_equal}, invoices_equal={d.invoices_equal}"
         )
     return study
 
@@ -403,6 +516,15 @@ def render_resilience_study(study: ResilienceStudy) -> str:
         else f"INVARIANT VIOLATED in {n_bad} cell(s)"
     )
     lines = [table, verdict]
+    d = study.duplicate_neutrality
+    if d is not None:
+        status = "ok" if d.ok else "VIOLATED"
+        lines.append(
+            f"duplicate-delivery check (p={d.intensity}): "
+            f"{d.duplicates_injected} duplicates injected, settlement "
+            f"totals unchanged: {d.revenue_equal and d.invoices_equal} "
+            f"[{status}]"
+        )
     r = study.recovery
     if r is not None:
         status = "ok" if r.ok else "VIOLATED"

@@ -161,12 +161,54 @@ def make_synthetic_bids(
     return bids, pdu_spot, ups_spot
 
 
+def _fig07b_cell(payload) -> dict:
+    """Time one rack-count column of Fig. 7(b).
+
+    Module-level and plain-data in/out so it can cross a
+    :func:`repro.sweep.parallel_map` process boundary.  ``payload`` is
+    ``(racks, price_steps, repeats, rng, compare_object_path)`` — the
+    generator is spawned per cell *by the parent*, so the bid set for a
+    rack count never depends on ``jobs`` or on which other rack counts
+    run.
+    """
+    racks, price_steps, repeats, rng, compare_object_path = payload
+    bids, pdu_spot, ups_spot = make_synthetic_bids(racks, rng)
+    start = time.perf_counter()
+    frame = BidFrame.from_bids(bids)
+    cell = {
+        "frame_build": time.perf_counter() - start,
+        "mean": {},
+        "object": {},
+    }
+    for step in price_steps:
+        engine = MarketClearing(
+            params=MarketParameters(price_step=step),
+            include_breakpoints=False,  # pure fixed-step scan, as timed
+        )
+        start = time.perf_counter()
+        for _ in range(repeats):
+            engine.clear(frame, pdu_spot, ups_spot)
+        cell["mean"][step] = (time.perf_counter() - start) / repeats
+        if compare_object_path:
+            legacy = MarketClearing(
+                params=MarketParameters(price_step=step),
+                include_breakpoints=False,
+                columnar=False,
+            )
+            start = time.perf_counter()
+            for _ in range(repeats):
+                legacy.clear(bids, pdu_spot, ups_spot)
+            cell["object"][step] = (time.perf_counter() - start) / repeats
+    return cell
+
+
 def run_fig07b(
     rack_counts=(100, 1000, 5000, 15000),
     price_steps=(0.001, 0.01),
     repeats: int = 3,
     seed: int = DEFAULT_SEED,
     compare_object_path: bool = False,
+    jobs: int = 1,
 ) -> ClearingTimeResult:
     """Measure clearing wall-clock time versus scale (Fig. 7b).
 
@@ -183,39 +225,31 @@ def run_fig07b(
         compare_object_path: Also time the legacy object-at-a-time path
             on the same cells (``object_seconds``), for the perf
             trajectory in ``BENCH_clearing.json``.
+        jobs: Worker processes for the per-rack-count cells; 1 times
+            them serially in-process (the least-noisy option — parallel
+            cells contend for cores, so use ``jobs > 1`` for quick scans,
+            not for archived timings).  Each cell draws its bids from a
+            generator spawned in the parent, so the bid sets are
+            identical at any job count.
     """
-    rng = make_rng(seed)
-    mean_seconds: dict[float, list[float]] = {step: [] for step in price_steps}
+    from repro.config import spawn_rngs
+    from repro.sweep.runner import parallel_map
+
+    rngs = spawn_rngs(make_rng(seed), len(rack_counts))
+    payloads = [
+        (racks, tuple(price_steps), repeats, rng, compare_object_path)
+        for racks, rng in zip(rack_counts, rngs)
+    ]
+    cells = parallel_map(_fig07b_cell, payloads, jobs=jobs)
+    mean_seconds: dict[float, list[float]] = {
+        step: [cell["mean"][step] for cell in cells] for step in price_steps
+    }
     object_seconds: dict[float, list[float]] = (
-        {step: [] for step in price_steps} if compare_object_path else {}
+        {step: [cell["object"][step] for cell in cells] for step in price_steps}
+        if compare_object_path
+        else {}
     )
-    frame_build_seconds: list[float] = []
-    for racks in rack_counts:
-        bids, pdu_spot, ups_spot = make_synthetic_bids(racks, rng)
-        start = time.perf_counter()
-        frame = BidFrame.from_bids(bids)
-        frame_build_seconds.append(time.perf_counter() - start)
-        for step in price_steps:
-            engine = MarketClearing(
-                params=MarketParameters(price_step=step),
-                include_breakpoints=False,  # pure fixed-step scan, as timed
-            )
-            start = time.perf_counter()
-            for _ in range(repeats):
-                engine.clear(frame, pdu_spot, ups_spot)
-            elapsed = (time.perf_counter() - start) / repeats
-            mean_seconds[step].append(elapsed)
-            if compare_object_path:
-                legacy = MarketClearing(
-                    params=MarketParameters(price_step=step),
-                    include_breakpoints=False,
-                    columnar=False,
-                )
-                start = time.perf_counter()
-                for _ in range(repeats):
-                    legacy.clear(bids, pdu_spot, ups_spot)
-                elapsed = (time.perf_counter() - start) / repeats
-                object_seconds[step].append(elapsed)
+    frame_build_seconds = [cell["frame_build"] for cell in cells]
     return ClearingTimeResult(
         rack_counts=list(rack_counts),
         price_steps=list(price_steps),

@@ -24,6 +24,7 @@ package hardens the operator *process* itself, with three legs:
 from repro.recovery.admission import (
     QUARANTINE_REASONS,
     QuarantinedBid,
+    dedupe_bundles,
     inspect_rack_bid,
     screen_bids,
     screen_rack_bids,
@@ -51,6 +52,7 @@ __all__ = [
     "QuarantinedBid",
     "build_fallback_record",
     "checkpoint_path",
+    "dedupe_bundles",
     "default_budget_s",
     "inspect_rack_bid",
     "latest_checkpoint",

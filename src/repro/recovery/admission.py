@@ -29,11 +29,38 @@ from repro.errors import BidValidationError
 __all__ = [
     "QUARANTINE_REASONS",
     "QuarantinedBid",
+    "dedupe_bundles",
     "inspect_rack_bid",
     "screen_bids",
     "screen_rack_bids",
     "validate_rack_bid",
 ]
+
+
+def dedupe_bundles(
+    tenant_bids: Iterable[TenantBid],
+) -> tuple[list[TenantBid], tuple[str, ...]]:
+    """Absorb duplicate bundle deliveries: first copy per tenant wins.
+
+    At-least-once transports (client retries after a lost ack, the
+    duplicate-delivery fault channel) can hand the market the same
+    tenant's bundle twice in one slot.  Ingestion is idempotent: the
+    first delivery is kept, later copies are dropped, and the absorbed
+    tenant ids are reported so the slot can account for them.  Running
+    this *before* :func:`screen_bids` /
+    :func:`~repro.core.bids.flatten_bids` keeps a redelivery from ever
+    tripping the duplicate-rack integrity check or double-billing.
+    """
+    seen: set[str] = set()
+    unique: list[TenantBid] = []
+    absorbed: list[str] = []
+    for bundle in tenant_bids:
+        if bundle.tenant_id in seen:
+            absorbed.append(bundle.tenant_id)
+            continue
+        seen.add(bundle.tenant_id)
+        unique.append(bundle)
+    return unique, tuple(absorbed)
 
 #: Machine-readable quarantine reasons, in check order.
 QUARANTINE_REASONS = (

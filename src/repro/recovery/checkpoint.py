@@ -27,6 +27,7 @@ from __future__ import annotations
 import os
 import pickle
 import re
+import warnings
 from pathlib import Path
 
 from repro.errors import RecoveryError
@@ -40,7 +41,9 @@ __all__ = [
 ]
 
 #: Checkpoint format version; bumped on any engine state-layout change.
-CHECKPOINT_FORMAT = 1
+#: 2: the engine carries its mid-loop run state (``_run``) so daemon-mode
+#: resumes continue inside the slot loop.
+CHECKPOINT_FORMAT = 2
 
 _MAGIC = "spotdc-checkpoint"
 _NAME_RE = re.compile(r"^checkpoint_(\d{6,})\.pkl$")
@@ -114,8 +117,13 @@ def load_checkpoint(path: str | Path) -> dict:
     try:
         with open(path, "rb") as fh:
             envelope = pickle.load(fh)
-    except (pickle.UnpicklingError, EOFError, ValueError, OSError) as exc:
-        raise RecoveryError(f"corrupt checkpoint {path}: {exc}") from exc
+    except Exception as exc:
+        # A truncated or bit-flipped pickle stream can raise nearly
+        # anything (EOFError, UnpicklingError, ImportError, KeyError,
+        # UnicodeDecodeError, ...); every flavour of corruption must
+        # surface as a RecoveryError naming the file, never as a raw
+        # pickle traceback.
+        raise RecoveryError(f"corrupt checkpoint {path}: {exc!r}") from exc
     if not isinstance(envelope, dict) or envelope.get("magic") != _MAGIC:
         raise RecoveryError(f"{path} is not a SpotDC checkpoint")
     version = envelope.get("format")
@@ -125,25 +133,43 @@ def load_checkpoint(path: str | Path) -> dict:
             f"{CHECKPOINT_FORMAT}; checkpoints do not survive state-layout "
             "changes — restart the run from slot 0"
         )
+    missing = [k for k in ("slot", "horizon", "engine") if k not in envelope]
+    if missing:
+        raise RecoveryError(
+            f"corrupt checkpoint {path}: envelope is missing "
+            f"{', '.join(missing)}"
+        )
     return envelope
 
 
 def latest_checkpoint(directory: str | Path) -> Path | None:
-    """The highest-slot checkpoint in a directory, or ``None``.
+    """The highest-slot *valid* checkpoint in a directory, or ``None``.
 
     Only files matching the canonical ``checkpoint_<slot>.pkl`` name are
     considered, so stray temp files from an interrupted write are never
-    picked up.
+    picked up.  Candidates are validated newest-first (a full
+    :func:`load_checkpoint`): a corrupt or truncated file — e.g. one
+    damaged by a disk fault after the atomic write — is skipped with a
+    :class:`UserWarning` naming it, and the next older checkpoint is
+    used instead.
     """
     directory = Path(directory)
     if not directory.is_dir():
         return None
-    best: tuple[int, Path] | None = None
+    candidates: list[tuple[int, Path]] = []
     for entry in directory.iterdir():
         match = _NAME_RE.match(entry.name)
         if match is None:
             continue
-        slot = int(match.group(1))
-        if best is None or slot > best[0]:
-            best = (slot, entry)
-    return best[1] if best is not None else None
+        candidates.append((int(match.group(1)), entry))
+    for _, path in sorted(candidates, reverse=True):
+        try:
+            load_checkpoint(path)
+        except RecoveryError as exc:
+            warnings.warn(
+                f"skipping unusable checkpoint {path}: {exc}",
+                stacklevel=2,
+            )
+            continue
+        return path
+    return None

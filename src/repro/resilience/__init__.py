@@ -35,6 +35,7 @@ from repro.resilience.faults import (
     CrashFault,
     DeratingEvent,
     DeratingSource,
+    DuplicateDeliverySource,
     FaultInjector,
     FaultLog,
     FaultRecord,
@@ -54,6 +55,7 @@ __all__ = [
     "DegradationController",
     "DeratingEvent",
     "DeratingSource",
+    "DuplicateDeliverySource",
     "FAULT_CLASSES",
     "FaultInjector",
     "FaultLog",

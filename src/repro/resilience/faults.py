@@ -48,14 +48,16 @@ __all__ = [
     "DeratingEvent",
     "DeratingSource",
     "CrashFault",
+    "DuplicateDeliverySource",
     "FaultInjector",
 ]
 
 #: Valid fault channels, in the order their random streams are derived.
-#: ``"crash"`` is appended last so the stream keys of the original four
+#: New channels are strictly *appended* so the stream keys of earlier
 #: channels — and therefore every existing seeded fault trace — are
-#: unchanged (it never draws randomness anyway: crashes are scripted).
-CHANNELS = ("bid", "grant", "meter", "capacity", "crash")
+#: unchanged: ``"crash"`` came after the original four (it never draws
+#: randomness anyway: crashes are scripted), ``"duplicate"`` after that.
+CHANNELS = ("bid", "grant", "meter", "capacity", "crash", "duplicate")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -561,6 +563,43 @@ class CrashFault(FaultSource):
             raise OperatorCrash(slot)
 
 
+class DuplicateDeliverySource(FaultSource):
+    """At-least-once transport: a tenant's bid bundle arrives twice.
+
+    With probability ``probability`` per tenant per slot, the tenant's
+    submitted bundle is delivered to the market a second time — the
+    failure shape of any at-least-once transport (a client that retried
+    after a lost ack, a message bus redelivering on timeout).  Unlike
+    the loss channels, a duplicate is *not* supposed to change anything:
+    the market's idempotent ingestion
+    (:func:`repro.recovery.admission.dedupe_bundles`) absorbs the extra
+    copy, and the chaos sweep machine-checks that settlement totals are
+    identical with and without this channel.
+
+    Args:
+        probability: Per-tenant-per-slot duplicate-delivery probability.
+        unit_ids: Restrict duplicates to these tenants (``None`` = all).
+    """
+
+    channel = "duplicate"
+
+    def __init__(
+        self, probability: float, unit_ids: Iterable[str] | None = None
+    ) -> None:
+        super().__init__()
+        self.name = "duplicate_delivery"
+        self.probability = _check_probability("probability", probability)
+        self.unit_ids = None if unit_ids is None else frozenset(unit_ids)
+
+    def duplicated(self, slot: int, tenant_id: str) -> bool:
+        """Whether this tenant's bundle is delivered twice this slot."""
+        if self.probability <= 0:
+            return False
+        if self.unit_ids is not None and tenant_id not in self.unit_ids:
+            return False
+        return bool(self.rng.random() < self.probability)
+
+
 class FaultInjector:
     """Composable fault injection with one seed and one log.
 
@@ -624,6 +663,11 @@ class FaultInjector:
         """Whether any meter source is configured."""
         return bool(self._by_channel["meter"])
 
+    @property
+    def has_duplicate_sources(self) -> bool:
+        """Whether any duplicate-delivery source is configured."""
+        return bool(self._by_channel["duplicate"])
+
     # ------------------------------------------------------------------
     # Channel queries (called by the simulation engine)
     # ------------------------------------------------------------------
@@ -633,6 +677,14 @@ class FaultInjector:
         for source in self._by_channel["bid"]:
             if source.lost(slot, tenant_id):
                 self.log.record(slot, "bid_lost", tenant_id)
+                return True
+        return False
+
+    def bid_duplicated(self, slot: int, tenant_id: str) -> bool:
+        """Whether this tenant's bundle is delivered twice this slot."""
+        for source in self._by_channel["duplicate"]:
+            if source.duplicated(slot, tenant_id):
+                self.log.record(slot, "bid_duplicated", tenant_id)
                 return True
         return False
 

@@ -18,6 +18,9 @@ Named classes (scaled by one ``intensity`` knob):
 * ``"meter"`` — stuck-at / dropout / noisy rack meters feeding the
   spot-capacity predictor;
 * ``"derating"`` — random PDU/UPS capacity-derating events;
+* ``"duplicate"`` — at-least-once bid delivery (bundles arrive twice;
+  absorbed by the market's idempotent ingestion, settlement-neutral by
+  invariant);
 * ``"chaos"`` — all of the above at once.
 """
 
@@ -32,6 +35,7 @@ from repro.resilience.faults import (
     CrashFault,
     DeratingEvent,
     DeratingSource,
+    DuplicateDeliverySource,
     FaultInjector,
     FaultSource,
     GilbertElliottLoss,
@@ -49,6 +53,7 @@ FAULT_CLASSES = (
     "delay",
     "meter",
     "derating",
+    "duplicate",
     "chaos",
 )
 
@@ -80,6 +85,10 @@ class FaultProfile:
         derating_fraction: Capacity fraction lost while derated.
         derating_slots: Mean derating window length.
         derating_events: Explicit, deterministic derating schedule.
+        duplicate_probability: Probability a tenant's bid bundle is
+            delivered twice in a slot (at-least-once transports).
+            Settlement-neutral by invariant: the market's idempotent
+            ingestion absorbs the second copy.
         crash_at_slot: Slot at which an injected operator crash kills
             the run (``None`` disables; see
             :class:`~repro.resilience.faults.CrashFault`).  Used by the
@@ -104,6 +113,7 @@ class FaultProfile:
     derating_fraction: float = 0.2
     derating_slots: int = 12
     derating_events: tuple[DeratingEvent, ...] = ()
+    duplicate_probability: float = 0.0
     crash_at_slot: int | None = None
     seed: int | None = None
 
@@ -142,6 +152,8 @@ class FaultProfile:
             )
         if name == "derating":
             return cls(name=name, derating_rate=x / 10.0)
+        if name == "duplicate":
+            return cls(name=name, duplicate_probability=x)
         return cls(  # chaos: every class at once
             name=name,
             bid_loss=x / 2.0,
@@ -152,6 +164,7 @@ class FaultProfile:
             meter_dropout=x / 2.0,
             meter_noise_sigma=0.02,
             derating_rate=x / 10.0,
+            duplicate_probability=x / 2.0,
         )
 
     def derating_only(self) -> "FaultProfile":
@@ -216,6 +229,10 @@ class FaultProfile:
             )
         if self.crash_at_slot is not None:
             sources.append(CrashFault(self.crash_at_slot))
+        if self.duplicate_probability > 0:
+            sources.append(
+                DuplicateDeliverySource(self.duplicate_probability)
+            )
         return sources
 
     def build(self, seed: int | None = None) -> FaultInjector | None:

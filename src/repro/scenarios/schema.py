@@ -110,6 +110,7 @@ _FAULTS = {
                 "derating_rate": _FRACTION,
                 "derating_fraction": _FRACTION,
                 "derating_slots": {"type": "integer", "minimum": 1},
+                "duplicate_probability": _FRACTION,
                 "crash_at_slot": {"type": ["integer", "null"], "minimum": 0},
                 "seed": {"type": ["integer", "null"]},
             },

@@ -65,6 +65,7 @@ _FAULT_PROFILE_DEFAULTS = {
     "derating_rate": 0.0,
     "derating_fraction": 0.2,
     "derating_slots": 12,
+    "duplicate_probability": 0.0,
     "crash_at_slot": None,
     "seed": None,
 }

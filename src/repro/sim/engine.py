@@ -25,6 +25,24 @@ slots land on racks with no fresh grant, and the
 projects every PDU/UPS constraint from hardened (true) telemetry and
 revokes grants — cheapest clearing value first — until the slot is
 provably safe, crediting revoked energy in settlement.
+
+Batch and daemon mode share one slot-step function
+--------------------------------------------------
+
+The loop is exposed as three phases so :mod:`repro.daemon` can drive
+the *same* per-slot market work from an asyncio service:
+
+* :meth:`SimulationEngine.begin_run` — validate, adopt a checkpoint (or
+  prepare the scenario fresh), and build the picklable run state;
+* :meth:`SimulationEngine.step_slot` — process exactly one slot,
+  optionally against externally submitted bid bundles;
+* :meth:`SimulationEngine.finish_run` — restore the topology and build
+  the :class:`~repro.sim.results.SimulationResult`.
+
+:meth:`SimulationEngine.run` is the batch driver: ``begin_run`` →
+``step_slot`` per slot → ``finish_run``.  The run state lives on the
+engine, so a recovery checkpoint taken between slots captures it
+automatically and a resumed run continues mid-loop.
 """
 
 from __future__ import annotations
@@ -52,6 +70,68 @@ from repro.telemetry.registry import DEFAULT_PRICE_BUCKETS, DEFAULT_WATTS_BUCKET
 from repro.workloads.base import SlotPerformance
 
 __all__ = ["SimulationEngine", "run_simulation"]
+
+
+class _RunState:
+    """Loop state shared by every slot of one run.
+
+    Everything the next :meth:`SimulationEngine.step_slot` call depends
+    on that is not already an engine attribute lives here — metric
+    handles (created once, in a fixed order, so the exported registry
+    is identical to the historical single-function loop) and the
+    "seen" cursors for incremental fault/degradation event bridging.
+    The object is plain data and picklable: it is checkpointed with the
+    engine, so a resumed run continues mid-loop without re-deriving
+    anything.
+    """
+
+    def __init__(
+        self,
+        *,
+        slots,
+        checkpoint_every,
+        checkpoint_dir,
+        participants,
+        slot_seconds,
+        total_guaranteed,
+        m_slots,
+        m_bids,
+        m_grants,
+        m_revoked_w,
+        m_revenue,
+        m_emergencies,
+        g_price,
+        g_ups,
+        h_price,
+        h_granted,
+        faults_seen,
+        actions_seen,
+        credits_seen,
+        emergencies_seen,
+        next_slot,
+    ) -> None:
+        self.slots = slots
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = checkpoint_dir
+        self.participants = participants
+        self.slot_seconds = slot_seconds
+        self.slot_hours = slot_seconds / 3600.0
+        self.total_guaranteed = total_guaranteed
+        self.m_slots = m_slots
+        self.m_bids = m_bids
+        self.m_grants = m_grants
+        self.m_revoked_w = m_revoked_w
+        self.m_revenue = m_revenue
+        self.m_emergencies = m_emergencies
+        self.g_price = g_price
+        self.g_ups = g_ups
+        self.h_price = h_price
+        self.h_granted = h_granted
+        self.faults_seen = faults_seen
+        self.actions_seen = actions_seen
+        self.credits_seen = credits_seen
+        self.emergencies_seen = emergencies_seen
+        self.next_slot = next_slot
 
 
 class SimulationEngine:
@@ -171,6 +251,8 @@ class SimulationEngine:
         self._last_price: float | None = None
         # Bundles quarantined by the admission front door, per tenant.
         self._quarantined_by_tenant: dict[str, int] = {}
+        # Active run state; set by begin_run, cleared by finish_run.
+        self._run: _RunState | None = None
         deadline = getattr(scenario, "clearing_deadline_s", None)
         if deadline is None or deadline is False:
             self.deadline_guard = None
@@ -182,33 +264,28 @@ class SimulationEngine:
             )
             self.deadline_guard = ClearingDeadlineGuard(budget)
 
-    def run(
+    def begin_run(
         self,
         slots: int,
         *,
         checkpoint_every: int | None = None,
         checkpoint_dir=None,
         resume_from=None,
-    ) -> SimulationResult:
-        """Simulate ``slots`` slots and return the finished result.
+    ) -> int:
+        """Prepare (or resume) a run and return the first slot to process.
 
-        Args:
-            slots: Run length (the horizon).
-            checkpoint_every: Write a recovery checkpoint after every K
-                completed slots (requires ``checkpoint_dir``).
-            checkpoint_dir: Directory for checkpoint files.
-            resume_from: Path to a checkpoint written by an earlier run
-                of the *same* scenario and horizon.  The engine's entire
-                state is replaced by the checkpointed one and the loop
-                restarts at the first unprocessed slot; the finished
-                result (and trace, when telemetry is on) is identical to
-                the uninterrupted run's.
+        On a fresh run the scenario is prepared (tenant RNGs re-seeded)
+        and the run state built from scratch; with ``resume_from`` the
+        engine's entire state — including the mid-loop run state — is
+        replaced by the checkpointed one and the first unprocessed slot
+        is returned.  Callers then drive :meth:`step_slot` for every
+        slot in ``range(start, slots)`` and finish with
+        :meth:`finish_run`.
 
         Raises:
             RecoveryError: On a bad checkpoint, a horizon mismatch, or a
                 checkpoint that already covers the full horizon.
-            OperatorCrash: When an armed
-                :class:`~repro.resilience.faults.CrashFault` fires.
+            SimulationError: On invalid ``slots``/checkpoint arguments.
         """
         if slots <= 0:
             raise SimulationError("slots must be positive")
@@ -239,7 +316,6 @@ class SimulationEngine:
             # run left it.
             self.__dict__.update(envelope["engine"].__dict__)
         scenario = self.scenario
-        topology = scenario.topology
         if resume_from is None:
             # prepare() re-seeds tenant RNG streams for a fresh run; on
             # resume the checkpointed streams are mid-sequence and must
@@ -247,49 +323,100 @@ class SimulationEngine:
             scenario.prepare(slots)
         participants = scenario.participating_tenants()
         slot_seconds = scenario.slot_seconds
-        slot_hours = slot_seconds / 3600.0
         total_guaranteed = scenario.total_guaranteed_w()
         injector = self.fault_model
 
-        tel = self.telemetry
-        tracer = tel.tracer
-        registry = tel.registry
-        m_slots = registry.counter("slots_total")
-        m_bids = registry.counter("bids_total")
-        m_grants = registry.counter("grants_total")
-        m_revoked_w = registry.counter("revoked_watts_total")
-        m_revenue = registry.counter("spot_revenue_dollars_total")
-        m_emergencies = registry.counter("emergencies_total")
-        g_price = registry.gauge("clearing_price_dollars_per_kwh")
-        g_ups = registry.gauge("ups_power_watts")
-        h_price = registry.histogram(
-            "clearing_price", buckets=DEFAULT_PRICE_BUCKETS
+        registry = self.telemetry.registry
+        # On a fresh run the "seen" cursors are all zero; on resume they
+        # pick up the checkpointed logs' lengths so "new since" deltas
+        # stay correct.
+        self._run = _RunState(
+            slots=slots,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            participants=participants,
+            slot_seconds=slot_seconds,
+            total_guaranteed=total_guaranteed,
+            m_slots=registry.counter("slots_total"),
+            m_bids=registry.counter("bids_total"),
+            m_grants=registry.counter("grants_total"),
+            m_revoked_w=registry.counter("revoked_watts_total"),
+            m_revenue=registry.counter("spot_revenue_dollars_total"),
+            m_emergencies=registry.counter("emergencies_total"),
+            g_price=registry.gauge("clearing_price_dollars_per_kwh"),
+            g_ups=registry.gauge("ups_power_watts"),
+            h_price=registry.histogram(
+                "clearing_price", buckets=DEFAULT_PRICE_BUCKETS
+            ),
+            h_granted=registry.histogram(
+                "slot_granted_watts", buckets=DEFAULT_WATTS_BUCKETS
+            ),
+            faults_seen=len(injector.log) if injector is not None else 0,
+            actions_seen=(
+                len(self.degradation.actions)
+                if self.degradation is not None
+                else 0
+            ),
+            credits_seen=(
+                len(self.degradation.credits)
+                if self.degradation is not None
+                else 0
+            ),
+            emergencies_seen=len(self.emergencies.events),
+            next_slot=start_slot,
         )
-        h_granted = registry.histogram(
-            "slot_granted_watts", buckets=DEFAULT_WATTS_BUCKETS
-        )
-        # On a fresh run these are all zero; on resume they pick up the
-        # checkpointed logs' lengths so "new since" deltas stay correct.
-        faults_seen = len(injector.log) if injector is not None else 0
-        actions_seen = (
-            len(self.degradation.actions) if self.degradation is not None else 0
-        )
-        credits_seen = (
-            len(self.degradation.credits) if self.degradation is not None else 0
-        )
-        emergencies_seen = len(self.emergencies.events)
         if resume_from is not None and injector is not None:
             # The crash that killed the previous run must not re-fire on
             # the resumed one (later scheduled crashes still do).
             injector.disarm_next_crash(start_slot)
+        return start_slot
 
-        for slot in range(start_slot, slots):
-          if injector is not None:
-              # An armed CrashFault kills the run *between* slots — after
-              # the previous slot's checkpoint, before this slot touches
-              # any state — so a resume replays slot `slot` from scratch.
-              injector.check_crash(slot)
-          with tracer.span("slot", slot=slot) as slot_span:
+    def _require_run(self) -> _RunState:
+        if self._run is None:
+            raise SimulationError(
+                "no active run: call begin_run() before "
+                "step_slot()/finish_run()"
+            )
+        return self._run
+
+    def step_slot(
+        self, slot: int, submitted_bids=None
+    ) -> SlotMarketRecord:
+        """Process exactly one slot and return its market record.
+
+        Args:
+            slot: The slot to process (the caller drives slots in
+                order; :attr:`_RunState.next_slot` tracks progress).
+            submitted_bids: Externally submitted
+                :class:`~repro.core.bids.TenantBid` bundles for this
+                slot (daemon mode).  ``None`` (batch mode) solicits bids
+                from the scenario's tenants instead.  Either way the
+                bundles pass the admission front door and duplicate
+                deliveries are absorbed before clearing.
+
+        Raises:
+            OperatorCrash: When an armed
+                :class:`~repro.resilience.faults.CrashFault` fires — at
+                the very top of the slot, before any state is touched,
+                so a resume replays the slot from scratch.
+        """
+        st = self._require_run()
+        scenario = self.scenario
+        topology = scenario.topology
+        participants = st.participants
+        slot_seconds = st.slot_seconds
+        slot_hours = st.slot_hours
+        injector = self.fault_model
+        tel = self.telemetry
+        tracer = tel.tracer
+        registry = tel.registry
+
+        if injector is not None:
+            # An armed CrashFault kills the run *between* slots — after
+            # the previous slot's checkpoint, before this slot touches
+            # any state — so a resume replays slot `slot` from scratch.
+            injector.check_crash(slot)
+        with tracer.span("slot", slot=slot) as slot_span:
             topology.clear_all_spot_budgets()
 
             requesting = frozenset(
@@ -351,6 +478,16 @@ class SimulationEngine:
                         for tenant in participants
                         if not injector.bid_lost(slot, tenant.tenant_id)
                     ]
+                # Duplicate-delivery faults: the tenant's bundle arrives
+                # twice; the market's idempotent ingestion absorbs the
+                # extra copy, so settlement is provably unchanged.
+                duplicated = None
+                if injector is not None and injector.has_duplicate_sources:
+                    duplicated = frozenset(
+                        tenant.tenant_id
+                        for tenant in active
+                        if injector.bid_duplicated(slot, tenant.tenant_id)
+                    )
                 guard = self.deadline_guard
                 started = guard.start() if guard is not None else 0.0
                 record = self.allocator.allocate(
@@ -361,6 +498,8 @@ class SimulationEngine:
                     predicted_price,
                     extra_constraints=extra_constraints,
                     tracer=tracer,
+                    submitted_bids=submitted_bids,
+                    duplicated=duplicated,
                 )
                 if guard is not None and guard.over_budget(
                     guard.elapsed(started)
@@ -455,8 +594,8 @@ class SimulationEngine:
                         injector.log.record(
                             slot, "stale_grant_applied", rack_id, grant_w
                         )
-                    faults_seen = self._emit_fault_events(
-                        injector, faults_seen, slot
+                    st.faults_seen = self._emit_fault_events(
+                        injector, st.faults_seen, slot
                     )
                 grant_span.set(
                     granted_racks=sum(
@@ -486,7 +625,7 @@ class SimulationEngine:
                         slot_seconds,
                         true_reference_w=true_references,
                     )
-                    for action in self.degradation.new_actions(actions_seen):
+                    for action in self.degradation.new_actions(st.actions_seen):
                         tracer.event(
                             f"degradation.{action.kind}",
                             slot=slot,
@@ -498,8 +637,8 @@ class SimulationEngine:
                         if action.kind == "revoke":
                             revoked_this_slot += 1
                             revoked_watts += action.watts
-                    actions_seen = len(self.degradation.actions)
-                    for note in self.degradation.new_credits(credits_seen):
+                    st.actions_seen = len(self.degradation.actions)
+                    for note in self.degradation.new_credits(st.credits_seen):
                         tracer.event(
                             "settlement.credit",
                             slot=slot,
@@ -509,7 +648,7 @@ class SimulationEngine:
                             dollars=note.dollars,
                             reason=note.reason,
                         )
-                    credits_seen = len(self.degradation.credits)
+                    st.credits_seen = len(self.degradation.credits)
 
                 # Tenants execute the slot under their enforced budgets —
                 # as set on the rack PDUs, which is where lost/stale
@@ -532,8 +671,8 @@ class SimulationEngine:
                         rid: injector.metered_power_w(slot, rid, watts)
                         for rid, watts in rack_power.items()
                     }
-                    faults_seen = self._emit_fault_events(
-                        injector, faults_seen, slot
+                    st.faults_seen = self._emit_fault_events(
+                        injector, st.faults_seen, slot
                     )
                 self.monitor.record_slot(rack_power, metered)
                 emergencies = self.emergencies.scan(topology, slot)
@@ -545,11 +684,11 @@ class SimulationEngine:
                         unit_id=emergency.unit_id,
                         overload_w=emergency.overload_w,
                     )
-                m_emergencies.inc(len(emergencies))
-                emergencies_seen += len(emergencies)
+                st.m_emergencies.inc(len(emergencies))
+                st.emergencies_seen += len(emergencies)
                 if self.enforcement is not None:
                     self.enforcement.review(topology, slot)
-                m_revoked_w.inc(revoked_watts)
+                st.m_revoked_w.inc(revoked_watts)
                 enforce_span.set(
                     revoked_grants=revoked_this_slot,
                     revoked_w=revoked_watts,
@@ -567,7 +706,7 @@ class SimulationEngine:
                 )
                 self.ledger.record_slot(
                     slot_hours=slot_hours,
-                    guaranteed_w=total_guaranteed,
+                    guaranteed_w=st.total_guaranteed,
                     spot_revenue=spot_revenue,
                     metered_energy_w=self.monitor.latest_ups_power_w(),
                 )
@@ -595,30 +734,40 @@ class SimulationEngine:
                     billed_tenants=sum(1 for v in payments.values() if v > 0),
                 )
 
-            m_slots.inc()
-            m_bids.inc(len(record.bids))
-            m_grants.inc(
+            st.m_slots.inc()
+            st.m_bids.inc(len(record.bids))
+            st.m_grants.inc(
                 sum(1 for g in record.result.grants_w.values() if g > 0)
             )
-            m_revenue.inc(spot_revenue)
-            g_price.set(record.result.price)
-            g_ups.set(self.monitor.latest_ups_power_w())
-            h_price.observe(record.result.price)
-            h_granted.observe(record.result.total_granted_w)
+            st.m_revenue.inc(spot_revenue)
+            st.g_price.set(record.result.price)
+            st.g_ups.set(self.monitor.latest_ups_power_w())
+            st.h_price.observe(record.result.price)
+            st.h_granted.observe(record.result.total_granted_w)
             slot_span.set(
                 price=record.result.price,
                 granted_w=record.result.total_granted_w,
             )
-          # Checkpoint only *between* fully processed slots (the slot
-          # span above has closed), so a restore replays the next slot
-          # from its very first action.  The final slot needs none: the
-          # run is about to finish.
-          if (
-              checkpoint_every is not None
-              and (slot + 1) % checkpoint_every == 0
-              and slot + 1 < slots
-          ):
-              save_checkpoint(self, checkpoint_dir, slot, slots)
+        # Checkpoint only *between* fully processed slots (the slot
+        # span above has closed), so a restore replays the next slot
+        # from its very first action.  The final slot needs none: the
+        # run is about to finish.
+        st.next_slot = slot + 1
+        if (
+            st.checkpoint_every is not None
+            and (slot + 1) % st.checkpoint_every == 0
+            and slot + 1 < st.slots
+        ):
+            save_checkpoint(self, st.checkpoint_dir, slot, st.slots)
+        return record
+
+    def finish_run(self) -> SimulationResult:
+        """Restore the topology and build the finished result."""
+        st = self._require_run()
+        scenario = self.scenario
+        topology = scenario.topology
+        injector = self.fault_model
+        tel = self.telemetry
 
         # Leave the topology as designed: any derating still in force at
         # the end of the run is transient state, not facility structure.
@@ -626,7 +775,7 @@ class SimulationEngine:
 
         result = SimulationResult(
             allocator_name=self.allocator.name,
-            slot_seconds=slot_seconds,
+            slot_seconds=st.slot_seconds,
             collector=self.collector,
             ledger=self.ledger,
             emergencies=self.emergencies,
@@ -649,13 +798,56 @@ class SimulationEngine:
             quarantined_bids=dict(self._quarantined_by_tenant),
         )
         if tel.enabled:
-            self._emit_settlement_events(result, tracer)
+            self._emit_settlement_events(result, tel.tracer)
             result.trace = tel.finish(
                 fallback_label=self.allocator.name,
-                summary_data=self._summary_data(result, emergencies_seen),
+                summary_data=self._summary_data(result, st.emergencies_seen),
             )
             result.telemetry_artifacts = list(tel.config.manifest)
+        self._run = None
         return result
+
+    def run(
+        self,
+        slots: int,
+        *,
+        checkpoint_every: int | None = None,
+        checkpoint_dir=None,
+        resume_from=None,
+    ) -> SimulationResult:
+        """Simulate ``slots`` slots and return the finished result.
+
+        The batch driver over the shared slot-step machinery:
+        :meth:`begin_run`, then :meth:`step_slot` for every remaining
+        slot, then :meth:`finish_run`.
+
+        Args:
+            slots: Run length (the horizon).
+            checkpoint_every: Write a recovery checkpoint after every K
+                completed slots (requires ``checkpoint_dir``).
+            checkpoint_dir: Directory for checkpoint files.
+            resume_from: Path to a checkpoint written by an earlier run
+                of the *same* scenario and horizon.  The engine's entire
+                state is replaced by the checkpointed one and the loop
+                restarts at the first unprocessed slot; the finished
+                result (and trace, when telemetry is on) is identical to
+                the uninterrupted run's.
+
+        Raises:
+            RecoveryError: On a bad checkpoint, a horizon mismatch, or a
+                checkpoint that already covers the full horizon.
+            OperatorCrash: When an armed
+                :class:`~repro.resilience.faults.CrashFault` fires.
+        """
+        start_slot = self.begin_run(
+            slots,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            resume_from=resume_from,
+        )
+        for slot in range(start_slot, slots):
+            self.step_slot(slot)
+        return self.finish_run()
 
     def _emit_fault_events(self, injector, seen: int, slot: int) -> int:
         """Bridge newly logged faults into telemetry events."""

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SweepCellError
 from repro.scenarios.schema import validate_instance
 from repro.scenarios.spec import load_spec_file, normalize_spec
 from repro.sweep.grid import build_cells
@@ -90,12 +90,34 @@ def parallel_map(fn, items, jobs: int = 1) -> list:
         return list(pool.map(fn, items))
 
 
+#: Marker key for a captured worker-side failure (see :func:`_run_cell`).
+_CELL_ERROR = "__cell_error__"
+
+
 def _run_cell(payload) -> dict:
     """Run one sweep cell and reduce it to plain-float metrics.
 
     Module-level and plain-data in/out, so it crosses process
     boundaries.  ``payload`` is ``(cell, slots, compare)``.
+
+    A failure inside the cell is *captured* as a marker dict rather than
+    raised: a raising worker would abort ``ProcessPoolExecutor.map``
+    mid-grid, losing every in-flight cell.  :func:`run_sweep` turns the
+    markers into one :class:`~repro.errors.SweepCellError` after the
+    whole grid has completed — so the failing cell is identified by its
+    overrides, the surviving cells' work is not wasted, and which cell
+    fails cannot depend on ``jobs`` (worker scheduling).
     """
+    try:
+        return _run_cell_inner(payload)
+    except Exception as exc:
+        # The exception object itself may not pickle across the process
+        # boundary (or may drag engine state with it); its string form
+        # always survives.
+        return {_CELL_ERROR: f"{type(exc).__name__}: {exc}"}
+
+
+def _run_cell_inner(payload) -> dict:
     from repro.core.baselines import PowerCappedAllocator
     from repro.scenarios.loader import build_scenario
     from repro.sim.engine import run_simulation
@@ -179,6 +201,19 @@ def run_sweep(
     cells = build_cells(base_spec, config["axes"], base_seed=base_seed)
     payloads = [(cell, slots, compare) for cell in cells]
     metrics = parallel_map(_run_cell, payloads, jobs=jobs)
+    failures = [
+        (cell, cell_metrics[_CELL_ERROR])
+        for cell, cell_metrics in zip(cells, metrics)
+        if _CELL_ERROR in cell_metrics
+    ]
+    if failures:
+        # Every cell ran to completion (or captured its failure) before
+        # this raise: report the first failing cell in grid order — a
+        # jobs-independent choice — and note how many more failed.
+        cell, cause = failures[0]
+        if len(failures) > 1:
+            cause = f"{cause} (+{len(failures) - 1} more failing cells)"
+        raise SweepCellError(cell.index, cell.overrides, cause)
     data = {
         "name": config["name"],
         "slots": slots,

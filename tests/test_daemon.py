@@ -1,0 +1,375 @@
+"""The market daemon: protocol, ingestion, slot loop, replay, transport."""
+
+import json
+
+import pytest
+
+from repro.daemon import (
+    DaemonClient,
+    MarketDaemon,
+    decode_line,
+    default_key,
+    encode_message,
+    parse_submission,
+    read_records,
+    stored_tenant_bid,
+)
+from repro.daemon.chaos import InProcessServer, short_socket_path, synthetic_bundle
+from repro.daemon.server import DaemonServer
+from repro.errors import ConfigurationError, DaemonError, ProtocolError
+from repro.sim.scenario import testbed_scenario as make_scenario
+
+SEED = 11
+SLOTS = 4
+
+
+def make_daemon(state_dir, slots=SLOTS, **kwargs):
+    return MarketDaemon(make_scenario(seed=SEED), slots, state_dir, **kwargs)
+
+
+def rack_infos(daemon, tenant_id):
+    return [
+        {"rack_id": rack.rack_id, "max_spot_w": rack.max_spot_w}
+        for _, rack in sorted(daemon.racks_of_tenant[tenant_id].items())
+    ]
+
+
+def bundle_for(daemon, tenant_id, slot, seed=SEED):
+    return synthetic_bundle(seed, tenant_id, slot, rack_infos(daemon, tenant_id))
+
+
+def submit_message(daemon, tenant_id, slot, **overrides):
+    message = {
+        "op": "submit",
+        "key": default_key(tenant_id, slot),
+        "tenant_id": tenant_id,
+        "slot": slot,
+        "racks": bundle_for(daemon, tenant_id, slot),
+    }
+    message.update(overrides)
+    return message
+
+
+class TestProtocol:
+    def test_encode_decode_roundtrip_and_sorted_keys(self):
+        line = encode_message({"b": 1, "a": {"z": 2, "y": 3}})
+        assert line == b'{"a": {"y": 3, "z": 2}, "b": 1}\n'
+        assert decode_line(line) == {"b": 1, "a": {"z": 2, "y": 3}}
+
+    def test_decode_rejects_garbage_and_non_objects(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_line(b"not json\n")
+        with pytest.raises(ProtocolError, match="JSON objects"):
+            decode_line(b"[1, 2]\n")
+
+    def test_parse_submission_canonicalises(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        try:
+            message = submit_message(daemon, "Search-1", 1)
+            message["racks"] = list(reversed(message["racks"]))
+            stored = parse_submission(message, daemon.racks_of_tenant)
+            assert stored["key"] == "Search-1:1"
+            assert stored["slot"] == 1
+            rack_ids = [r["rack_id"] for r in stored["racks"]]
+            assert rack_ids == sorted(rack_ids)
+            bundle = stored_tenant_bid(stored, daemon.racks_of_tenant)
+            assert bundle.tenant_id == "Search-1"
+            assert len(bundle.rack_bids) == len(rack_ids)
+            # Server-authoritative fields come from the topology.
+            for bid in bundle.rack_bids:
+                rack = daemon.racks_of_tenant["Search-1"][bid.rack_id]
+                assert bid.pdu_id == rack.pdu_id
+                assert bid.rack_cap_w == rack.max_spot_w
+        finally:
+            daemon.close()
+
+    @pytest.mark.parametrize(
+        "mutate, code",
+        [
+            (lambda m: m.pop("key"), "bad_request"),
+            (lambda m: m.update(slot="one"), "bad_request"),
+            (lambda m: m.update(racks=[]), "bad_request"),
+            (lambda m: m.update(tenant_id="Nobody"), "unknown_tenant"),
+            (
+                lambda m: m["racks"][0].update(rack_id="rack:stolen"),
+                "unknown_rack",
+            ),
+            (
+                lambda m: m.update(racks=m["racks"] + [m["racks"][0]]),
+                "malformed_bundle",
+            ),
+            (
+                lambda m: m["racks"][0]["demand"].update(kind="cubic"),
+                "malformed_bundle",
+            ),
+            (
+                # d_max above the rack's physical cap: the admission
+                # front door rejects at ingestion.
+                lambda m: m["racks"][0]["demand"].update(d_max_w=1e9),
+                "malformed_bundle",
+            ),
+        ],
+    )
+    def test_rejection_codes(self, tmp_path, mutate, code):
+        daemon = make_daemon(tmp_path)
+        try:
+            message = submit_message(daemon, "Search-1", 1)
+            mutate(message)
+            with pytest.raises(ProtocolError) as exc:
+                parse_submission(message, daemon.racks_of_tenant)
+            assert exc.value.code == code
+        finally:
+            daemon.close()
+
+
+class TestIngestion:
+    def test_accept_then_redeliver_is_idempotent(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        try:
+            message = submit_message(daemon, "Web", 2)
+            first = daemon.handle_submit(message)
+            assert first["ok"] and first["status"] == "accepted"
+            again = daemon.handle_submit(message)
+            assert again == first
+            assert len(daemon._pending[2]) == 1  # no double entry
+        finally:
+            daemon.close()
+
+    def test_same_slot_different_key_rejected(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        try:
+            daemon.handle_submit(submit_message(daemon, "Web", 2))
+            response = daemon.handle_submit(
+                submit_message(daemon, "Web", 2, key="retry-under-new-key")
+            )
+            assert not response["ok"]
+            assert response["error"]["code"] == "already_submitted"
+        finally:
+            daemon.close()
+
+    def test_slot_bounds(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        try:
+            early = daemon.handle_submit(submit_message(daemon, "Web", 0))
+            assert early["error"]["code"] == "too_late"
+            late = daemon.handle_submit(submit_message(daemon, "Web", SLOTS))
+            assert late["error"]["code"] == "beyond_horizon"
+        finally:
+            daemon.close()
+
+    def test_cleared_slot_is_too_late(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        try:
+            daemon.process_next_slot()  # slot 0
+            daemon.process_next_slot()  # slot 1
+            response = daemon.handle_submit(submit_message(daemon, "Web", 1))
+            assert response["error"]["code"] == "too_late"
+        finally:
+            daemon.close()
+
+    def test_overflow_sheds_oldest(self, tmp_path):
+        daemon = make_daemon(tmp_path, max_pending=2)
+        try:
+            for tenant in ("Search-1", "Web", "Sort"):
+                response = daemon.handle_submit(
+                    submit_message(daemon, tenant, 1)
+                )
+                assert response["ok"]  # the newcomer is always accepted
+            queue = daemon._pending[1]
+            assert [e["tenant_id"] for e in queue] == ["Web", "Sort"]
+            # The shed bundle's key now resolves to a machine-readable
+            # shed rejection — including on redelivery.
+            shed = daemon.handle_submit(submit_message(daemon, "Search-1", 1))
+            assert not shed["ok"]
+            assert shed["error"]["code"] == "shed"
+        finally:
+            daemon.close()
+
+
+class TestSlotLoop:
+    def test_run_to_completion_and_finalize(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        try:
+            for tenant in daemon.racks_of_tenant:
+                for slot in range(1, SLOTS):
+                    assert daemon.handle_submit(
+                        submit_message(daemon, tenant, slot)
+                    )["ok"]
+            records = [daemon.process_next_slot() for _ in range(SLOTS)]
+            assert [r["slot"] for r in records] == list(range(SLOTS))
+            assert records[0]["submitted"] == []  # slot 0 has no market
+            assert len(records[1]["submitted"]) == 10
+            assert daemon.done
+            invoices = daemon.invoices()["invoices"]
+            assert set(invoices) == set(daemon.racks_of_tenant)
+            for entry in invoices.values():
+                assert set(entry) == {
+                    "subscription", "energy", "spot", "credited", "total",
+                }
+            with pytest.raises(DaemonError, match="run complete"):
+                daemon.process_next_slot()
+            # The journal carries every slot record plus the invoices.
+            records_on_disk = read_records(tmp_path / "market.jsonl")
+            assert [r["kind"] for r in records_on_disk] == (
+                ["slot"] * SLOTS + ["invoices"]
+            )
+            assert records_on_disk[-1]["invoices"] == invoices
+        finally:
+            daemon.close()
+
+    def test_journal_bytes_are_deterministic(self, tmp_path):
+        def run(state_dir):
+            # Same seed, same arrival order — the exact replay contract
+            # the WAL guarantees across a crash/resume.
+            daemon = make_daemon(state_dir)
+            try:
+                for tenant in sorted(daemon.racks_of_tenant):
+                    for slot in range(1, SLOTS):
+                        daemon.handle_submit(submit_message(daemon, tenant, slot))
+                while not daemon.done:
+                    daemon.process_next_slot()
+            finally:
+                daemon.close()
+            return (state_dir / "market.jsonl").read_bytes()
+
+        a = run(tmp_path / "a")
+        b = run(tmp_path / "b")
+        assert a == b
+
+    def test_config_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="max_pending"):
+            make_daemon(tmp_path, max_pending=0)
+        with pytest.raises(ConfigurationError, match="kill_point"):
+            make_daemon(tmp_path, kill_point="mid_air")
+
+
+class TestReplay:
+    def test_restart_rebuilds_queues_and_keys(self, tmp_path):
+        first = make_daemon(tmp_path)
+        ack = {}
+        try:
+            first.process_next_slot()  # slot 0: writes a checkpoint
+            for tenant in ("Search-1", "Web"):
+                for slot in (1, 2):
+                    ack[(tenant, slot)] = first.handle_submit(
+                        submit_message(first, tenant, slot)
+                    )
+        finally:
+            first.close()
+        second = make_daemon(tmp_path, resume=True)
+        try:
+            assert second.next_slot == 1
+            assert {s: len(q) for s, q in second._pending.items()} == {1: 2, 2: 2}
+            # Redelivery against the rebuilt map returns the stored ack.
+            for (tenant, slot), original in ack.items():
+                assert second.handle_submit(
+                    submit_message(second, tenant, slot)
+                ) == original
+            while not second.done:
+                second.process_next_slot()
+            assert second.invoices()["ok"]
+        finally:
+            second.close()
+
+
+class TestServerTransport:
+    def test_manual_session_end_to_end(self, tmp_path):
+        daemon = make_daemon(tmp_path, slots=3)
+        socket_path = short_socket_path()
+        server = InProcessServer(daemon, socket_path).start()
+        with DaemonClient(socket_path) as client:
+            hello = client.hello()
+            assert hello["ok"] and hello["manual"] and hello["slots"] == 3
+            directory = client.describe()["tenants"]
+            assert len(directory) == 10
+            for tenant_id, info in sorted(directory.items()):
+                response = client.submit(
+                    tenant_id,
+                    1,
+                    synthetic_bundle(SEED, tenant_id, 1, info["racks"]),
+                )
+                assert response["ok"], response
+            status = client.status()
+            assert status["pending"] == {"1": 10}
+            assert client.invoices()["error"]["code"] == "not_ready"
+            assert client.result(1)["error"]["code"] == "not_ready"
+            ticks = [client.tick() for _ in range(3)]
+            assert [t["slot"] for t in ticks] == [0, 1, 2]
+            assert ticks[-1]["done"]
+            assert client.tick() == {
+                "ok": True, "op": "tick", "done": True, "slot": None,
+            }
+            record = client.result(1)["record"]
+            assert record["submitted"] == sorted(
+                f"{tenant}:1" for tenant in directory
+            )
+            assert client.invoices()["ok"]
+            unknown = client.request({"op": "dance"})
+            assert unknown["error"]["code"] == "unknown_op"
+            bad = client.request({"op": "result", "slot": "one"})
+            assert bad["error"]["code"] == "bad_request"
+            client.shutdown()
+        server.join()
+        assert server.crash is None
+
+    def test_wall_clock_session(self, tmp_path):
+        daemon = make_daemon(tmp_path, slots=3)
+        socket_path = short_socket_path()
+        server = InProcessServer(daemon, socket_path)
+        server.server = DaemonServer(daemon, socket_path, tick_seconds=0.02)
+        server.start()
+        with DaemonClient(socket_path) as client:
+            assert client.hello()["manual"] is False
+            assert client.tick()["error"]["code"] == "bad_request"
+            client.wait_done(budget=30.0)
+            assert client.invoices()["ok"]
+            client.shutdown()
+        server.join()
+
+    def test_client_raises_after_retry_budget(self, tmp_path):
+        client = DaemonClient(
+            tmp_path / "never-bound.sock",
+            retries=2,
+            backoff_base=0.001,
+            timeout=0.2,
+        )
+        with pytest.raises(DaemonError, match="unreachable"):
+            client.hello()
+
+    def test_tick_seconds_must_be_positive(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        try:
+            with pytest.raises(ConfigurationError, match="tick_seconds"):
+                DaemonServer(daemon, tmp_path / "s.sock", tick_seconds=0.0)
+        finally:
+            daemon.close()
+
+
+class TestCliHelpers:
+    def test_parse_rack_arg_forms(self):
+        from repro.cli import _parse_rack_arg
+
+        linear = _parse_rack_arg("rack:0:linear:40,0.05,10,0.12")
+        assert linear == {
+            "rack_id": "rack:0",
+            "demand": {
+                "kind": "linear",
+                "d_max_w": 40.0,
+                "q_min": 0.05,
+                "d_min_w": 10.0,
+                "q_max": 0.12,
+            },
+        }
+        step = _parse_rack_arg("rack:1:step:25,0.08")
+        assert step["demand"] == {
+            "kind": "step", "demand_w": 25.0, "price_cap": 0.08,
+        }
+        for bad in ("rack:0", "rack:0:cubic:1,2", "rack:0:linear:1,2"):
+            with pytest.raises(ConfigurationError):
+                _parse_rack_arg(bad)
+
+    def test_default_key(self):
+        assert default_key("Web", 7) == "Web:7"
+
+    def test_encode_is_json_lines(self):
+        assert json.loads(encode_message({"op": "hello"})) == {"op": "hello"}

@@ -204,6 +204,43 @@ class TestCheckpointEnvelope:
         with pytest.raises(RecoveryError, match="nothing left"):
             fresh.run(4, resume_from=path)
 
+    def test_truncated_checkpoint_raises_naming_path(self, tmp_path):
+        # A crash mid-write leaves a short file; the error must say
+        # which file so the operator can delete it.
+        engine = SimulationEngine(build_testbed(seed=1))
+        engine.run(6, checkpoint_every=2, checkpoint_dir=tmp_path)
+        path = latest_checkpoint(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(RecoveryError, match="corrupt") as exc:
+            load_checkpoint(path)
+        assert str(path) in str(exc.value)
+
+    def test_bit_flipped_checkpoint_raises_naming_path(self, tmp_path):
+        # Disk corruption: flip every byte of the payload's middle
+        # chunk (magic/envelope checks catch what unpickling doesn't).
+        engine = SimulationEngine(build_testbed(seed=1))
+        engine.run(6, checkpoint_every=2, checkpoint_dir=tmp_path)
+        path = latest_checkpoint(tmp_path)
+        data = bytearray(path.read_bytes())
+        third = len(data) // 3
+        for i in range(third, 2 * third):
+            data[i] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(RecoveryError) as exc:
+            load_checkpoint(path)
+        assert str(path) in str(exc.value)
+
+    def test_latest_skips_corrupt_newest_with_warning(self, tmp_path):
+        engine = SimulationEngine(build_testbed(seed=1))
+        engine.run(6, checkpoint_every=2, checkpoint_dir=tmp_path)
+        newest = latest_checkpoint(tmp_path)
+        newest.write_bytes(b"not a pickle at all")
+        with pytest.warns(UserWarning, match="skipping unusable checkpoint"):
+            best = latest_checkpoint(tmp_path)
+        assert best is not None and best != newest
+        load_checkpoint(best)  # the fallback is genuinely usable
+
     def test_latest_ignores_temp_files(self, tmp_path):
         engine = SimulationEngine(build_testbed(seed=1))
         engine.run(6, checkpoint_every=2, checkpoint_dir=tmp_path)

@@ -29,6 +29,11 @@ class TestChaosSweep:
         # The sweep's recovery leg machine-checked byte-identical resume.
         assert study.recovery is not None
         assert study.recovery.ok
+        # The duplicate-delivery leg: redelivered bundles fired and
+        # changed no settlement total.
+        assert study.duplicate_neutrality is not None
+        assert study.duplicate_neutrality.duplicates_injected > 0
+        assert study.duplicate_neutrality.ok
 
     def test_control_cell_is_fault_free(self):
         cell = run_resilience_cell("none", 0.0, seed=1, slots=120)

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SweepCellError
 from repro.scenarios import normalize_spec
 from repro.scenarios import testbed_spec as make_testbed_spec
 from repro.sweep import (
@@ -133,6 +133,46 @@ class TestRunner:
 
 def _square(x):
     return x * x
+
+
+class TestCellFailure:
+    # The absurd subscription passes spec validation but dies inside the
+    # worker (`run_simulation` rejects a valuation with no marginal
+    # value) — a genuine worker-side failure, not a parent-side one.
+    FAILING_CONFIG = {
+        "name": "failing",
+        "base": {"preset": "testbed"},
+        "slots": 5,
+        "seed": 7,
+        "compare": False,
+        "axes": {
+            "demand.tenants.0.subscription_w": [125.0, 1e12],
+            "time.slot_seconds": [60, 120],
+        },
+    }
+
+    def test_failure_surfaces_with_overrides_attached(self):
+        with pytest.raises(SweepCellError) as exc:
+            run_sweep(self.FAILING_CONFIG, jobs=1)
+        err = exc.value
+        assert err.index == 2  # first axis slowest: cells 2 and 3 fail
+        assert err.overrides["demand.tenants.0.subscription_w"] == 1e12
+        assert "ConfigurationError" in str(err)
+
+    def test_remaining_cells_complete_before_the_raise(self):
+        # Both bad cells are reported, which is only possible if the
+        # grid ran to completion instead of aborting at the first
+        # failure; the healthy cells' work is likewise not lost.
+        with pytest.raises(SweepCellError, match=r"\+1 more failing cell"):
+            run_sweep(self.FAILING_CONFIG, jobs=1)
+
+    def test_which_cell_fails_is_jobs_independent(self):
+        def failure(jobs):
+            with pytest.raises(SweepCellError) as exc:
+                run_sweep(self.FAILING_CONFIG, jobs=jobs)
+            return (exc.value.index, exc.value.overrides, str(exc.value))
+
+        assert failure(1) == failure(2)
 
 
 class TestSweepFiles:
