@@ -35,6 +35,7 @@ import sys
 from collections.abc import Callable, Sequence
 
 from repro import experiments as E
+from repro.forecast import SIGNAL_NAMES
 from repro.resilience import FAULT_CLASSES, FaultProfile
 from repro.telemetry import TelemetryConfig, set_default_config
 
@@ -149,11 +150,25 @@ EXPERIMENT_REGISTRY: dict[str, tuple[str, Callable]] = {
             )
         ),
     ),
+    "prediction-risk": (
+        "Extension: forecast-signal x risk-quantile frontier (extends Fig. 17)",
+        lambda a: E.ext_prediction_risk.render_prediction_risk(
+            E.ext_prediction_risk.run_prediction_risk(
+                seed=a.seed,
+                slots=(
+                    a.slots
+                    if a.slots != _RUN_SLOTS_DEFAULT
+                    else E.ext_prediction_risk.DEFAULT_SLOTS
+                ),
+                jobs=a.jobs,
+            )
+        ),
+    ),
 }
 
-#: Default of ``run --slots`` — the chaos sweep substitutes its own,
-#: shorter default when the user did not pass one (it runs 2x13 full
-#: simulations, not one).
+#: Default of ``run --slots`` — the chaos and prediction-risk sweeps
+#: substitute their own, shorter defaults when the user did not pass
+#: one (they run dozens of full simulations, not one).
 _RUN_SLOTS_DEFAULT = 2500
 
 
@@ -206,6 +221,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_prediction_args(scenario, args: argparse.Namespace):
+    """Apply ``--predictor``/``--risk-quantile`` to an operator scenario."""
+    import dataclasses
+
+    from repro.errors import ConfigurationError
+    from repro.forecast import PredictionProfile
+
+    if args.predictor is None and args.risk_quantile is None:
+        return scenario
+    try:
+        profile = PredictionProfile(
+            signal=args.predictor or "current_draw",
+            risk_quantile=args.risk_quantile,
+        )
+    except ConfigurationError as exc:
+        print(f"invalid prediction flags: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+    return dataclasses.replace(scenario, prediction=profile)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     import dataclasses
 
@@ -238,6 +273,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         scenario = dataclasses.replace(
             scenario, clearing_deadline_s=args.clearing_deadline
         )
+    scenario = _apply_prediction_args(scenario, args)
     fault_profile = None
     if args.fault_profile != "none" or args.crash_at is not None:
         fault_profile = FaultProfile.named(
@@ -306,6 +342,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.sim.scenario import testbed_scenario
 
     scenario = testbed_scenario(seed=args.seed)
+    scenario = _apply_prediction_args(scenario, args)
     if args.fault_profile != "none" or args.crash_at is not None:
         fault_profile = FaultProfile.named(
             args.fault_profile, args.fault_intensity
@@ -720,8 +757,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for the sweep-style experiments "
-        "(fig17, fig18, ablations, resilience); results are identical "
-        "at any job count",
+        "(fig17, fig18, ablations, resilience, prediction-risk); "
+        "results are identical at any job count",
     )
     run.add_argument(
         "--telemetry", action="store_true",
@@ -770,6 +807,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm the clearing deadline guard with this wall-clock budget",
     )
     simulate.add_argument(
+        "--predictor", choices=SIGNAL_NAMES, default=None,
+        help="forecasting signal for the predict phase "
+        "(default: the paper's current-draw rule)",
+    )
+    simulate.add_argument(
+        "--risk-quantile", type=float, default=None, metavar="Q",
+        help="release spot capacity at this overcommit quantile of the "
+        "signal's confidence band, in (0, 1] (default: point forecast)",
+    )
+    simulate.add_argument(
         "--telemetry", action="store_true",
         help="record a span trace, metrics dump, and summary JSON",
     )
@@ -807,6 +854,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--resume", action="store_true",
         help="resume from the newest valid checkpoint in the state dir",
+    )
+    serve.add_argument(
+        "--predictor", choices=SIGNAL_NAMES, default=None,
+        help="forecasting signal for the daemon's predict phase",
+    )
+    serve.add_argument(
+        "--risk-quantile", type=float, default=None, metavar="Q",
+        help="release spot capacity at this overcommit quantile, in (0, 1]",
     )
     serve.add_argument(
         "--fault-profile", choices=FAULT_CLASSES, default="none",

@@ -4,7 +4,12 @@ results and a ``render_*`` function printing the paper-style rows;
 ``benchmarks/`` wraps these with pytest-benchmark.
 """
 
-from repro.experiments import ablations, ext_equilibrium, ext_resilience
+from repro.experiments import (
+    ablations,
+    ext_equilibrium,
+    ext_prediction_risk,
+    ext_resilience,
+)
 from repro.experiments.common import ComparisonRuns, run_comparison
 from repro.experiments.fig02_spot_opportunity import run_fig02, render_fig02
 from repro.experiments.fig07_prediction_and_scaling import (
@@ -29,6 +34,7 @@ __all__ = [
     "ComparisonRuns",
     "ablations",
     "ext_equilibrium",
+    "ext_prediction_risk",
     "ext_resilience",
     "render_fig02", "render_fig07", "render_fig08", "render_fig09",
     "render_fig10", "render_fig11", "render_fig12", "render_fig13",

@@ -1,0 +1,78 @@
+"""Declarative prediction configuration.
+
+:class:`PredictionProfile` is the plain-data form of "which signal, how
+conservative, at what risk" — the object a scenario spec's
+``prediction`` block loads into, carried on
+:class:`~repro.sim.scenario.Scenario` and materialised by the engine
+into a live :class:`~repro.forecast.signals.Signal` +
+:class:`~repro.forecast.release.RiskAwareReleasePolicy` pair.  Frozen
+and hashable so scenarios stay picklable and sweep cells stay
+comparable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.forecast.release import RiskAwareReleasePolicy
+from repro.forecast.signals import SIGNAL_NAMES, Signal, build_signal
+
+__all__ = ["PredictionProfile"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PredictionProfile:
+    """Declarative knobs for the predict phase of a scenario.
+
+    Args:
+        signal: Registered signal name (``current_draw`` is the paper's
+            rule and the default).
+        under_prediction_factor: Scalar haircut in (0, 1] applied to
+            every headroom (Fig. 17's axis).
+        safety_margin_fraction: Capacity fraction in [0, 1) withheld
+            from the market at every level.
+        window: Telemetry window (slots) the signal's references use,
+            or ``None`` for each signal's own default.
+        risk_quantile: Overcommit quantile in (0, 1] to release at, or
+            ``None`` to release the point forecast (paper behaviour).
+    """
+
+    signal: str = "current_draw"
+    under_prediction_factor: float = 1.0
+    safety_margin_fraction: float = 0.025
+    window: "int | None" = None
+    risk_quantile: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.signal not in SIGNAL_NAMES:
+            known = ", ".join(SIGNAL_NAMES)
+            raise ConfigurationError(
+                f"unknown forecasting signal {self.signal!r} (known: {known})"
+            )
+        if self.window is not None and self.window < 1:
+            raise ConfigurationError(
+                f"prediction window must be >= 1, got {self.window}"
+            )
+        # Range checks shared with the live objects, applied eagerly so
+        # a bad profile fails at load time, not mid-simulation.
+        build_signal(
+            self.signal,
+            under_prediction_factor=self.under_prediction_factor,
+            safety_margin_fraction=self.safety_margin_fraction,
+            window=self.window,
+        )
+        RiskAwareReleasePolicy(risk_quantile=self.risk_quantile)
+
+    def build_signal(self) -> Signal:
+        """The live signal this profile describes."""
+        return build_signal(
+            self.signal,
+            under_prediction_factor=self.under_prediction_factor,
+            safety_margin_fraction=self.safety_margin_fraction,
+            window=self.window,
+        )
+
+    def build_policy(self) -> RiskAwareReleasePolicy:
+        """The live release policy this profile describes."""
+        return RiskAwareReleasePolicy(risk_quantile=self.risk_quantile)

@@ -1,7 +1,8 @@
 """Declarative scenario platform: schema, specs, presets, loader.
 
 A scenario spec is plain data (JSON/YAML) split into components —
-topology, time, demand, supply, faults, telemetry, recovery — validated
+topology, time, demand, supply, prediction, faults, telemetry,
+recovery — validated
 against :data:`~repro.scenarios.schema.SCHEMA` with JSON-pointer error
 paths, assembled into a live :class:`~repro.sim.scenario.Scenario` by
 :func:`build_scenario`, and dumped back byte-deterministically by
@@ -13,6 +14,7 @@ from repro.scenarios.loader import (
     dump_scenario,
     fault_profile_from_spec,
     load_scenario,
+    prediction_profile_from_spec,
     strategy_factory_from_spec,
     telemetry_from_spec,
 )
@@ -37,6 +39,7 @@ __all__ = [
     "load_spec_file",
     "normalize_spec",
     "parse_spec_text",
+    "prediction_profile_from_spec",
     "preset_spec",
     "scaled_spec",
     "strategy_factory_from_spec",

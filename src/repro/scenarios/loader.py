@@ -20,6 +20,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.errors import ConfigurationError
+from repro.forecast.profile import PredictionProfile
 from repro.resilience.profile import FaultProfile
 from repro.scenarios.spec import dump_spec, load_spec_file, normalize_spec
 from repro.telemetry.config import TelemetryConfig
@@ -29,6 +30,7 @@ __all__ = [
     "load_scenario",
     "dump_scenario",
     "fault_profile_from_spec",
+    "prediction_profile_from_spec",
     "telemetry_from_spec",
     "strategy_factory_from_spec",
 ]
@@ -99,6 +101,23 @@ def fault_profile_from_spec(faults) -> "FaultProfile | None":
                 else profile.crash_at_slot
             ),
         )
+    return profile
+
+
+def prediction_profile_from_spec(prediction) -> "PredictionProfile | None":
+    """Build the :class:`PredictionProfile` a normalised component names.
+
+    The all-defaults block (what a spec without a ``prediction``
+    component normalises to) maps to ``None``: the engine's own default
+    path is the paper's rule, and keeping the scenario field ``None``
+    there preserves byte-identical default traces and the legacy
+    ``spot_predictor`` override semantics.
+    """
+    if prediction is None:
+        return None
+    profile = PredictionProfile(**prediction)
+    if profile == PredictionProfile():
+        return None
     return profile
 
 
@@ -180,6 +199,7 @@ def build_scenario(
         builder.with_telemetry(telemetry)
     else:
         builder.with_telemetry(telemetry_from_spec(normal["telemetry"]))
+    builder.with_prediction(prediction_profile_from_spec(normal["prediction"]))
     deadline = normal["recovery"]["clearing_deadline_s"]
     if deadline is not None:
         builder.with_clearing_deadline(deadline)

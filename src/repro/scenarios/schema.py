@@ -27,6 +27,7 @@ import math
 from collections.abc import Mapping, Sequence
 
 from repro.errors import ConfigurationError
+from repro.forecast.signals import SIGNAL_NAMES
 
 __all__ = ["SCHEMA", "SPEC_VERSION", "validate_instance", "validate_spec"]
 
@@ -122,6 +123,32 @@ _FAULTS = {
     "additionalProperties": False,
 }
 
+#: Declarative prediction component (repro.forecast): which signal
+#: forecasts spot capacity, how conservative it is, and the overcommit
+#: quantile the release policy sells at.  Always normalised to a fully
+#: defaulted block so sweep axes like ``prediction.risk_quantile`` are
+#: one-line dotted paths.
+_PREDICTION = {
+    "type": ["object", "null"],
+    "properties": {
+        "signal": {"type": "string", "enum": list(SIGNAL_NAMES)},
+        "under_prediction_factor": {
+            "type": "number",
+            "exclusiveMinimum": 0,
+            "maximum": 1,
+        },
+        "safety_margin_fraction": _FRACTION,
+        "window": {"type": ["integer", "null"], "minimum": 1},
+        "risk_quantile": {
+            "type": ["number", "null"],
+            "exclusiveMinimum": 0,
+            "maximum": 1,
+        },
+    },
+    "required": [],
+    "additionalProperties": False,
+}
+
 _TELEMETRY = {
     "type": ["object", "null"],
     "properties": {
@@ -189,6 +216,7 @@ SCHEMA = {
             "required": [],
             "additionalProperties": False,
         },
+        "prediction": _PREDICTION,
         "faults": _FAULTS,
         "telemetry": _TELEMETRY,
         "recovery": {

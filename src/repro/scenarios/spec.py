@@ -70,6 +70,20 @@ _FAULT_PROFILE_DEFAULTS = {
     "seed": None,
 }
 
+#: Field defaults of :class:`repro.forecast.PredictionProfile`, mirrored
+#: so the prediction component always normalises to a complete block —
+#: a missing/null component fills in entirely, keeping sweep axes like
+#: ``prediction.risk_quantile`` valid dotted paths on every spec.
+#: ``tests/test_scenarios_spec.py`` pins this mirror against the
+#: dataclass defaults.
+_PREDICTION_DEFAULTS = {
+    "signal": "current_draw",
+    "under_prediction_factor": 1.0,
+    "safety_margin_fraction": 0.025,
+    "window": None,
+    "risk_quantile": None,
+}
+
 _TELEMETRY_DEFAULTS = {
     "enabled": True,
     "out_dir": None,
@@ -237,6 +251,12 @@ def normalize_spec(raw) -> dict:
         merged.update(telemetry)
         telemetry = merged
 
+    prediction = dict(_PREDICTION_DEFAULTS)
+    prediction.update(spec.get("prediction") or {})
+    if prediction["safety_margin_fraction"] >= 1:
+        # The schema's inclusive bound admits 1.0; the profile does not.
+        _fail("/prediction/safety_margin_fraction", "must be < 1")
+
     return {
         "spec_version": SPEC_VERSION,
         "name": spec.get("name", "scenario"),
@@ -262,6 +282,7 @@ def normalize_spec(raw) -> dict:
                 "infrastructure_cost_per_watt", 25.0
             ),
         },
+        "prediction": prediction,
         "faults": _normalize_faults(spec.get("faults")),
         "telemetry": telemetry,
         "recovery": {"clearing_deadline_s": deadline},

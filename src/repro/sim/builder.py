@@ -100,6 +100,7 @@ class ScenarioBuilder:
         self._rng = make_rng(seed)
         self._fault_profile = None
         self._telemetry = None
+        self._prediction = None
         self._clearing_deadline = None
 
     def with_fault_profile(self, profile) -> "ScenarioBuilder":
@@ -120,6 +121,17 @@ class ScenarioBuilder:
         ``out_dir``) exports the JSONL / Prometheus / summary artifacts.
         """
         self._telemetry = config
+        return self
+
+    def with_prediction(self, profile) -> "ScenarioBuilder":
+        """Attach a :class:`repro.forecast.PredictionProfile` to the run.
+
+        Every engine built from the resulting scenario forecasts spot
+        capacity with the profile's signal and releases it at the
+        profile's risk quantile.  ``None`` (the default) keeps the
+        paper's rule — byte-identical traces to the pre-forecast engine.
+        """
+        self._prediction = profile
         return self
 
     def with_clearing_deadline(
@@ -401,6 +413,7 @@ class ScenarioBuilder:
                         self.infrastructure_cost_per_watt
                     ),
                 },
+                "prediction": self._prediction_spec(),
                 "faults": self._faults_spec(),
                 "telemetry": self._telemetry_spec(),
                 "recovery": {"clearing_deadline_s": self._clearing_deadline},
@@ -415,6 +428,13 @@ class ScenarioBuilder:
         fields = dataclasses.asdict(profile)
         fields.pop("derating_events")
         return {"profile": fields}
+
+    def _prediction_spec(self) -> "dict | None":
+        """Spec form of the attached prediction profile (fully data)."""
+        profile = self._prediction
+        if profile is None:
+            return None
+        return dataclasses.asdict(profile)
 
     def _telemetry_spec(self) -> "dict | None":
         """Spec form of the attached telemetry config (scalar fields)."""
@@ -530,4 +550,5 @@ class ScenarioBuilder:
             fault_profile=self._fault_profile,
             telemetry=self._telemetry,
             clearing_deadline_s=self._clearing_deadline,
+            prediction=self._prediction,
         )

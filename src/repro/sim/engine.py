@@ -51,10 +51,12 @@ from repro.config import MarketParameters
 from repro.core.market import Allocator, SlotMarketRecord, SpotDCAllocator
 from repro.economics.profit import OperatorLedger
 from repro.errors import RecoveryError, SimulationError
+from repro.forecast.release import RiskAwareReleasePolicy
+from repro.forecast.signals import CurrentDrawSignal, Signal
 from repro.infrastructure.emergencies import EmergencyLog
 from repro.infrastructure.monitor import PowerMonitor
 from repro.prediction.price import EwmaPricePredictor, PricePredictor
-from repro.prediction.spot import SpotCapacityForecast, SpotCapacityPredictor
+from repro.prediction.spot import SpotCapacityPredictor
 from repro.recovery.checkpoint import load_checkpoint, save_checkpoint
 from repro.recovery.deadline import (
     ClearingDeadlineGuard,
@@ -104,6 +106,10 @@ class _RunState:
         g_ups,
         h_price,
         h_granted,
+        g_forecast_error,
+        m_forecast_slots,
+        m_forecast_covered,
+        guaranteed_by_rack,
         faults_seen,
         actions_seen,
         credits_seen,
@@ -127,6 +133,15 @@ class _RunState:
         self.g_ups = g_ups
         self.h_price = h_price
         self.h_granted = h_granted
+        self.g_forecast_error = g_forecast_error
+        self.m_forecast_slots = m_forecast_slots
+        self.m_forecast_covered = m_forecast_covered
+        self.guaranteed_by_rack = guaranteed_by_rack
+        # Released-forecast accuracy accumulators (summary JSON).
+        self.forecast_error_sum = 0.0
+        self.forecast_abs_error_sum = 0.0
+        self.forecast_covered = 0
+        self.forecast_slots = 0
         self.faults_seen = faults_seen
         self.actions_seen = actions_seen
         self.credits_seen = credits_seen
@@ -140,7 +155,22 @@ class SimulationEngine:
     Args:
         scenario: The facility, tenants, and prices.
         allocator: Slot-level allocation policy (default: SpotDC).
-        spot_predictor: Operator-side spot-capacity predictor.
+        spot_predictor: Operator-side spot-capacity predictor.  Legacy
+            scalar-rule entry point: wrapped into a
+            :class:`~repro.forecast.signals.CurrentDrawSignal` with the
+            same factor/margin, so existing callers keep identical
+            numbers.  Prefer ``signal`` (or a scenario ``prediction``
+            block) for anything beyond the paper's rule.
+        signal: Forecasting :class:`~repro.forecast.signals.Signal`
+            producing the per-slot banded forecast.  ``None`` falls back
+            to ``spot_predictor``, then the scenario's ``prediction``
+            profile, then the paper's default
+            :class:`~repro.forecast.signals.CurrentDrawSignal`.
+        release_policy: :class:`~repro.forecast.release.RiskAwareReleasePolicy`
+            choosing the band quantile actually released to the market;
+            ``None`` falls back to the scenario's ``prediction`` profile
+            (when the signal also came from it) and then to releasing
+            the point forecast — the paper's behaviour.
         price_predictor: Tenant-side market-price forecaster handed to
             bidding strategies (only strategies that use forecasts react
             to it).  ``None`` disables forecasting.
@@ -186,6 +216,8 @@ class SimulationEngine:
         scenario: Scenario,
         allocator: Allocator | None = None,
         spot_predictor: SpotCapacityPredictor | None = None,
+        signal: Signal | None = None,
+        release_policy: RiskAwareReleasePolicy | None = None,
         price_predictor: PricePredictor | None = None,
         history_slots: int = 200_000,
         reference_window: int = 5,
@@ -220,7 +252,28 @@ class SimulationEngine:
         self.allocator = allocator or SpotDCAllocator(
             params=MarketParameters(slot_seconds=scenario.slot_seconds)
         )
-        self.spot_predictor = spot_predictor or SpotCapacityPredictor()
+        # Exactly one forecast-producing code path: every entry point —
+        # the legacy spot_predictor arg, a scenario `prediction` block,
+        # or nothing at all — resolves to a Signal + release policy.
+        prediction = getattr(scenario, "prediction", None)
+        if signal is None:
+            if spot_predictor is not None:
+                signal = CurrentDrawSignal(
+                    under_prediction_factor=spot_predictor.under_prediction_factor,
+                    safety_margin_fraction=spot_predictor.safety_margin_fraction,
+                    window=reference_window,
+                )
+            elif prediction is not None:
+                signal = prediction.build_signal()
+                if release_policy is None:
+                    release_policy = prediction.build_policy()
+            else:
+                signal = CurrentDrawSignal(window=reference_window)
+        self.signal = signal
+        self.release_policy = release_policy or RiskAwareReleasePolicy()
+        self.spot_predictor = spot_predictor or getattr(
+            signal, "predictor", None
+        ) or SpotCapacityPredictor()
         self.price_predictor = price_predictor
         self.monitor = PowerMonitor(scenario.topology, history_slots=history_slots)
         self.emergencies = EmergencyLog()
@@ -351,6 +404,13 @@ class SimulationEngine:
             h_granted=registry.histogram(
                 "slot_granted_watts", buckets=DEFAULT_WATTS_BUCKETS
             ),
+            g_forecast_error=registry.gauge("forecast_error_watts"),
+            m_forecast_slots=registry.counter("forecast_slots_total"),
+            m_forecast_covered=registry.counter("forecast_covered_total"),
+            guaranteed_by_rack={
+                rack_id: rack.guaranteed_w
+                for rack_id, rack in scenario.topology.racks.items()
+            },
             faults_seen=len(injector.log) if injector is not None else 0,
             actions_seen=(
                 len(self.degradation.actions)
@@ -425,32 +485,31 @@ class SimulationEngine:
                 for rack_id in tenant.needed_spot_w(slot)
             )
             with tracer.span("predict", slot=slot) as predict_span:
-                if slot == 0:
-                    forecast = SpotCapacityForecast(
-                        pdu_spot_w={p: 0.0 for p in topology.pdus},
-                        ups_spot_w=0.0,
-                    )
-                else:
-                    # Conservative per-rack references: a participating
-                    # rack's draw can ramp within one slot, so reference
-                    # its recent peak rather than its instantaneous draw.
-                    # These are the operator's *metered* views — under
-                    # meter faults they can be wrong, which is exactly the
-                    # hazard the degradation controller exists to contain.
-                    references = {
-                        rack_id: self.monitor.rack_recent_max_w(
-                            rack_id, self.reference_window
-                        )
-                        for rack_id in topology.racks
-                    }
-                    forecast = self.spot_predictor.forecast(
-                        topology, requesting, references
-                    )
+                # The signal reads the operator's *metered* telemetry —
+                # under meter faults its references can be wrong, which
+                # is exactly the hazard the degradation controller
+                # exists to contain.  The release policy then picks how
+                # much of the banded forecast the market may sell.
+                banded = self.signal.forecast_slot(
+                    topology, requesting, self.monitor, slot
+                )
+                forecast = self.release_policy.release(banded, topology)
                 predict_span.set(
                     requesting_racks=len(requesting),
                     ups_spot_w=forecast.ups_spot_w,
                     pdu_spot_w=forecast.total_pdu_spot_w,
                 )
+                if banded.has_band or self.release_policy.risk_quantile is not None:
+                    # Band diagnostics only for non-default signals:
+                    # default-path traces must stay byte-identical to the
+                    # pre-subsystem engine.
+                    band = banded.ups_quantiles
+                    predict_span.set(
+                        signal=self.signal.name,
+                        risk_quantile=self.release_policy.risk_quantile,
+                        band_low_ups_w=band[0] if band else banded.point.ups_spot_w,
+                        band_high_ups_w=band[-1] if band else banded.point.ups_spot_w,
+                    )
             if slot == 0:
                 # Bids for a slot are placed during the previous slot, and
                 # slot 0 has none: the market phases are structural no-ops
@@ -726,6 +785,30 @@ class SimulationEngine:
                     wanted_rack_ids=requesting,
                     pdu_prices=record.result.pdu_prices,
                 )
+                if slot > 0:
+                    # Released-forecast accuracy: compare what the
+                    # market was offered against the headroom that
+                    # actually materialised (usable UPS capacity minus
+                    # the non-spot draws the predictor's references
+                    # stand in for).  Registry-only — traces untouched.
+                    nonspot_w = sum(
+                        min(perf.power_w, st.guaranteed_by_rack[rid])
+                        for rid, perf in outcomes.items()
+                    )
+                    realized_w = max(
+                        0.0,
+                        topology.ups.capacity_w * banded.usable_fraction
+                        - nonspot_w,
+                    )
+                    error_w = forecast.ups_spot_w - realized_w
+                    st.g_forecast_error.set(error_w)
+                    st.m_forecast_slots.inc()
+                    st.forecast_slots += 1
+                    st.forecast_error_sum += error_w
+                    st.forecast_abs_error_sum += abs(error_w)
+                    if forecast.ups_spot_w <= realized_w + 1e-9:
+                        st.m_forecast_covered.inc()
+                        st.forecast_covered += 1
                 if self.price_predictor is not None:
                     self.price_predictor.observe(record.result.price)
                 settle_span.set(
@@ -801,7 +884,7 @@ class SimulationEngine:
             self._emit_settlement_events(result, tel.tracer)
             result.trace = tel.finish(
                 fallback_label=self.allocator.name,
-                summary_data=self._summary_data(result, st.emergencies_seen),
+                summary_data=self._summary_data(result, st),
             )
             result.telemetry_artifacts = list(tel.config.manifest)
         self._run = None
@@ -882,10 +965,12 @@ class SimulationEngine:
                 total=invoice.total,
             )
 
-    def _summary_data(self, result: SimulationResult, emergencies: int) -> dict:
+    def _summary_data(self, result: SimulationResult, st: _RunState) -> dict:
         """The deterministic summary payload for the JSON exporter."""
         prices = result.price_series()
-        return {
+        emergencies = st.emergencies_seen
+        forecast_slots = st.forecast_slots
+        data = {
             "allocator": result.allocator_name,
             "slots": result.slots,
             "slot_seconds": result.slot_seconds,
@@ -917,7 +1002,20 @@ class SimulationEngine:
                 if self.deadline_guard is not None
                 else 0
             ),
+            "signal": self.signal.name,
+            "forecast_mean_error_w": (
+                st.forecast_error_sum / forecast_slots if forecast_slots else 0.0
+            ),
+            "forecast_mean_abs_error_w": (
+                st.forecast_abs_error_sum / forecast_slots if forecast_slots else 0.0
+            ),
+            "forecast_coverage": (
+                st.forecast_covered / forecast_slots if forecast_slots else 0.0
+            ),
         }
+        if self.release_policy.risk_quantile is not None:
+            data["risk_quantile"] = self.release_policy.risk_quantile
+        return data
 
 
 def _empty_record() -> SlotMarketRecord:
@@ -931,6 +1029,8 @@ def run_simulation(
     slots: int,
     allocator: Allocator | None = None,
     spot_predictor: SpotCapacityPredictor | None = None,
+    signal: Signal | None = None,
+    release_policy: RiskAwareReleasePolicy | None = None,
     use_price_forecasting: bool = False,
     fault_profile=None,
     telemetry=None,
@@ -946,7 +1046,12 @@ def run_simulation(
         slots: Number of slots.
         allocator: Allocation policy (default SpotDC market).
         spot_predictor: Operator-side predictor (default: exact, no
-            under-prediction).
+            under-prediction).  Legacy scalar entry point; see
+            :class:`SimulationEngine` for the resolution order against
+            ``signal`` and the scenario's ``prediction`` profile.
+        signal: Forecasting signal (:mod:`repro.forecast.signals`).
+        release_policy: Risk-aware release policy
+            (:mod:`repro.forecast.release`).
         use_price_forecasting: Provide tenants an EWMA price forecast
             (strategies that ignore forecasts are unaffected).
         fault_profile: Optional
@@ -973,6 +1078,8 @@ def run_simulation(
         scenario,
         allocator=allocator,
         spot_predictor=spot_predictor,
+        signal=signal,
+        release_policy=release_policy,
         price_predictor=EwmaPricePredictor() if use_price_forecasting else None,
         fault_model=fault_model,
         telemetry=telemetry,

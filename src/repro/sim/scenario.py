@@ -30,6 +30,7 @@ from repro.config import (
 )
 from repro.economics.pricing import PriceSheet
 from repro.errors import ConfigurationError
+from repro.forecast.profile import PredictionProfile
 from repro.infrastructure.topology import PowerTopology
 from repro.power.server import ServerPowerModel
 from repro.resilience.profile import FaultProfile
@@ -149,6 +150,11 @@ class Scenario:
             (:class:`repro.telemetry.TelemetryConfig`).  ``None`` defers
             to the engine's ``telemetry`` argument or the process-wide
             default (:func:`repro.telemetry.default_config`).
+        prediction: Optional declarative forecasting configuration
+            (:class:`repro.forecast.PredictionProfile`).  The engine
+            builds the forecasting signal and risk-aware release policy
+            from it unless explicit ``signal``/``spot_predictor``
+            arguments override; ``None`` keeps the paper's rule.
         clearing_deadline_s: Wall-clock budget for the clear phase
             (:mod:`repro.recovery.deadline`).  ``None`` (default)
             disables the guard — wall time is nondeterministic, so runs
@@ -169,6 +175,7 @@ class Scenario:
     fault_profile: "FaultProfile | None" = None
     telemetry: "TelemetryConfig | None" = None
     clearing_deadline_s: "float | bool | None" = None
+    prediction: "PredictionProfile | None" = None
     spec: "dict | None" = dataclasses.field(
         default=None, compare=False, repr=False
     )

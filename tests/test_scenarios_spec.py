@@ -12,6 +12,7 @@ from hypothesis import strategies as st
 import repro.scenarios.schema as schema_module
 from repro.config import DEFAULT_SEED, DEFAULT_SLOT_SECONDS
 from repro.errors import ConfigurationError
+from repro.forecast import SIGNAL_NAMES, PredictionProfile
 from repro.resilience import FaultProfile
 # Aliased: pytest would otherwise collect names starting with "test".
 from repro.scenarios import (
@@ -20,11 +21,12 @@ from repro.scenarios import (
     fault_profile_from_spec,
     normalize_spec,
     parse_spec_text,
+    prediction_profile_from_spec,
     preset_spec,
     scaled_spec,
 )
 from repro.scenarios import testbed_spec as make_testbed_spec
-from repro.scenarios.spec import _FAULT_PROFILE_DEFAULTS
+from repro.scenarios.spec import _FAULT_PROFILE_DEFAULTS, _PREDICTION_DEFAULTS
 
 
 def minimal_spec() -> dict:
@@ -59,6 +61,12 @@ class TestSchema:
             if f.name != "derating_events"
         }
         assert defaults == _FAULT_PROFILE_DEFAULTS
+
+    def test_prediction_defaults_mirror_dataclass(self):
+        defaults = {
+            f.name: f.default for f in dataclasses.fields(PredictionProfile)
+        }
+        assert defaults == _PREDICTION_DEFAULTS
 
     def test_missing_required_field_has_root_pointer(self):
         spec = minimal_spec()
@@ -137,6 +145,7 @@ class TestNormalization:
         assert normal["supply"]["ups_oversubscription"] == 1.05
         assert normal["supply"]["infrastructure_cost_per_watt"] == 25.0
         assert normal["demand"]["strategy"] == "linear_elastic"
+        assert normal["prediction"] == _PREDICTION_DEFAULTS
         assert normal["faults"] is None
         assert normal["telemetry"] is None
         assert normal["recovery"]["clearing_deadline_s"] is None
@@ -200,6 +209,59 @@ class TestFaultForms:
             normalize_spec(spec)
 
 
+class TestPredictionComponent:
+    def test_unknown_signal_has_json_pointer(self):
+        spec = minimal_spec()
+        spec["prediction"] = {"signal": "oracle"}
+        with pytest.raises(ConfigurationError, match="/prediction/signal"):
+            normalize_spec(spec)
+
+    def test_out_of_range_risk_quantile_rejected(self):
+        spec = minimal_spec()
+        for bad in (0.0, 1.5, -0.1):
+            spec["prediction"] = {"risk_quantile": bad}
+            with pytest.raises(
+                ConfigurationError, match="/prediction/risk_quantile"
+            ):
+                normalize_spec(spec)
+
+    def test_full_safety_margin_rejected(self):
+        # The schema's inclusive bound admits 1.0; the cross-field rule
+        # must reject it (a full margin leaves nothing to sell).
+        spec = minimal_spec()
+        spec["prediction"] = {"safety_margin_fraction": 1.0}
+        with pytest.raises(
+            ConfigurationError, match="/prediction/safety_margin_fraction"
+        ):
+            normalize_spec(spec)
+
+    def test_default_block_loads_to_none(self):
+        # The all-defaults block is the engine's own default path;
+        # keeping the scenario field None preserves byte-identical
+        # default traces.
+        normal = normalize_spec(minimal_spec())
+        assert prediction_profile_from_spec(normal["prediction"]) is None
+
+    def test_non_default_block_loads_to_profile(self):
+        spec = minimal_spec()
+        spec["prediction"] = {"signal": "ensemble", "risk_quantile": 0.05}
+        normal = normalize_spec(spec)
+        profile = prediction_profile_from_spec(normal["prediction"])
+        assert profile == PredictionProfile(
+            signal="ensemble", risk_quantile=0.05
+        )
+
+    def test_scenario_carries_profile(self):
+        from repro.scenarios import build_scenario
+
+        spec = minimal_spec()
+        spec["prediction"] = {"signal": "rolling_max", "window": 20}
+        scenario = build_scenario(spec)
+        assert scenario.prediction == PredictionProfile(
+            signal="rolling_max", window=20
+        )
+
+
 class TestYaml:
     def test_yaml_parses_to_same_normal_form(self):
         yaml = pytest.importorskip("yaml")
@@ -215,24 +277,53 @@ class TestYaml:
 
 # -- Property: dump(load(spec)) == spec -------------------------------
 
-_spec_strategy = st.one_of(
-    st.builds(
-        make_testbed_spec,
-        seed=st.integers(min_value=0, max_value=2**31 - 1),
-        slot_seconds=st.sampled_from([30.0, 60.0, 120.0, 300.0]),
-        volatile_other=st.booleans(),
-        pdu_oversubscription=st.floats(
-            min_value=1.0, max_value=1.5, allow_nan=False, allow_infinity=False
+_prediction_strategy = st.one_of(
+    st.none(),
+    st.fixed_dictionaries(
+        {},
+        optional={
+            "signal": st.sampled_from(SIGNAL_NAMES),
+            "under_prediction_factor": st.sampled_from([1.0, 0.85, 0.75]),
+            "safety_margin_fraction": st.sampled_from([0.0, 0.025, 0.1]),
+            "window": st.one_of(
+                st.none(), st.integers(min_value=1, max_value=60)
+            ),
+            "risk_quantile": st.one_of(
+                st.none(), st.sampled_from([0.05, 0.5, 0.95])
+            ),
+        },
+    ),
+)
+
+
+def _with_prediction(spec: dict, prediction) -> dict:
+    if prediction is not None:
+        spec = {**spec, "prediction": prediction}
+    return spec
+
+
+_spec_strategy = st.builds(
+    _with_prediction,
+    st.one_of(
+        st.builds(
+            make_testbed_spec,
+            seed=st.integers(min_value=0, max_value=2**31 - 1),
+            slot_seconds=st.sampled_from([30.0, 60.0, 120.0, 300.0]),
+            volatile_other=st.booleans(),
+            pdu_oversubscription=st.floats(
+                min_value=1.0, max_value=1.5, allow_nan=False, allow_infinity=False
+            ),
+        ),
+        st.builds(
+            scaled_spec,
+            groups=st.integers(min_value=1, max_value=3),
+            seed=st.integers(min_value=0, max_value=2**31 - 1),
+            jitter=st.floats(
+                min_value=0.0, max_value=0.3, allow_nan=False, allow_infinity=False
+            ),
         ),
     ),
-    st.builds(
-        scaled_spec,
-        groups=st.integers(min_value=1, max_value=3),
-        seed=st.integers(min_value=0, max_value=2**31 - 1),
-        jitter=st.floats(
-            min_value=0.0, max_value=0.3, allow_nan=False, allow_infinity=False
-        ),
-    ),
+    _prediction_strategy,
 )
 
 
