@@ -150,6 +150,20 @@ EXPERIMENT_REGISTRY: dict[str, tuple[str, Callable]] = {
             )
         ),
     ),
+    "edr": (
+        "Extension: grid-event survivability (EDR shocks, price coupling)",
+        lambda a: E.ext_edr.render_edr_study(
+            E.ext_edr.run_edr_study(
+                seed=a.seed,
+                slots=(
+                    a.slots
+                    if a.slots != _RUN_SLOTS_DEFAULT
+                    else E.ext_edr.DEFAULT_SLOTS
+                ),
+                jobs=a.jobs,
+            )
+        ),
+    ),
     "prediction-risk": (
         "Extension: forecast-signal x risk-quantile frontier (extends Fig. 17)",
         lambda a: E.ext_prediction_risk.render_prediction_risk(
@@ -241,6 +255,32 @@ def _apply_prediction_args(scenario, args: argparse.Namespace):
     return dataclasses.replace(scenario, prediction=profile)
 
 
+def _apply_event_args(scenario, args: argparse.Namespace):
+    """Apply ``--event-schedule``/``--wholesale-trace`` to a scenario."""
+    import dataclasses
+
+    from repro.errors import ConfigurationError
+    from repro.events import EventProfile, wholesale_trace_from_file
+    from repro.scenarios import event_profile_from_file
+
+    if args.event_schedule is None and args.wholesale_trace is None:
+        return scenario
+    try:
+        profile = None
+        if args.event_schedule is not None:
+            profile = event_profile_from_file(args.event_schedule)
+        if args.wholesale_trace is not None:
+            trace = wholesale_trace_from_file(args.wholesale_trace)
+            profile = dataclasses.replace(
+                profile if profile is not None else EventProfile(),
+                wholesale_trace=trace,
+            )
+    except (ConfigurationError, OSError) as exc:
+        print(f"invalid event flags: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+    return dataclasses.replace(scenario, events=profile)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     import dataclasses
 
@@ -274,6 +314,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             scenario, clearing_deadline_s=args.clearing_deadline
         )
     scenario = _apply_prediction_args(scenario, args)
+    scenario = _apply_event_args(scenario, args)
     fault_profile = None
     if args.fault_profile != "none" or args.crash_at is not None:
         fault_profile = FaultProfile.named(
@@ -343,6 +384,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     scenario = testbed_scenario(seed=args.seed)
     scenario = _apply_prediction_args(scenario, args)
+    scenario = _apply_event_args(scenario, args)
     if args.fault_profile != "none" or args.crash_at is not None:
         fault_profile = FaultProfile.named(
             args.fault_profile, args.fault_intensity
@@ -817,6 +859,16 @@ def build_parser() -> argparse.ArgumentParser:
         "signal's confidence band, in (0, 1] (default: point forecast)",
     )
     simulate.add_argument(
+        "--event-schedule", default=None, metavar="FILE",
+        help="grid-event schedule file (the scenario 'events' component "
+        "as standalone JSON/YAML): EDR shocks, price spikes, cascades",
+    )
+    simulate.add_argument(
+        "--wholesale-trace", default=None, metavar="FILE",
+        help="wholesale price trace (JSON array or one price per line) "
+        "that the reserve price tracks during price events",
+    )
+    simulate.add_argument(
         "--telemetry", action="store_true",
         help="record a span trace, metrics dump, and summary JSON",
     )
@@ -884,6 +936,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--kill-point", default="post_journal",
         choices=("pre_step", "post_journal", "post_checkpoint"),
         help="where inside the --kill-at slot to die",
+    )
+    serve.add_argument(
+        "--event-schedule", default=None, metavar="FILE",
+        help="grid-event schedule file (the scenario 'events' component "
+        "as standalone JSON/YAML): EDR shocks, price spikes, cascades",
+    )
+    serve.add_argument(
+        "--wholesale-trace", default=None, metavar="FILE",
+        help="wholesale price trace (JSON array or one price per line) "
+        "that the reserve price tracks during price events",
     )
     serve.add_argument(
         "--telemetry", action="store_true",

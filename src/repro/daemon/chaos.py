@@ -311,12 +311,21 @@ def check_crash_safety(
     fault_profile=None,
     redeliver: bool = True,
     scenario_factory=None,
+    events_profile=None,
 ) -> dict:
     """Machine-check the crash-safety invariant; raises on divergence.
 
     Runs the same synthetic session twice — uninterrupted, then crashed
     at every slot in ``crash_slots`` and resumed — and demands a
     byte-identical market journal and equal invoices.
+
+    Args:
+        events_profile: Optional
+            :class:`~repro.events.EventProfile` applied to the (default
+            testbed) scenario of both runs.  Crash slots placed inside
+            an event window then exercise mid-event resume: the shock
+            absorber's cuts, ladder state, and compliance watches must
+            replay from the checkpoint byte-identically.
 
     Returns:
         A report dict (``restarts``, ``duplicates``, journal size) for
@@ -332,6 +341,14 @@ def check_crash_safety(
 
         def scenario_factory():
             return testbed_scenario(seed=seed)
+
+    if events_profile is not None:
+        import dataclasses as _dc
+
+        base_factory = scenario_factory
+
+        def scenario_factory():
+            return _dc.replace(base_factory(), events=events_profile)
 
     reference = drive_daemon_run(
         scenario_factory,

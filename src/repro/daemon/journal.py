@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 
 __all__ = ["BidLog", "MarketJournal", "read_records"]
@@ -43,8 +44,13 @@ def _encode(record: dict) -> str:
 def read_records(path: str | Path) -> list[dict]:
     """All complete records in an NDJSON file (missing file = empty).
 
-    A partial trailing line — the signature of a process killed mid-write
-    — is silently dropped; every complete line must parse.
+    A torn trailing write — the signature of a process killed
+    mid-``write`` — is skipped with a :class:`UserWarning`, whether the
+    kill left the partial record unterminated (no final newline) or a
+    filesystem truncation cut the record mid-byte while a newline
+    survived.  Only the *final* line gets that forgiveness: an
+    unparseable line with complete records after it is real corruption,
+    not a crash artifact, and still raises.
     """
     path = Path(path)
     if not path.exists():
@@ -52,12 +58,27 @@ def read_records(path: str | Path) -> list[dict]:
     records = []
     data = path.read_text(encoding="utf-8")
     complete, sep, partial = data.rpartition("\n")
-    del partial  # anything after the last newline was a torn write
+    if partial:
+        warnings.warn(
+            f"{path}: dropping torn trailing record "
+            f"({len(partial)} bytes after the last newline)",
+            stacklevel=2,
+        )
     if not sep:
         return []
-    for line in complete.split("\n"):
-        if line:
+    lines = [line for line in complete.split("\n") if line]
+    for i, line in enumerate(lines):
+        try:
             records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1 and not partial:
+                warnings.warn(
+                    f"{path}: dropping unparseable final record "
+                    f"(torn write: {line[:60]!r}...)",
+                    stacklevel=2,
+                )
+                break
+            raise
     return records
 
 

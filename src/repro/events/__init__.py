@@ -1,0 +1,28 @@
+"""Grid-event survivability: EDR shocks, price coupling, shock absorption.
+
+See :mod:`repro.events.types` for the event vocabulary,
+:mod:`repro.events.profile` for the declarative scenario component, and
+:mod:`repro.events.absorber` for the per-slot escalation ladder.
+"""
+
+from repro.events.absorber import ShockAbsorber
+from repro.events.profile import EventProfile
+from repro.events.types import (
+    DeratingCascade,
+    EdrShock,
+    EventSchedule,
+    GridEvent,
+    PriceSpike,
+    wholesale_trace_from_file,
+)
+
+__all__ = [
+    "DeratingCascade",
+    "EdrShock",
+    "EventProfile",
+    "EventSchedule",
+    "GridEvent",
+    "PriceSpike",
+    "ShockAbsorber",
+    "wholesale_trace_from_file",
+]

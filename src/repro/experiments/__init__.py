@@ -6,6 +6,7 @@ results and a ``render_*`` function printing the paper-style rows;
 
 from repro.experiments import (
     ablations,
+    ext_edr,
     ext_equilibrium,
     ext_prediction_risk,
     ext_resilience,
@@ -33,6 +34,7 @@ from repro.experiments.table1_testbed import run_table1, render_table1
 __all__ = [
     "ComparisonRuns",
     "ablations",
+    "ext_edr",
     "ext_equilibrium",
     "ext_prediction_risk",
     "ext_resilience",

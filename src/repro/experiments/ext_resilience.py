@@ -183,6 +183,10 @@ class ResilienceStudy:
             study was run without it).
         duplicate_neutrality: The settlement-neutrality check for
             duplicate deliveries (``None`` when skipped).
+        edr: The grid-event (EDR shock) leg: SpotDC under a capacity
+            shock must log no more overload slots than PowerCapped
+            under the same shock, during *and after* the event window
+            (``None`` when skipped).
     """
 
     cells: list[ResilienceCell]
@@ -190,6 +194,7 @@ class ResilienceStudy:
     slots: int
     recovery: RecoveryCell | None = None
     duplicate_neutrality: DuplicateNeutralityCell | None = None
+    edr: "object | None" = None
 
     def violations(self) -> list[ResilienceCell]:
         """Cells in which SpotDC logged more overload slots than the
@@ -400,6 +405,7 @@ def run_resilience_study(
     fault_classes: tuple[str, ...] = FAULT_CLASSES,
     strict: bool = True,
     with_recovery: bool = True,
+    with_edr: bool = True,
     jobs: int = 1,
 ) -> ResilienceStudy:
     """Sweep fault class x intensity and machine-check the invariant.
@@ -416,6 +422,11 @@ def run_resilience_study(
         with_recovery: Also run the crash-and-resume recovery check
             (byte-identical trace and result after restoring from a
             checkpoint).
+        with_edr: Also run the grid-event leg: an EDR capacity shock
+            (see :mod:`repro.experiments.ext_edr`) must introduce no
+            additional overload slots over the same-shock PowerCapped
+            baseline, during or after the event window, and must reach
+            compliance within the profile's budget.
         jobs: Worker processes for the chaos cells (each cell is an
             independent, seed-deterministic pair of runs).  The recovery
             check stays serial — it is one stateful crash/resume story,
@@ -439,12 +450,18 @@ def run_resilience_study(
         if "duplicate" in fault_classes or "chaos" in fault_classes
         else None
     )
+    edr = None
+    if with_edr:
+        from repro.experiments.ext_edr import run_edr_shock_check
+
+        edr = run_edr_shock_check(seed=seed, slots=min(slots, 200))
     study = ResilienceStudy(
         cells=cells,
         seed=seed,
         slots=slots,
         recovery=recovery,
         duplicate_neutrality=duplicate_neutrality,
+        edr=edr,
     )
     violations = study.violations()
     if strict and violations:
@@ -462,6 +479,16 @@ def run_resilience_study(
             f"{recovery.resumed_slot} — trace_identical="
             f"{recovery.trace_identical}, result_identical="
             f"{recovery.result_identical}"
+        )
+    if strict and edr is not None and not (
+        edr.overloads_ok and edr.compliance_ok
+    ):
+        raise SimulationError(
+            f"EDR-shock invariant violated: overload slots during "
+            f"{edr.spot_overloads_during} (spot) vs "
+            f"{edr.capped_overloads_during} (capped), after "
+            f"{edr.spot_overloads_after} vs {edr.capped_overloads_after}, "
+            f"compliance_violations={edr.compliance_violations}"
         )
     d = duplicate_neutrality
     if strict and d is not None and not d.ok:
@@ -533,5 +560,16 @@ def render_resilience_study(study: ResilienceStudy) -> str:
             f"slot {r.crash_slot}, resumed from slot {r.resumed_slot} — "
             f"trace byte-identical: {r.trace_identical}, result "
             f"identical: {r.result_identical} [{status}]"
+        )
+    e = study.edr
+    if e is not None:
+        ok = e.overloads_ok and e.compliance_ok
+        status = "ok" if ok else "VIOLATED"
+        lines.append(
+            f"EDR-shock check ({e.name}): {e.event_slots} shocked slots, "
+            f"{e.shed_watts:.1f} W shed, overload slots during/after "
+            f"{e.spot_overloads_during}/{e.spot_overloads_after} (spot) vs "
+            f"{e.capped_overloads_during}/{e.capped_overloads_after} "
+            f"(capped), compliance lag {e.compliance_max_lag} [{status}]"
         )
     return "\n".join(lines)

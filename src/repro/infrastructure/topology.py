@@ -149,10 +149,12 @@ class PowerTopology:
             rack.clear_spot_budget()
 
     def restore_all_capacities(self) -> None:
-        """End every transient PDU/UPS derating (end-of-run cleanup)."""
+        """End every transient derating and event cut (end-of-run cleanup)."""
         for pdu in self._pdus.values():
             pdu.restore_capacity()
+            pdu.clear_event_cut()
         self.ups.restore_capacity()
+        self.ups.clear_event_cut()
 
     def __repr__(self) -> str:
         return (

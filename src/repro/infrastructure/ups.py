@@ -32,6 +32,8 @@ class Ups:
         self.ups_id = ups_id
         self.capacity_w = float(capacity_w)
         self._base_capacity_w = self.capacity_w
+        self._derate_fraction = 0.0
+        self._event_fraction = 0.0
 
     @property
     def base_capacity_w(self) -> float:
@@ -40,8 +42,15 @@ class Ups:
 
     @property
     def derated(self) -> bool:
-        """Whether a derating is currently in force."""
+        """Whether a derating or grid-event cut is currently in force."""
         return self.capacity_w < self._base_capacity_w
+
+    def _recompute(self) -> None:
+        # Fault deratings and grid-event cuts are independent layers;
+        # the deeper one binds (they overlap, never stack — both state
+        # "this much of the designed capacity is unusable").
+        fraction = max(self._derate_fraction, self._event_fraction)
+        self.capacity_w = self._base_capacity_w * (1.0 - fraction)
 
     def apply_derating(self, fraction: float) -> None:
         """Temporarily lose ``fraction`` of the designed capacity.
@@ -54,11 +63,33 @@ class Ups:
                 f"UPS {self.ups_id}: derating fraction must be in (0, 1), "
                 f"got {fraction}"
             )
-        self.capacity_w = self._base_capacity_w * (1.0 - fraction)
+        self._derate_fraction = fraction
+        self._recompute()
 
     def restore_capacity(self) -> None:
-        """End any derating and restore the designed capacity."""
-        self.capacity_w = self._base_capacity_w
+        """End any derating (grid-event cuts, if any, stay in force)."""
+        self._derate_fraction = 0.0
+        self._recompute()
+
+    def apply_event_cut(self, fraction: float) -> None:
+        """Lose ``fraction`` of the designed capacity to a grid event.
+
+        Models an EDR dispatch or utility-side derating cascade: an
+        exogenous cut in usable capacity, independent of equipment
+        faults, held until :meth:`clear_event_cut`.
+        """
+        if not 0 < fraction < 1:
+            raise TopologyError(
+                f"UPS {self.ups_id}: event cut fraction must be in (0, 1), "
+                f"got {fraction}"
+            )
+        self._event_fraction = fraction
+        self._recompute()
+
+    def clear_event_cut(self) -> None:
+        """End any grid-event cut (fault deratings stay in force)."""
+        self._event_fraction = 0.0
+        self._recompute()
 
     def headroom_w(self, aggregate_power_w: float) -> float:
         """Instantaneous spot capacity at the UPS (``P_o(t)`` before prediction)."""

@@ -1,7 +1,7 @@
 """Declarative scenario platform: schema, specs, presets, loader.
 
 A scenario spec is plain data (JSON/YAML) split into components —
-topology, time, demand, supply, prediction, faults, telemetry,
+topology, time, demand, supply, prediction, events, faults, telemetry,
 recovery — validated
 against :data:`~repro.scenarios.schema.SCHEMA` with JSON-pointer error
 paths, assembled into a live :class:`~repro.sim.scenario.Scenario` by
@@ -12,6 +12,8 @@ paths, assembled into a live :class:`~repro.sim.scenario.Scenario` by
 from repro.scenarios.loader import (
     build_scenario,
     dump_scenario,
+    event_profile_from_file,
+    events_from_spec,
     fault_profile_from_spec,
     load_scenario,
     prediction_profile_from_spec,
@@ -34,6 +36,8 @@ __all__ = [
     "build_scenario",
     "dump_scenario",
     "dump_spec",
+    "event_profile_from_file",
+    "events_from_spec",
     "fault_profile_from_spec",
     "load_scenario",
     "load_spec_file",

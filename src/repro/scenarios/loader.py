@@ -20,6 +20,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.errors import ConfigurationError
+from repro.events.profile import EventProfile
 from repro.forecast.profile import PredictionProfile
 from repro.resilience.profile import FaultProfile
 from repro.scenarios.spec import dump_spec, load_spec_file, normalize_spec
@@ -29,6 +30,8 @@ __all__ = [
     "build_scenario",
     "load_scenario",
     "dump_scenario",
+    "event_profile_from_file",
+    "events_from_spec",
     "fault_profile_from_spec",
     "prediction_profile_from_spec",
     "telemetry_from_spec",
@@ -121,6 +124,36 @@ def prediction_profile_from_spec(prediction) -> "PredictionProfile | None":
     return profile
 
 
+def events_from_spec(events) -> "EventProfile | None":
+    """Build the :class:`EventProfile` a normalised component names.
+
+    The all-defaults block (what a spec without an ``events`` component
+    normalises to) maps to ``None``: the engine then builds no shock
+    absorber at all, preserving byte-identical default traces.
+    """
+    if events is None:
+        return None
+    profile = EventProfile.from_spec(events)
+    if profile == EventProfile():
+        return None
+    return profile
+
+
+def event_profile_from_file(path) -> "EventProfile | None":
+    """Load a standalone ``events`` component file (JSON or YAML).
+
+    The file holds just the events block — the same shape as a spec's
+    ``events`` component — validated against the scenario schema's
+    events sub-schema.  Used by the ``--event-schedule`` CLI flag.
+    """
+    from repro.scenarios.schema import SCHEMA, validate_instance
+    from repro.scenarios.spec import normalize_events, parse_component_file
+
+    raw = parse_component_file(path)
+    validate_instance(raw, SCHEMA["properties"]["events"], "/events")
+    return events_from_spec(normalize_events(raw))
+
+
 def telemetry_from_spec(telemetry) -> "TelemetryConfig | None":
     """Build the :class:`TelemetryConfig` a normalised component names."""
     if telemetry is None:
@@ -200,6 +233,7 @@ def build_scenario(
     else:
         builder.with_telemetry(telemetry_from_spec(normal["telemetry"]))
     builder.with_prediction(prediction_profile_from_spec(normal["prediction"]))
+    builder.with_events(events_from_spec(normal["events"]))
     deadline = normal["recovery"]["clearing_deadline_s"]
     if deadline is not None:
         builder.with_clearing_deadline(deadline)

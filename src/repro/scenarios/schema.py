@@ -1,8 +1,8 @@
 """The component-wise scenario-spec schema and its validator.
 
 The schema is *data*: :data:`SCHEMA` describes every component of a
-declarative scenario spec (topology, time, demand, supply, faults,
-telemetry, recovery) in a small JSON-Schema dialect, and
+declarative scenario spec (topology, time, demand, supply, prediction,
+events, faults, telemetry, recovery) in a small JSON-Schema dialect, and
 :func:`validate_spec` walks an instance against it, raising
 :class:`~repro.errors.ConfigurationError` whose message begins with the
 JSON-pointer path of the first offending field (e.g.
@@ -149,6 +149,62 @@ _PREDICTION = {
     "additionalProperties": False,
 }
 
+#: Grid-event kinds the events component can schedule.
+EVENT_KINDS = ("edr_shock", "price_spike", "derating_cascade")
+
+#: One scheduled grid event.  ``kind`` and ``slot`` are always
+#: required; which of the remaining keys are allowed depends on the
+#: kind and is enforced by the normaliser.
+_EVENT = {
+    "type": "object",
+    "properties": {
+        "kind": {"type": "string", "enum": list(EVENT_KINDS)},
+        "slot": {"type": "integer", "minimum": 0},
+        "duration_slots": {"type": "integer", "minimum": 1},
+        "fraction": {"type": "number", "exclusiveMinimum": 0, "maximum": 1},
+        "unit_id": {"type": ["string", "null"], "minLength": 1},
+        "reserve_price": {"type": ["number", "null"], "minimum": 0},
+        "stages": {"type": "integer", "minimum": 1},
+        "stage_slots": {"type": "integer", "minimum": 1},
+        "fraction_per_stage": {
+            "type": "number",
+            "exclusiveMinimum": 0,
+            "maximum": 1,
+        },
+    },
+    "required": ["kind", "slot"],
+    "additionalProperties": False,
+}
+
+#: Declarative grid-event component (repro.events): a manual schedule
+#: of typed events, an optional seeded EDR arrival process, and an
+#: optional wholesale price trace for reserve-price coupling.  Always
+#: normalised to a fully defaulted block so sweep axes like
+#: ``events.rate`` are one-line dotted paths.
+_EVENTS = {
+    "type": ["object", "null"],
+    "properties": {
+        "schedule": {"type": "array", "items": _EVENT},
+        "seed": {"type": ["integer", "null"]},
+        "rate": {"type": "number", "minimum": 0, "maximum": 1},
+        "shock_fraction": {
+            "type": "number",
+            "exclusiveMinimum": 0,
+            "maximum": 1,
+        },
+        "shock_duration_slots": {"type": "integer", "minimum": 1},
+        "compliance_slots": {"type": "integer", "minimum": 1},
+        "price_coupling": {"type": "number", "minimum": 0},
+        "reserve_uplift": {"type": "number", "minimum": 0},
+        "wholesale_trace": {
+            "type": ["array", "null"],
+            "items": {"type": "number", "minimum": 0},
+        },
+    },
+    "required": [],
+    "additionalProperties": False,
+}
+
 _TELEMETRY = {
     "type": ["object", "null"],
     "properties": {
@@ -217,6 +273,7 @@ SCHEMA = {
             "additionalProperties": False,
         },
         "prediction": _PREDICTION,
+        "events": _EVENTS,
         "faults": _FAULTS,
         "telemetry": _TELEMETRY,
         "recovery": {

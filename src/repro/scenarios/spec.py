@@ -39,8 +39,10 @@ from repro.scenarios.schema import (
 
 __all__ = [
     "normalize_spec",
+    "normalize_events",
     "dump_spec",
     "parse_spec_text",
+    "parse_component_file",
     "load_spec_file",
     "spec_pdu_ids",
 ]
@@ -82,6 +84,39 @@ _PREDICTION_DEFAULTS = {
     "safety_margin_fraction": 0.025,
     "window": None,
     "risk_quantile": None,
+}
+
+#: Scalar-field defaults of :class:`repro.events.EventProfile`, mirrored
+#: so the events component always normalises to a complete block — a
+#: missing/null component fills in entirely, keeping sweep axes like
+#: ``events.rate`` valid dotted paths on every spec.
+#: ``tests/test_scenarios_spec.py`` pins this mirror against the
+#: dataclass defaults.
+_EVENTS_DEFAULTS = {
+    "schedule": [],
+    "seed": None,
+    "rate": 0.0,
+    "shock_fraction": 0.3,
+    "shock_duration_slots": 12,
+    "compliance_slots": 3,
+    "price_coupling": 1.0,
+    "reserve_uplift": 0.0,
+    "wholesale_trace": None,
+}
+
+#: Per-kind defaults for scheduled grid events, mirroring the
+#: :mod:`repro.events.types` dataclass defaults (also pinned by
+#: ``tests/test_scenarios_spec.py``).  A kind's entry lists every field
+#: it accepts beyond ``kind``/``slot``.
+_EVENT_KIND_DEFAULTS = {
+    "edr_shock": {"duration_slots": 12, "fraction": 0.3, "unit_id": None},
+    "price_spike": {"duration_slots": 12, "reserve_price": None},
+    "derating_cascade": {
+        "stages": 3,
+        "stage_slots": 5,
+        "fraction_per_stage": 0.1,
+        "unit_id": None,
+    },
 }
 
 _TELEMETRY_DEFAULTS = {
@@ -207,6 +242,55 @@ def _normalize_faults(faults) -> "dict | None":
     }
 
 
+def normalize_events(events) -> dict:
+    """Normalise the events component to its fully-defaulted block.
+
+    ``None`` yields the all-defaults block (no events, no coupling) so
+    every spec carries the same shape and sweep axes stay valid.
+    Schedule entries get their kind's defaults filled in, and fields
+    belonging to a different kind are rejected with a pointered error.
+    """
+    out = dict(_EVENTS_DEFAULTS)
+    out.update(events or {})
+    if out["rate"] >= 1:
+        # The schema's inclusive bound admits 1.0; the profile does not.
+        _fail("/events/rate", "must be < 1")
+    if out["shock_fraction"] >= 1:
+        _fail("/events/shock_fraction", "must be < 1")
+    schedule = []
+    for i, entry in enumerate(out["schedule"] or []):
+        pointer = f"/events/schedule/{i}"
+        kind = entry["kind"]
+        defaults = _EVENT_KIND_DEFAULTS[kind]
+        for field in entry:
+            if field not in ("kind", "slot") and field not in defaults:
+                _fail(
+                    f"{pointer}/{field}",
+                    f"not a valid field for event kind {kind!r}",
+                )
+        normal = {"kind": kind, "slot": entry["slot"]}
+        for field, default in defaults.items():
+            normal[field] = entry.get(field, default)
+        if kind == "edr_shock" and normal["fraction"] >= 1:
+            _fail(f"{pointer}/fraction", "must be < 1")
+        if kind == "derating_cascade":
+            terminal = normal["stages"] * normal["fraction_per_stage"]
+            if terminal >= 1:
+                _fail(
+                    f"{pointer}/fraction_per_stage",
+                    "terminal cut stages * fraction_per_stage must be < 1, "
+                    f"got {terminal}",
+                )
+        schedule.append(normal)
+    out["schedule"] = schedule
+    trace = out["wholesale_trace"]
+    if trace is not None:
+        if not trace:
+            _fail("/events/wholesale_trace", "must not be empty")
+        out["wholesale_trace"] = [float(v) for v in trace]
+    return out
+
+
 def normalize_spec(raw) -> dict:
     """Validate a spec and return its fully-defaulted normal form.
 
@@ -283,6 +367,7 @@ def normalize_spec(raw) -> dict:
             ),
         },
         "prediction": prediction,
+        "events": normalize_events(spec.get("events")),
         "faults": _normalize_faults(spec.get("faults")),
         "telemetry": telemetry,
         "recovery": {"clearing_deadline_s": deadline},
@@ -313,6 +398,11 @@ def parse_spec_text(text: str, source: str = "<spec>") -> dict:
     :mod:`yaml` dependency; without it, non-JSON input is rejected with
     a clear error rather than a guess.
     """
+    return normalize_spec(_parse_mapping(text, source))
+
+
+def _parse_mapping(text: str, source: str) -> dict:
+    """Parse JSON-or-YAML text to a raw (unvalidated) mapping."""
     try:
         raw = json.loads(text)
     except json.JSONDecodeError:
@@ -332,7 +422,25 @@ def parse_spec_text(text: str, source: str = "<spec>") -> dict:
             f"{source}: scenario spec must be a mapping, "
             f"got {type(raw).__name__}"
         )
-    return normalize_spec(raw)
+    return raw
+
+
+def parse_component_file(path) -> dict:
+    """Read one standalone component file to a raw mapping.
+
+    Unlike :func:`load_spec_file` the content is *not* normalised as a
+    full scenario spec — the caller validates it against the relevant
+    component sub-schema (e.g. the ``--event-schedule`` CLI flag
+    validates against the events sub-schema).
+    """
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read component file {path}: {exc}"
+        ) from exc
+    return _parse_mapping(text, source=str(path))
 
 
 def load_spec_file(path) -> dict:

@@ -101,6 +101,7 @@ class ScenarioBuilder:
         self._fault_profile = None
         self._telemetry = None
         self._prediction = None
+        self._events = None
         self._clearing_deadline = None
 
     def with_fault_profile(self, profile) -> "ScenarioBuilder":
@@ -132,6 +133,18 @@ class ScenarioBuilder:
         paper's rule — byte-identical traces to the pre-forecast engine.
         """
         self._prediction = profile
+        return self
+
+    def with_events(self, profile) -> "ScenarioBuilder":
+        """Attach a :class:`repro.events.EventProfile` to the run.
+
+        Every engine built from the resulting scenario resolves the
+        profile's grid events — EDR capacity shocks, wholesale price
+        coupling, derating cascades — through the shock-absorption
+        ladder.  ``None`` (the default) keeps capacity and reserve price
+        static — byte-identical traces to the pre-events engine.
+        """
+        self._events = profile
         return self
 
     def with_clearing_deadline(
@@ -414,6 +427,7 @@ class ScenarioBuilder:
                     ),
                 },
                 "prediction": self._prediction_spec(),
+                "events": self._events_spec(),
                 "faults": self._faults_spec(),
                 "telemetry": self._telemetry_spec(),
                 "recovery": {"clearing_deadline_s": self._clearing_deadline},
@@ -435,6 +449,13 @@ class ScenarioBuilder:
         if profile is None:
             return None
         return dataclasses.asdict(profile)
+
+    def _events_spec(self) -> "dict | None":
+        """Spec form of the attached event profile (fully data)."""
+        profile = self._events
+        if profile is None:
+            return None
+        return profile.to_spec()
 
     def _telemetry_spec(self) -> "dict | None":
         """Spec form of the attached telemetry config (scalar fields)."""
@@ -551,4 +572,5 @@ class ScenarioBuilder:
             telemetry=self._telemetry,
             clearing_deadline_s=self._clearing_deadline,
             prediction=self._prediction,
+            events=self._events,
         )

@@ -51,6 +51,7 @@ from repro.config import MarketParameters
 from repro.core.market import Allocator, SlotMarketRecord, SpotDCAllocator
 from repro.economics.profit import OperatorLedger
 from repro.errors import RecoveryError, SimulationError
+from repro.events.absorber import ShockAbsorber
 from repro.forecast.release import RiskAwareReleasePolicy
 from repro.forecast.signals import CurrentDrawSignal, Signal
 from repro.infrastructure.emergencies import EmergencyLog
@@ -242,9 +243,15 @@ class SimulationEngine:
                 fault_model = profile.build(seed=seed)
         self.fault_model = fault_model
         self.enforcement = enforcement
+        events = getattr(scenario, "events", None)
+        self.shock_absorber = ShockAbsorber(events) if events is not None else None
         if degradation is None:
+            # Grid events need the §III-C revocation ladder (rung 3 of
+            # the shock absorber) even in fault-free runs.
             degradation = (
-                DegradationController() if fault_model is not None else None
+                DegradationController()
+                if fault_model is not None or self.shock_absorber is not None
+                else None
             )
         elif degradation is False:
             degradation = None
@@ -380,6 +387,15 @@ class SimulationEngine:
         injector = self.fault_model
 
         registry = self.telemetry.registry
+        absorber = self.shock_absorber
+        if absorber is not None:
+            if resume_from is None:
+                # The schedule is materialised once, up front: a crash
+                # mid-event resumes the checkpointed absorber (with the
+                # already-built schedule) and replays the remaining
+                # event window byte-identically.
+                absorber.prepare(scenario.seed, slots)
+            absorber.bind_telemetry(registry)
         # On a fresh run the "seen" cursors are all zero; on resume they
         # pick up the checkpointed logs' lengths so "new since" deltas
         # stay correct.
@@ -467,6 +483,7 @@ class SimulationEngine:
         slot_seconds = st.slot_seconds
         slot_hours = st.slot_hours
         injector = self.fault_model
+        absorber = self.shock_absorber
         tel = self.telemetry
         tracer = tel.tracer
         registry = tel.registry
@@ -478,6 +495,11 @@ class SimulationEngine:
             injector.check_crash(slot)
         with tracer.span("slot", slot=slot) as slot_span:
             topology.clear_all_spot_budgets()
+            if absorber is not None:
+                # Grid events resolve at the top of the slot — capacity
+                # cuts land before the forecast reads the topology, and
+                # the reserve price is pinned before the clear.
+                absorber.on_slot_start(slot, topology, self.allocator, tracer)
 
             requesting = frozenset(
                 rack_id
@@ -493,7 +515,16 @@ class SimulationEngine:
                 banded = self.signal.forecast_slot(
                     topology, requesting, self.monitor, slot
                 )
-                forecast = self.release_policy.release(banded, topology)
+                release_policy = self.release_policy
+                if absorber is not None:
+                    # Rung 2: tighten the release quantile while a
+                    # capacity event is in force.
+                    release_policy = absorber.effective_release_policy(
+                        release_policy
+                    )
+                forecast = release_policy.release(banded, topology)
+                if absorber is not None:
+                    forecast = absorber.adjust_release(forecast)
                 predict_span.set(
                     requesting_racks=len(requesting),
                     ups_spot_w=forecast.ups_spot_w,
@@ -684,7 +715,10 @@ class SimulationEngine:
                         slot_seconds,
                         true_reference_w=true_references,
                     )
-                    for action in self.degradation.new_actions(st.actions_seen):
+                    new_actions = list(
+                        self.degradation.new_actions(st.actions_seen)
+                    )
+                    for action in new_actions:
                         tracer.event(
                             f"degradation.{action.kind}",
                             slot=slot,
@@ -697,6 +731,11 @@ class SimulationEngine:
                             revoked_this_slot += 1
                             revoked_watts += action.watts
                     st.actions_seen = len(self.degradation.actions)
+                    if absorber is not None:
+                        # Rung 4 bookkeeping: emergency caps fired during
+                        # an event window put the unit in a zero-release
+                        # warning state until the window closes.
+                        absorber.note_control_actions(slot, new_actions)
                     for note in self.degradation.new_credits(st.credits_seen):
                         tracer.event(
                             "settlement.credit",
@@ -745,6 +784,10 @@ class SimulationEngine:
                     )
                 st.m_emergencies.inc(len(emergencies))
                 st.emergencies_seen += len(emergencies)
+                if absorber is not None:
+                    # EDR compliance (invariant 2): close watch windows
+                    # whose draw is back under the shocked capacity.
+                    absorber.observe_draw(slot, topology)
                 if self.enforcement is not None:
                     self.enforcement.review(topology, slot)
                 st.m_revoked_w.inc(revoked_watts)
@@ -855,6 +898,10 @@ class SimulationEngine:
         # Leave the topology as designed: any derating still in force at
         # the end of the run is transient state, not facility structure.
         topology.restore_all_capacities()
+        if self.shock_absorber is not None:
+            # Rung-1 unwind: the market leaves the run on the scenario's
+            # own reserve price even if an event outlived the horizon.
+            self.shock_absorber.finish(self.allocator)
 
         result = SimulationResult(
             allocator_name=self.allocator.name,
@@ -879,6 +926,11 @@ class SimulationEngine:
                 self.degradation.credits if self.degradation is not None else ()
             ),
             quarantined_bids=dict(self._quarantined_by_tenant),
+        )
+        result.events_report = (
+            self.shock_absorber.summary()
+            if self.shock_absorber is not None
+            else None
         )
         if tel.enabled:
             self._emit_settlement_events(result, tel.tracer)
@@ -1015,6 +1067,10 @@ class SimulationEngine:
         }
         if self.release_policy.risk_quantile is not None:
             data["risk_quantile"] = self.release_policy.risk_quantile
+        if self.shock_absorber is not None:
+            # Only event-coupled runs carry the block: default-path
+            # summaries must stay byte-identical to the pre-events engine.
+            data["grid_events"] = self.shock_absorber.summary()
         return data
 
 

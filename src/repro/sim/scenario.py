@@ -30,6 +30,7 @@ from repro.config import (
 )
 from repro.economics.pricing import PriceSheet
 from repro.errors import ConfigurationError
+from repro.events.profile import EventProfile
 from repro.forecast.profile import PredictionProfile
 from repro.infrastructure.topology import PowerTopology
 from repro.power.server import ServerPowerModel
@@ -155,6 +156,11 @@ class Scenario:
             builds the forecasting signal and risk-aware release policy
             from it unless explicit ``signal``/``spot_predictor``
             arguments override; ``None`` keeps the paper's rule.
+        events: Optional declarative grid-event configuration
+            (:class:`repro.events.EventProfile`).  The engine builds a
+            :class:`repro.events.ShockAbsorber` from it — EDR capacity
+            shocks, wholesale price coupling, and the shock-absorption
+            ladder; ``None`` keeps capacity and reserve price static.
         clearing_deadline_s: Wall-clock budget for the clear phase
             (:mod:`repro.recovery.deadline`).  ``None`` (default)
             disables the guard — wall time is nondeterministic, so runs
@@ -176,6 +182,7 @@ class Scenario:
     telemetry: "TelemetryConfig | None" = None
     clearing_deadline_s: "float | bool | None" = None
     prediction: "PredictionProfile | None" = None
+    events: "EventProfile | None" = None
     spec: "dict | None" = dataclasses.field(
         default=None, compare=False, repr=False
     )

@@ -17,7 +17,7 @@ class TestList:
             "table1", "fig02", "fig07", "fig08", "fig09", "fig10",
             "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
             "fig17", "fig18", "ablations", "equilibrium", "resilience",
-            "prediction-risk",
+            "prediction-risk", "edr",
         }
         assert set(EXPERIMENT_REGISTRY) == expected
 

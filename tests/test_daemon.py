@@ -373,3 +373,82 @@ class TestCliHelpers:
 
     def test_encode_is_json_lines(self):
         assert json.loads(encode_message({"op": "hello"})) == {"op": "hello"}
+
+
+class TestTornJournal:
+    """read_records forgives crash artifacts, not corruption."""
+
+    RECORDS = [
+        {"kind": "slot", "slot": 0, "price": 0.05},
+        {"kind": "slot", "slot": 1, "price": 0.07},
+        {"kind": "slot", "slot": 2, "price": 0.06},
+    ]
+
+    def write(self, path, records=None):
+        lines = [
+            json.dumps(r, sort_keys=True) + "\n"
+            for r in (records or self.RECORDS)
+        ]
+        path.write_text("".join(lines), encoding="utf-8")
+        return lines
+
+    def test_missing_and_empty_files_read_clean(self, tmp_path):
+        assert read_records(tmp_path / "absent.jsonl") == []
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert read_records(empty) == []
+
+    def test_torn_trailing_record_without_newline_is_dropped(self, tmp_path):
+        # Killed mid-write: the final record has no terminating newline.
+        path = tmp_path / "market.jsonl"
+        lines = self.write(path)
+        path.write_text("".join(lines) + '{"kind": "slot", "slo')
+        with pytest.warns(UserWarning, match="torn trailing record"):
+            records = read_records(path)
+        assert records == self.RECORDS
+
+    def test_record_truncated_mid_byte_before_newline_is_dropped(
+        self, tmp_path
+    ):
+        # Filesystem truncation cut the final record mid-byte while its
+        # newline survived: the last *line* is unparseable JSON.
+        path = tmp_path / "market.jsonl"
+        lines = self.write(path)
+        torn = lines[-1][: len(lines[-1]) // 2].rstrip("\n") + "\n"
+        path.write_text("".join(lines[:-1]) + torn)
+        with pytest.warns(UserWarning, match="unparseable final record"):
+            records = read_records(path)
+        assert records == self.RECORDS[:-1]
+
+    def test_sole_torn_record_reads_as_empty(self, tmp_path):
+        path = tmp_path / "market.jsonl"
+        path.write_text('{"kind": "slot"')
+        with pytest.warns(UserWarning, match="torn trailing record"):
+            assert read_records(path) == []
+
+    def test_interior_corruption_still_raises(self, tmp_path):
+        # A mangled line *followed by* complete records is not a crash
+        # artifact — refusing to guess is the only safe behavior.
+        path = tmp_path / "market.jsonl"
+        lines = self.write(path)
+        lines[1] = lines[1][:10].rstrip("\n") + "\n"
+        path.write_text("".join(lines))
+        with pytest.raises(json.JSONDecodeError):
+            read_records(path)
+
+    def test_resume_over_a_torn_journal_replays_clean(self, tmp_path):
+        # End to end: run to completion, tear the final journal bytes,
+        # and check the torn tail is invisible to the reader — exactly
+        # what a resumed daemon sees after a kill mid-append.
+        daemon = make_daemon(tmp_path)
+        try:
+            while not daemon.done:
+                daemon.process_next_slot()
+        finally:
+            daemon.close()
+        journal = tmp_path / "market.jsonl"
+        data = journal.read_bytes()
+        journal.write_bytes(data[:-7])  # tear the invoices record
+        with pytest.warns(UserWarning):
+            records = read_records(journal)
+        assert [r["kind"] for r in records] == ["slot"] * SLOTS

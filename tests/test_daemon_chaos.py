@@ -45,6 +45,27 @@ class TestCrashSafetyInProcess:
         report = check_crash_safety(tmp_path, seed=2, slots=6, crash_slots=(1,))
         assert report["restarts"] == 1
 
+    def test_invariant_holds_when_killed_inside_an_event_window(
+        self, tmp_path
+    ):
+        # The kill lands mid-EDR-window: the resumed daemon must replay
+        # the remaining window (reserve uplift, release haircut, caps)
+        # byte-identically, not just the calm-market slots.
+        from repro.events import EdrShock, EventProfile
+
+        profile = EventProfile(
+            schedule=(EdrShock(slot=3, duration_slots=5, fraction=0.05),)
+        )
+        report = check_crash_safety(
+            tmp_path,
+            seed=5,
+            slots=10,
+            crash_slots=(4, 6),
+            events_profile=profile,
+        )
+        assert report["restarts"] == 2
+        assert report["slots"] == 10
+
 
 def _spotdc(*argv, check=True, expect=None):
     env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))

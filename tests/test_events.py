@@ -1,0 +1,507 @@
+"""Grid events: types, schedules, the shock absorber, and the four
+machine-checked survivability invariants (see ``docs/events.md``)."""
+
+import dataclasses
+import pathlib
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_SEED
+from repro.core.baselines import PowerCappedAllocator
+from repro.errors import ConfigurationError, OperatorCrash
+from repro.events import (
+    DeratingCascade,
+    EdrShock,
+    EventProfile,
+    EventSchedule,
+    PriceSpike,
+    wholesale_trace_from_file,
+)
+from repro.infrastructure.ups import Ups
+from repro.recovery import latest_checkpoint
+from repro.resilience import FaultProfile
+from repro.sim.engine import run_simulation
+# Aliased: pytest would otherwise collect names starting with "test".
+from repro.sim.scenario import testbed_scenario as make_testbed
+
+#: An absorbable testbed shock: guaranteed draw peaks ~1,296 W of the
+#: 1,370 W UPS, so a 5% cut (shocked capacity 1,301.5 W) leaves the
+#: guaranteed load compliant while forcing the market to shed its spot.
+SHOCK = EdrShock(slot=10, duration_slots=15, fraction=0.05)
+
+
+def shocked(seed=DEFAULT_SEED, **kwargs):
+    profile = EventProfile(schedule=(SHOCK,), **kwargs)
+    return dataclasses.replace(make_testbed(seed=seed), events=profile)
+
+
+# ---------------------------------------------------------------------------
+# Event types and schedules
+
+
+class TestEventTypes:
+    def test_edr_shock_window(self):
+        shock = EdrShock(slot=5, duration_slots=3, fraction=0.2)
+        assert shock.end_slot == 8
+        assert shock.capacity_cut(4) == 0.0
+        assert shock.capacity_cut(5) == 0.2
+        assert shock.capacity_cut(7) == 0.2
+        assert shock.capacity_cut(8) == 0.0
+
+    def test_cascade_deepens_by_stage(self):
+        cascade = DeratingCascade(
+            slot=10, stages=3, stage_slots=4, fraction_per_stage=0.1
+        )
+        assert cascade.end_slot == 22
+        assert cascade.capacity_cut(9) == 0.0
+        assert cascade.capacity_cut(10) == pytest.approx(0.1)
+        assert cascade.capacity_cut(14) == pytest.approx(0.2)
+        assert cascade.capacity_cut(21) == pytest.approx(0.3)
+        assert cascade.capacity_cut(22) == 0.0
+
+    def test_cascade_terminal_cut_must_stay_below_one(self):
+        with pytest.raises(ConfigurationError, match="terminal cut"):
+            DeratingCascade(slot=0, stages=4, fraction_per_stage=0.3)
+
+    def test_shock_fraction_bounds(self):
+        with pytest.raises(ConfigurationError, match="fraction"):
+            EdrShock(slot=0, fraction=1.0)
+        with pytest.raises(ConfigurationError, match="fraction"):
+            EdrShock(slot=0, fraction=0.0)
+
+    def test_schedule_capacity_cuts_take_deepest(self):
+        schedule = EventSchedule(
+            events=(
+                EdrShock(slot=0, duration_slots=10, fraction=0.1),
+                EdrShock(slot=2, duration_slots=4, fraction=0.3),
+            )
+        )
+        assert schedule.capacity_cuts(1) == {None: 0.1}
+        assert schedule.capacity_cuts(3) == {None: 0.3}
+        assert schedule.capacity_cuts(7) == {None: 0.1}
+        assert schedule.capacity_cuts(10) == {}
+
+    def test_price_spike_pins_reserve(self):
+        schedule = EventSchedule(
+            events=(PriceSpike(slot=3, duration_slots=2, reserve_price=0.4),)
+        )
+        assert schedule.reserve_price_at(2) is None
+        assert schedule.reserve_price_at(3) == 0.4
+        assert schedule.reserve_price_at(5) is None
+
+    def test_trace_only_couples_whole_horizon(self):
+        schedule = EventSchedule(
+            wholesale_trace=(0.1, 0.2), price_coupling=2.0
+        )
+        assert schedule.reserve_price_at(0) == pytest.approx(0.2)
+        assert schedule.reserve_price_at(1) == pytest.approx(0.4)
+        # Past the trace end the last sample holds.
+        assert schedule.reserve_price_at(9) == pytest.approx(0.4)
+
+    def test_spike_tracks_trace_only_inside_window(self):
+        schedule = EventSchedule(
+            events=(PriceSpike(slot=1, duration_slots=1),),
+            wholesale_trace=(0.3,),
+        )
+        assert schedule.reserve_price_at(0) is None
+        assert schedule.reserve_price_at(1) == pytest.approx(0.3)
+
+    def test_wholesale_trace_file_forms(self, tmp_path):
+        json_file = tmp_path / "trace.json"
+        json_file.write_text("[0.1, 0.2]")
+        assert wholesale_trace_from_file(json_file) == (0.1, 0.2)
+        text_file = tmp_path / "trace.txt"
+        text_file.write_text("# header\n0.1\n\n0.2  # peak\n")
+        assert wholesale_trace_from_file(text_file) == (0.1, 0.2)
+        bad = tmp_path / "bad.txt"
+        bad.write_text("nope\n")
+        with pytest.raises(ConfigurationError, match="non-numeric"):
+            wholesale_trace_from_file(bad)
+
+
+class TestEventProfile:
+    def test_arrival_process_is_deterministic(self):
+        profile = EventProfile(rate=0.1)
+        a = profile.build_schedule(7, 200)
+        b = profile.build_schedule(7, 200)
+        assert a == b
+        assert any(e.kind == "edr_shock" for e in a.events)
+
+    def test_arrival_process_never_overlaps(self):
+        profile = EventProfile(rate=0.3, shock_duration_slots=5)
+        schedule = profile.build_schedule(3, 300)
+        spans = sorted((e.slot, e.end_slot) for e in schedule.events)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start > end
+
+    def test_explicit_seed_decouples_from_scenario_seed(self):
+        profile = EventProfile(rate=0.2, seed=11)
+        assert profile.build_schedule(1, 150) == profile.build_schedule(2, 150)
+
+    def test_spec_round_trip(self):
+        profile = EventProfile(
+            schedule=(
+                EdrShock(slot=4, duration_slots=6, fraction=0.1),
+                PriceSpike(slot=4, duration_slots=6, reserve_price=0.3),
+                DeratingCascade(slot=20, stages=2, fraction_per_stage=0.05),
+            ),
+            rate=0.01,
+            reserve_uplift=0.05,
+            wholesale_trace=(0.1, 0.2),
+        )
+        assert EventProfile.from_spec(profile.to_spec()) == profile
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError, match="rate"):
+            EventProfile(rate=1.0)
+
+
+# ---------------------------------------------------------------------------
+# Two-layer capacity model (event cuts vs fault deratings)
+
+
+class TestEventCapacityLayer:
+    def test_event_cut_composes_with_derating(self):
+        ups = Ups("ups", 1000.0)
+        ups.apply_event_cut(0.1)
+        assert ups.capacity_w == pytest.approx(900.0)
+        # A shallower fault derating is shadowed by the deeper cut...
+        ups.apply_derating(0.05)
+        assert ups.capacity_w == pytest.approx(900.0)
+        # ...and a deeper one wins.
+        ups.apply_derating(0.2)
+        assert ups.capacity_w == pytest.approx(800.0)
+        # Fault recovery must not clear the event cut.
+        ups.restore_capacity()
+        assert ups.capacity_w == pytest.approx(900.0)
+        ups.clear_event_cut()
+        assert ups.capacity_w == pytest.approx(1000.0)
+
+    def test_event_cut_bounds(self):
+        ups = Ups("ups", 1000.0)
+        with pytest.raises(Exception):
+            ups.apply_event_cut(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Engine integration
+
+
+class TestEngineIntegration:
+    def test_default_path_untouched(self):
+        # No events component -> no absorber, no events report, and the
+        # summary/telemetry surface is byte-identical to the seed repo.
+        result = run_simulation(make_testbed(seed=1), 20)
+        assert getattr(result, "events_report", None) is None
+
+    def test_shock_produces_events_report(self):
+        result = run_simulation(shocked(), 40)
+        report = result.events_report
+        assert report["events"] == 1
+        assert report["event_slots"] == 15
+        assert report["compliance_violations"] == 0
+        assert report["shed_watts"] >= 0.0
+
+    def test_capacity_restored_after_window(self):
+        scenario = shocked()
+        result = run_simulation(scenario, 40)
+        assert result is not None
+        # finish_run restores every capacity layer.
+        assert scenario.topology.ups.capacity_w == pytest.approx(
+            scenario.topology.ups._base_capacity_w
+        )
+
+    def test_invariant_1_no_additional_overloads(self):
+        spot = run_simulation(shocked(), 60)
+        capped = run_simulation(
+            shocked(), 60, allocator=PowerCappedAllocator()
+        )
+        assert spot.emergencies.overload_slot_count(
+            "ups"
+        ) <= capped.emergencies.overload_slot_count("ups")
+        assert spot.emergencies.overload_slot_count(
+            "pdu"
+        ) <= capped.emergencies.overload_slot_count("pdu")
+
+    def test_invariant_2_compliance_within_budget(self):
+        result = run_simulation(shocked(), 60)
+        report = result.events_report
+        assert report["compliance_violations"] == 0
+        assert report["compliance_max_lag_slots"] <= 3
+
+    def test_invariant_2_unabsorbable_shock_is_a_violation(self):
+        # A 30% cut leaves the shocked capacity far below guaranteed
+        # draw — no amount of spot revocation can comply, and the
+        # absorber must say so rather than quietly time the window out.
+        profile = EventProfile(
+            schedule=(EdrShock(slot=10, duration_slots=8, fraction=0.3),)
+        )
+        scenario = dataclasses.replace(
+            make_testbed(seed=DEFAULT_SEED), events=profile
+        )
+        result = run_simulation(scenario, 30)
+        assert result.events_report["compliance_violations"] >= 1
+
+    def test_invariant_3_settlement_neutral(self):
+        from repro.economics.settlement import build_all_invoices, reconcile
+
+        result = run_simulation(shocked(), 60)
+        reconcile(result)
+        credited = sum(n.dollars for n in result.credit_notes)
+        invoice_credit = sum(
+            i.spot_credit for i in build_all_invoices(result)
+        )
+        assert credited == pytest.approx(invoice_credit)
+
+    def test_price_spike_pins_clearing_price(self):
+        profile = EventProfile(
+            schedule=(
+                PriceSpike(slot=10, duration_slots=5, reserve_price=0.2),
+            )
+        )
+        scenario = dataclasses.replace(
+            make_testbed(seed=1), events=profile
+        )
+        result = run_simulation(scenario, 25)
+        prices = result.price_series()
+        assert (prices[10:15] >= 0.2).all()
+        # Before the spike the market clears below the pinned reserve
+        # (the unwind itself is covered by the params-restoration test).
+        assert prices[:10].min() < 0.2
+
+    def test_reserve_uplift_scales_with_severity(self):
+        profile = EventProfile(schedule=(SHOCK,), reserve_uplift=1.0)
+        scenario = dataclasses.replace(
+            make_testbed(seed=1), events=profile
+        )
+        result = run_simulation(scenario, 30)
+        assert result.events_report["max_reserve_price"] > 0.0
+
+    def test_grid_events_in_summary_only_with_events(self, tmp_path):
+        import json
+
+        from repro.telemetry import TelemetryConfig
+
+        run_simulation(
+            shocked(),
+            20,
+            telemetry=TelemetryConfig(out_dir=tmp_path, label="evt"),
+        )
+        summary = json.loads((tmp_path / "evt_summary.json").read_text())
+        assert "grid_events" in summary["data"]
+        assert summary["data"]["grid_events"]["events"] == 1
+
+    def test_events_metrics_exported(self, tmp_path):
+        from repro.telemetry import TelemetryConfig
+
+        run_simulation(
+            shocked(),
+            30,
+            telemetry=TelemetryConfig(out_dir=tmp_path, label="evt"),
+        )
+        text = (tmp_path / "evt_metrics.prom").read_text()
+        assert "events_active" in text
+        assert "events_shed_watts_total" in text
+        assert "events_compliance_lag_slots" in text
+
+
+# ---------------------------------------------------------------------------
+# Invariant 4: crash mid-event + resume is byte-identical
+
+
+@pytest.mark.recovery
+class TestMidEventRecovery:
+    def test_resume_replays_event_window_byte_identically(self):
+        crash_at = SHOCK.slot + SHOCK.duration_slots // 2
+        crashing = dataclasses.replace(
+            FaultProfile.named("none", 0.0),
+            seed=DEFAULT_SEED,
+            crash_at_slot=crash_at,
+        )
+        from repro.telemetry import TelemetryConfig
+
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = pathlib.Path(tmp)
+            with pytest.raises(OperatorCrash):
+                run_simulation(
+                    shocked(),
+                    40,
+                    fault_profile=crashing,
+                    telemetry=TelemetryConfig(
+                        out_dir=tmp / "crashed", label="run"
+                    ),
+                    checkpoint_every=5,
+                    checkpoint_dir=tmp / "ckpt",
+                )
+            checkpoint = latest_checkpoint(tmp / "ckpt")
+            assert checkpoint is not None
+            resumed = run_simulation(
+                shocked(),
+                40,
+                fault_profile=crashing,
+                resume_from=checkpoint,
+            )
+            reference = run_simulation(
+                shocked(),
+                40,
+                telemetry=TelemetryConfig(
+                    out_dir=tmp / "reference", label="run"
+                ),
+            )
+            assert (tmp / "crashed" / "run_trace.jsonl").read_bytes() == (
+                tmp / "reference" / "run_trace.jsonl"
+            ).read_bytes()
+        assert np.array_equal(
+            resumed.price_series(), reference.price_series()
+        )
+        assert resumed.events_report == reference.events_report
+
+
+# ---------------------------------------------------------------------------
+# Satellite 1: emergency-cap de-escalation unwinds fully
+
+
+class TestEmergencyCapUnwind:
+    def test_deep_shock_caps_then_unwinds(self):
+        from repro.sim.engine import SimulationEngine
+
+        # Deep enough to exhaust revocation and fire rung 4.
+        profile = EventProfile(
+            schedule=(EdrShock(slot=5, duration_slots=6, fraction=0.25),)
+        )
+        scenario = dataclasses.replace(
+            make_testbed(seed=1), events=profile
+        )
+        engine = SimulationEngine(scenario)
+        start = engine.begin_run(20)
+        absorber = engine.shock_absorber
+        saw_cap = False
+        for slot in range(start, 20):
+            engine.step_slot(slot)
+            if slot < 11 and absorber.capped_units:
+                saw_cap = True
+                assert absorber.cuts_in_force  # capped implies shocked
+            if slot >= 11:
+                # Window closed: every rung must have de-escalated.
+                assert absorber.capped_units == frozenset()
+                assert absorber.cuts_in_force == {}
+                assert scenario.topology.ups.capacity_w == pytest.approx(
+                    scenario.topology.ups._base_capacity_w
+                )
+        assert saw_cap, "the deep shock never fired the emergency cap"
+        result = engine.finish_run()
+        assert result.events_report["emergency_caps"] > 0
+
+    def test_reserve_price_restored_after_spike(self):
+        from repro.sim.engine import SimulationEngine
+
+        profile = EventProfile(
+            schedule=(
+                PriceSpike(slot=4, duration_slots=3, reserve_price=0.25),
+            )
+        )
+        scenario = dataclasses.replace(
+            make_testbed(seed=1), events=profile
+        )
+        engine = SimulationEngine(scenario)
+        base_params = engine.allocator.params
+        start = engine.begin_run(12)
+        for slot in range(start, 12):
+            engine.step_slot(slot)
+            if 4 <= slot < 7:
+                assert engine.allocator.params.reserve_price == 0.25
+            else:
+                assert (
+                    engine.allocator.params.reserve_price
+                    == base_params.reserve_price
+                )
+        engine.finish_run()
+        assert engine.allocator.params == base_params
+
+
+# ---------------------------------------------------------------------------
+# Scenario spec plumbing
+
+
+class TestEventsSpec:
+    def test_events_component_round_trips(self):
+        from repro.scenarios import (
+            build_scenario,
+            dump_scenario,
+            dump_spec,
+            normalize_spec,
+            testbed_spec,
+        )
+
+        spec = testbed_spec()
+        spec["events"] = {
+            "schedule": [
+                {"kind": "edr_shock", "slot": 8, "fraction": 0.05},
+                {"kind": "price_spike", "slot": 8, "reserve_price": 0.3},
+            ],
+            "reserve_uplift": 0.02,
+        }
+        canonical = dump_spec(normalize_spec(spec))
+        scenario = build_scenario(spec)
+        assert scenario.events is not None
+        assert len(scenario.events.schedule) == 2
+        assert dump_scenario(scenario) == canonical
+
+    def test_default_events_block_maps_to_none(self):
+        from repro.scenarios import build_scenario, testbed_spec
+        from repro.scenarios.loader import events_from_spec
+        from repro.scenarios.spec import normalize_events
+
+        assert events_from_spec(normalize_events(None)) is None
+        spec = testbed_spec()
+        spec["events"] = {}
+        assert build_scenario(spec).events is None
+
+    def test_cross_kind_fields_rejected_with_pointer(self):
+        from repro.scenarios import normalize_spec, testbed_spec
+
+        spec = testbed_spec()
+        spec["events"] = {
+            "schedule": [
+                {"kind": "price_spike", "slot": 1, "fraction": 0.2}
+            ]
+        }
+        with pytest.raises(
+            ConfigurationError, match="/events/schedule/0"
+        ):
+            normalize_spec(spec)
+
+    def test_sweepable_dotted_paths(self):
+        from repro.scenarios import normalize_spec, testbed_spec
+
+        normal = normalize_spec(testbed_spec())
+        # The sweep layer overrides dotted paths into the normal form;
+        # the events block must always be present and fully defaulted.
+        assert normal["events"]["rate"] == 0.0
+        assert normal["events"]["compliance_slots"] == 3
+
+    def test_event_profile_from_file(self, tmp_path):
+        import json
+
+        from repro.scenarios import event_profile_from_file
+
+        path = tmp_path / "events.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schedule": [
+                        {"kind": "edr_shock", "slot": 3, "fraction": 0.1}
+                    ]
+                }
+            )
+        )
+        profile = event_profile_from_file(path)
+        assert profile.schedule == (
+            EdrShock(slot=3, duration_slots=12, fraction=0.1, unit_id=None),
+        )
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"rate": 2.0}))
+        with pytest.raises(ConfigurationError):
+            event_profile_from_file(bad)

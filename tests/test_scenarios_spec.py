@@ -68,6 +68,37 @@ class TestSchema:
         }
         assert defaults == _PREDICTION_DEFAULTS
 
+    def test_events_defaults_mirror_dataclass(self):
+        from repro.events import EventProfile
+        from repro.scenarios.spec import _EVENTS_DEFAULTS
+
+        defaults = {
+            f.name: f.default for f in dataclasses.fields(EventProfile)
+        }
+        # The spec spells the empty schedule as a JSON list.
+        assert defaults.pop("schedule") == ()
+        spec_defaults = dict(_EVENTS_DEFAULTS)
+        assert spec_defaults.pop("schedule") == []
+        assert defaults == spec_defaults
+
+    def test_event_kind_defaults_mirror_dataclasses(self):
+        from repro.events import DeratingCascade, EdrShock, PriceSpike
+        from repro.scenarios.spec import _EVENT_KIND_DEFAULTS
+
+        kinds = {
+            "edr_shock": EdrShock,
+            "price_spike": PriceSpike,
+            "derating_cascade": DeratingCascade,
+        }
+        assert set(_EVENT_KIND_DEFAULTS) == set(kinds)
+        for kind, cls in kinds.items():
+            defaults = {
+                f.name: f.default
+                for f in dataclasses.fields(cls)
+                if f.name != "slot"
+            }
+            assert defaults == _EVENT_KIND_DEFAULTS[kind], kind
+
     def test_missing_required_field_has_root_pointer(self):
         spec = minimal_spec()
         del spec["spec_version"]

@@ -205,7 +205,11 @@ class TestSweepFiles:
 
         pytest.importorskip("yaml")
         examples = pathlib.Path(__file__).parent.parent / "examples" / "scenarios"
-        for name in ("sweep_smoke.yaml", "sweep_oversubscription.yaml"):
+        for name in (
+            "sweep_smoke.yaml",
+            "sweep_oversubscription.yaml",
+            "sweep_edr.yaml",
+        ):
             config = load_sweep_file(examples / name)
             assert config["axes"]
 
