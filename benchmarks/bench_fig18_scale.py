@@ -6,13 +6,41 @@ format, so scaling behaviour accumulates a machine-readable trajectory.
 """
 
 import pathlib
+import time
 
 import numpy as np
 
+from repro.config import DEFAULT_SEED, MarketParameters, make_rng
+from repro.core.clearing import MarketClearing
+from repro.core.frame import BidFrame
 from repro.experiments import render_fig18, run_fig18
+from repro.experiments.fig07_prediction_and_scaling import make_synthetic_bids
+from repro.sim.scenario import scaled_scenario
 from repro.telemetry import write_summary_json
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _slot_phase_times(groups: int) -> tuple[int, float, float]:
+    """Frame-build and per-PDU clear time at one facility scale.
+
+    Measured on a synthetic bid population with exactly the scaled
+    facility's rack count, so the two phases that dominate a slot at
+    scale accumulate their own trajectory columns alongside the
+    economic series.
+    """
+    racks = len(scaled_scenario(groups, seed=DEFAULT_SEED).rack_infos())
+    bids, pdu_spot, ups_spot = make_synthetic_bids(racks, make_rng(groups))
+    engine = MarketClearing(params=MarketParameters(price_step=0.001))
+    best_build = best_clear = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        frame = BidFrame.from_bids(bids)
+        best_build = min(best_build, time.perf_counter() - start)
+        start = time.perf_counter()
+        engine.clear_per_pdu(frame, pdu_spot, ups_spot)
+        best_clear = min(best_clear, time.perf_counter() - start)
+    return racks, best_build * 1e3, best_clear * 1e3
 
 
 def test_fig18_scale(benchmark, archive):
@@ -23,6 +51,9 @@ def test_fig18_scale(benchmark, archive):
         iterations=1,
     )
     archive("fig18_scale", render_fig18(sweep))
+    phase_times = [
+        _slot_phase_times(count // 10) for count in sweep.tenant_counts
+    ]
     write_summary_json(
         RESULTS_DIR / "fig18_scale.json",
         bench="fig18_scale",
@@ -31,6 +62,9 @@ def test_fig18_scale(benchmark, archive):
             "profit_increase": list(sweep.profit_increase),
             "perf_improvement": list(sweep.perf_improvement),
             "cost_increase": list(sweep.cost_increase),
+            "racks": [racks for racks, _, _ in phase_times],
+            "frame_build_ms": [build for _, build, _ in phase_times],
+            "clear_ms": [clear for _, _, clear in phase_times],
         },
         meta={"slots": 600},
     )

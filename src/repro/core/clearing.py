@@ -120,7 +120,28 @@ class MarketClearing:
         if isinstance(bids, BidFrame):
             if n_bids:
                 hi = min(hi, bids.max_acceptable_price())
-            points = bids.breakpoints
+            # Frames are immutable once built, so a grid computed for
+            # one (bounds, step, breakpoints-mode) tuple stays valid for
+            # the frame's whole lifetime.  The incremental builder hands
+            # the engine the *same frame object* on unchanged-bid slots,
+            # turning the per-slot grid rebuild into a dict hit.
+            key = (lo, hi, self.params.price_step, self.include_breakpoints)
+            cache = bids._grid_cache
+            if cache is None:
+                cache = bids._grid_cache = {}
+            grid = cache.get(key)
+            if grid is None:
+                if hi < lo:
+                    grid = np.array([lo])
+                else:
+                    grid = _base_grid(lo, hi, self.params.price_step)
+                    if self.include_breakpoints and n_bids:
+                        grid = _augment_grid(
+                            grid, bids.breakpoints, lo, hi,
+                            self.params.price_step,
+                        )
+                cache[key] = grid
+            return grid
         else:
             if n_bids:
                 hi = min(hi, max(b.demand.max_price for b in bids))
@@ -495,13 +516,22 @@ class MarketClearing:
             bids, pdu_spot_w, ups_spot_w, extra_constraints
         )
 
-    def _clear_per_pdu_frame(
+    def _apportion_pdu_caps(
         self,
         frame: BidFrame,
         pdu_spot_w: Mapping[str, float],
         ups_spot_w: float,
         extra_constraints: Sequence["CapacityConstraint"],
-    ) -> AllocationResult:
+    ) -> tuple[list[float], dict[str, float]]:
+        """Per-PDU spot caps after apportioning the UPS headroom.
+
+        Returns the caps in :meth:`BidFrame.pdu_slices` order, plus the
+        rack → servable-demand map shared with
+        :func:`_localize_constraints`.  Apportioning by servable
+        interest guarantees the caps sum to at most ``ups_spot_w``
+        whenever total interest exceeds it (Eq. 4 by construction) —
+        the property the sharded path's reconciliation pass relies on.
+        """
         servable = np.minimum(frame.max_demand_w, frame.rack_cap_w)
         max_demand = (
             {rid: float(v) for rid, v in zip(frame.rack_ids, servable)}
@@ -517,30 +547,76 @@ class MarketClearing:
             for seg, total in zip(seg_codes, local_interest)
         }
         total_interest = sum(interest.values())
-
-        grants: dict[str, float] = {}
-        pdu_prices: dict[str, float] = {}
-        revenue_rate = 0.0
-        candidates = 0
-        feasible = 0
-        for pdu_id, sub in frame.pdu_slices():
+        caps: list[float] = []
+        for seg in seg_codes:
+            pdu_id = frame.pdu_ids[int(seg)]
             local_cap = pdu_spot_w.get(pdu_id, 0.0)
             if total_interest > ups_spot_w and total_interest > 0:
                 local_cap = min(
                     local_cap, ups_spot_w * interest[pdu_id] / total_interest
                 )
+            caps.append(local_cap)
+        return caps, max_demand
+
+    def _pdu_tasks(
+        self,
+        frame: BidFrame,
+        pdu_spot_w: Mapping[str, float],
+        ups_spot_w: float,
+        extra_constraints: Sequence["CapacityConstraint"],
+    ) -> list[tuple[str, BidFrame, float, tuple]]:
+        """The per-PDU clearing work list: ``(pdu_id, slice, cap, cons)``.
+
+        Each task is self-contained — clearing it touches nothing
+        outside its own slice — which is what makes the list a valid
+        unit of distribution for :mod:`repro.core.sharding`.
+        """
+        caps, max_demand = self._apportion_pdu_caps(
+            frame, pdu_spot_w, ups_spot_w, extra_constraints
+        )
+        tasks: list[tuple[str, BidFrame, float, tuple]] = []
+        for (pdu_id, sub), local_cap in zip(frame.pdu_slices(), caps):
             local_constraints = (
-                _localize_constraints(
-                    extra_constraints,
-                    set(sub.rack_ids),
-                    max_demand,
+                tuple(
+                    _localize_constraints(
+                        extra_constraints,
+                        set(sub.rack_ids),
+                        max_demand,
+                    )
                 )
                 if extra_constraints
                 else ()
             )
-            local = self._clear_frame(
-                sub, {pdu_id: local_cap}, local_cap, local_constraints
-            )
+            tasks.append((pdu_id, sub, local_cap, local_constraints))
+        return tasks
+
+    def _clear_pdu_slice(
+        self, task: tuple[str, BidFrame, float, tuple]
+    ) -> AllocationResult:
+        """Clear one PDU task from :meth:`_pdu_tasks`."""
+        pdu_id, sub, local_cap, local_constraints = task
+        return self._clear_frame(
+            sub, {pdu_id: local_cap}, local_cap, local_constraints
+        )
+
+    def _combine_pdu_results(
+        self,
+        frame: BidFrame,
+        per_pdu: Sequence[tuple[str, AllocationResult]],
+    ) -> AllocationResult:
+        """Merge per-PDU allocations into the combined slot result.
+
+        Accumulation runs sequentially in the order given — callers pass
+        results in :meth:`BidFrame.pdu_slices` order regardless of where
+        each PDU was cleared, so serial and sharded paths sum the same
+        floats in the same order (byte-identical results).
+        """
+        grants: dict[str, float] = {}
+        pdu_prices: dict[str, float] = {}
+        revenue_rate = 0.0
+        candidates = 0
+        feasible = 0
+        for pdu_id, local in per_pdu:
             grants.update(local.grants_w)
             pdu_prices[pdu_id] = local.price
             revenue_rate += local.revenue_rate
@@ -570,6 +646,21 @@ class MarketClearing:
             feasible_prices=feasible,
             pdu_prices=pdu_prices,
         )
+
+    def _clear_per_pdu_frame(
+        self,
+        frame: BidFrame,
+        pdu_spot_w: Mapping[str, float],
+        ups_spot_w: float,
+        extra_constraints: Sequence["CapacityConstraint"],
+    ) -> AllocationResult:
+        tasks = self._pdu_tasks(
+            frame, pdu_spot_w, ups_spot_w, extra_constraints
+        )
+        per_pdu = [
+            (task[0], self._clear_pdu_slice(task)) for task in tasks
+        ]
+        return self._combine_pdu_results(frame, per_pdu)
 
     def _clear_per_pdu_objects(
         self,

@@ -128,6 +128,8 @@ class BidFrame:
         "_row_of",
         "_segments",
         "_sampled_rows",
+        "_grid_cache",
+        "_pdu_slices_cache",
     )
 
     def __init__(
@@ -168,6 +170,8 @@ class BidFrame:
         self._row_of: dict[str, int] | None = None
         self._segments: tuple[np.ndarray, np.ndarray] | None = None
         self._sampled_rows: np.ndarray | None = None
+        self._grid_cache: dict | None = None
+        self._pdu_slices_cache: list[tuple[str, "BidFrame"]] | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -347,6 +351,56 @@ class BidFrame:
             breakpoints=np.concatenate([q_lo, q_hi]),
             demands=(None,) * n,
             bids=None,
+        )
+
+    @classmethod
+    def from_blocks(cls, blocks: Sequence) -> "BidFrame":
+        """Assemble a frame from per-PDU column blocks (sorted by PDU).
+
+        Blocks are :class:`repro.core.sharding.PduBlock`-shaped objects:
+        one PDU's rows, already columnar, with a *local* tenant table.
+        The result is value-identical to ``from_bids`` over the
+        concatenated bid lists: rows concatenate in block (= PDU-sorted,
+        submission-stable) order, and the merged tenant table preserves
+        first appearance over rows — within a block the local table is
+        first-appearance ordered, and blocks merge in row order, so
+        ``dict.setdefault`` over block tables reproduces
+        ``dict.fromkeys`` over rows exactly.
+        """
+        blocks = [b for b in blocks if len(b.rack_ids)]
+        if not blocks:
+            return cls.from_bids([])
+        tenant_index: dict[str, int] = {}
+        tenant_cols = []
+        pdu_cols = []
+        for i, b in enumerate(blocks):
+            remap = np.fromiter(
+                (
+                    tenant_index.setdefault(t, len(tenant_index))
+                    for t in b.tenant_table
+                ),
+                dtype=np.intp,
+                count=len(b.tenant_table),
+            )
+            tenant_cols.append(remap[b.tenant_code_local])
+            pdu_cols.append(np.full(len(b.rack_ids), i, dtype=np.intp))
+        return cls(
+            rack_ids=tuple(r for b in blocks for r in b.rack_ids),
+            pdu_ids=tuple(b.pdu_id for b in blocks),
+            pdu_code=np.concatenate(pdu_cols),
+            tenant_ids=tuple(tenant_index),
+            tenant_code=np.concatenate(tenant_cols),
+            kind=np.concatenate([b.kind for b in blocks]),
+            d_max_w=np.concatenate([b.d_max_w for b in blocks]),
+            q_min=np.concatenate([b.q_min for b in blocks]),
+            d_min_w=np.concatenate([b.d_min_w for b in blocks]),
+            q_max=np.concatenate([b.q_max for b in blocks]),
+            rack_cap_w=np.concatenate([b.rack_cap_w for b in blocks]),
+            max_demand_w=np.concatenate([b.max_demand_w for b in blocks]),
+            floor_w=np.concatenate([b.floor_w for b in blocks]),
+            breakpoints=np.concatenate([b.breakpoints for b in blocks]),
+            demands=tuple(d for b in blocks for d in b.demands),
+            bids=tuple(bid for b in blocks for bid in b.bids),
         )
 
     # ------------------------------------------------------------------
@@ -678,6 +732,13 @@ class BidFrame:
 
     def _select_breakpoints(self, rows: np.ndarray) -> np.ndarray:
         """Grid-augmentation points contributed by a subset of rows."""
+        rows = np.asarray(rows, dtype=np.intp)
+        if rows.size and bool((self.kind[rows] == KIND_CLOSED).all()):
+            # All-closed subsets contribute (q_min, q_max) per row, in
+            # row order — same values, same order as the loop below.
+            return np.stack(
+                [self.q_min[rows], self.q_max[rows]], axis=1
+            ).ravel()
         points: list[float] = []
         for i in rows:
             i = int(i)
@@ -696,8 +757,13 @@ class BidFrame:
         """Per-PDU sub-frames for locational clearing, frame-sliced.
 
         Each slice is a single-PDU frame (its ``pdu_code`` re-based to
-        zero) over a contiguous row range — no object regrouping.
+        zero) over a contiguous row range — no object regrouping.  The
+        slice list is cached: frames are immutable once built, and the
+        incremental builder reuses whole frames across slots, so repeat
+        callers (per-PDU clearing every slot) skip the re-slicing cost.
         """
+        if self._pdu_slices_cache is not None:
+            return self._pdu_slices_cache
         starts, seg_codes = self.segments()
         ends = np.concatenate([starts[1:], [len(self)]])
         slices: list[tuple[str, BidFrame]] = []
@@ -725,6 +791,7 @@ class BidFrame:
                 bids=self._bids[rows] if self._bids is not None else None,
             )
             slices.append((pdu_id, sub))
+        self._pdu_slices_cache = slices
         return slices
 
     # ------------------------------------------------------------------

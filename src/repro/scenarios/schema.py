@@ -287,6 +287,14 @@ SCHEMA = {
             "required": [],
             "additionalProperties": False,
         },
+        "market": {
+            "type": ["object", "null"],
+            "properties": {
+                "shards": {"type": "integer", "minimum": 1},
+            },
+            "required": [],
+            "additionalProperties": False,
+        },
     },
     "required": ["spec_version", "topology", "demand"],
     "additionalProperties": False,

@@ -1,0 +1,324 @@
+"""Incremental frame building: dirty tracking and from-scratch parity.
+
+`IncrementalFrameBuilder` keeps per-PDU column blocks alive across
+slots and re-aggregates only the PDUs whose bids changed.  Its contract
+is twofold: the produced frame is *element-for-element* identical to
+`BidFrame.from_bids` on the same bid list, and a mutation dirties
+exactly the PDUs it touches (``last_dirty``).  Tenants joining or
+leaving mid-run, quarantined bundles, revocations, and fault-injected
+lost-bid slots all reduce to bid-list mutations, so each gets an
+explicit invalidation test; a property test then checks parity after
+arbitrary mutation sequences.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MarketParameters
+from repro.core.bids import RackBid
+from repro.core.clearing import MarketClearing
+from repro.core.demand import FullBid, LinearBid, StepBid
+from repro.core.frame import KIND_CLOSED, BidFrame
+from repro.core.market import SpotDCAllocator
+from repro.core.sharding import IncrementalFrameBuilder
+from repro.sim.engine import run_simulation
+from repro.sim.scenario import testbed_scenario as build_testbed
+from repro.telemetry import TelemetryConfig
+
+SLOTS = 12
+
+_ARRAY_COLUMNS = (
+    "pdu_code",
+    "tenant_code",
+    "kind",
+    "d_max_w",
+    "q_min",
+    "d_min_w",
+    "q_max",
+    "rack_cap_w",
+    "max_demand_w",
+    "floor_w",
+    "breakpoints",
+)
+
+
+def _same_demand(da, db):
+    """Value equality; reused blocks keep the prior slot's equal objects."""
+    if da is db:
+        return True
+    if type(da) is not type(db):
+        return False
+    if isinstance(da, LinearBid):
+        return (
+            da.d_max_w == db.d_max_w
+            and da.q_min == db.q_min
+            and da.d_min_w == db.d_min_w
+            and da.q_max == db.q_max
+        )
+    if isinstance(da, StepBid):
+        return da.demand_w == db.demand_w and da.price_cap == db.price_cap
+    if isinstance(da, FullBid):
+        return (
+            np.array_equal(da._demands, db._demands)
+            and np.array_equal(da._marginals, db._marginals)
+            and da._price_cap == db._price_cap
+        )
+    return False
+
+
+def _assert_frames_identical(a: BidFrame, b: BidFrame):
+    assert a.rack_ids == b.rack_ids
+    assert a.pdu_ids == b.pdu_ids
+    assert a.tenant_ids == b.tenant_ids
+    for column in _ARRAY_COLUMNS:
+        left, right = getattr(a, column), getattr(b, column)
+        assert left.dtype == right.dtype, column
+        assert np.array_equal(left, right), column
+    assert len(a._demands) == len(b._demands)
+    for da, db in zip(a._demands, b._demands):
+        assert da is None if db is None else _same_demand(da, db)
+
+
+def _bid(rack, pdu, tenant, demand=None, cap=100.0):
+    return RackBid(rack, pdu, tenant, demand or LinearBid(60.0, 0.05, 10.0, 0.3), cap)
+
+
+def _population():
+    """Four PDUs, five tenants, all three bid kinds."""
+    return [
+        _bid("r0", "p0", "tA"),
+        _bid("r1", "p0", "tA", StepBid(35.0, 0.2)),
+        _bid("r2", "p0", "tB"),
+        _bid("r3", "p1", "tB", LinearBid(80.0, 0.02, 20.0, 0.25)),
+        _bid("r4", "p1", "tC", FullBid([10.0, 30.0], [0.0004, 0.0002])),
+        _bid("r5", "p2", "tC"),
+        _bid("r6", "p2", "tD", StepBid(50.0, 0.15)),
+        _bid("r7", "p3", "tE"),
+        _bid("r8", "p3", "tE", LinearBid(40.0, 0.1, 5.0, 0.4)),
+    ]
+
+
+def _closed_population():
+    """Same shape, closed-form (Linear/Step) curves only.
+
+    Closed-form curves compare by their defining floats, so fresh bid
+    objects with equal values — what tenants submit every slot — reuse
+    blocks.  ``FullBid`` rows are conservatively dirtied instead (see
+    ``test_full_bid_pdus_rebuild_conservatively``).
+    """
+    return [
+        _bid("r4", "p1", "tC", StepBid(25.0, 0.3)) if b.rack_id == "r4" else b
+        for b in _population()
+    ]
+
+
+class TestParityWithFromBids:
+    def test_initial_build_matches_from_scratch(self):
+        bids = _population()
+        builder = IncrementalFrameBuilder()
+        _assert_frames_identical(builder.build(bids), BidFrame.from_bids(bids))
+
+    def test_empty(self):
+        builder = IncrementalFrameBuilder()
+        frame = builder.build([])
+        assert len(frame) == 0
+        assert builder.last_dirty == ()
+        # A population appearing after an empty slot still matches.
+        bids = _population()
+        _assert_frames_identical(builder.build(bids), BidFrame.from_bids(bids))
+
+    def test_fresh_equal_objects_reuse_blocks(self):
+        """Tenants rebuild their bids every slot; equal params must not dirty."""
+        builder = IncrementalFrameBuilder()
+        builder.build(_closed_population())
+        # Brand-new objects, same values: nothing dirties.
+        frame = builder.build(_closed_population())
+        assert builder.last_dirty == ()
+        _assert_frames_identical(frame, BidFrame.from_bids(_closed_population()))
+
+    def test_full_bid_pdus_rebuild_conservatively(self):
+        """Sampled curves have no cheap equality: fresh objects dirty."""
+        builder = IncrementalFrameBuilder()
+        builder.build(_population())
+        frame = builder.build(_population())
+        assert builder.last_dirty == ("p1",)  # the FullBid's PDU, only
+        _assert_frames_identical(frame, BidFrame.from_bids(_population()))
+
+
+class TestDirtyTracking:
+    def _built(self):
+        builder = IncrementalFrameBuilder()
+        builder.build(_closed_population())
+        return builder
+
+    def test_unchanged_slot_returns_same_frame_object(self):
+        builder = IncrementalFrameBuilder()
+        first = builder.build(_closed_population())
+        second = builder.build(_closed_population())
+        assert second is first
+        assert builder.last_dirty == ()
+
+    def test_tenant_joins_dirties_only_its_pdu(self):
+        builder = self._built()
+        joined = _closed_population() + [_bid("r9", "p1", "tF")]
+        frame = builder.build(joined)
+        assert builder.last_dirty == ("p1",)
+        _assert_frames_identical(frame, BidFrame.from_bids(joined))
+
+    def test_tenant_leaves_dirties_only_its_pdus(self):
+        builder = self._built()
+        # tE leaves: both its racks are on p3.
+        remaining = [b for b in _closed_population() if b.tenant_id != "tE"]
+        frame = builder.build(remaining)
+        assert builder.last_dirty == ("p3",)
+        _assert_frames_identical(frame, BidFrame.from_bids(remaining))
+
+    def test_quarantined_bundle_dirties_each_hosting_pdu(self):
+        builder = self._built()
+        # tC's bundle is rejected whole; its racks span p1 and p2.
+        screened = [b for b in _closed_population() if b.tenant_id != "tC"]
+        frame = builder.build(screened)
+        assert builder.last_dirty == ("p1", "p2")
+        _assert_frames_identical(frame, BidFrame.from_bids(screened))
+
+    def test_modified_bid_dirties_only_its_pdu(self):
+        builder = self._built()
+        changed = _closed_population()
+        changed[5] = _bid("r5", "p2", "tC", LinearBid(61.0, 0.05, 10.0, 0.3))
+        frame = builder.build(changed)
+        assert builder.last_dirty == ("p2",)
+        _assert_frames_identical(frame, BidFrame.from_bids(changed))
+
+    def test_lost_bid_slot_dirties_removed_pdu(self):
+        """Fault-injected bid loss: a whole PDU's bids vanish for a slot."""
+        builder = self._built()
+        lost = [b for b in _closed_population() if b.pdu_id != "p1"]
+        frame = builder.build(lost)
+        assert builder.last_dirty == ("p1",)
+        _assert_frames_identical(frame, BidFrame.from_bids(lost))
+        # The bids return next slot: only p1 rebuilds, parity holds.
+        restored = builder.build(_closed_population())
+        assert builder.last_dirty == ("p1",)
+        _assert_frames_identical(restored, BidFrame.from_bids(_closed_population()))
+
+    def test_reuse_counters(self):
+        builder = self._built()
+        builder.build(_closed_population() + [_bid("r9", "p1", "tF")])
+        assert builder.builds == 2
+        assert builder.rebuilt_pdus == 4 + 1  # initial build + one dirty PDU
+        assert builder.reused_pdus == 3
+
+
+# -- property test: parity after arbitrary mutation sequences ----------
+
+_PDUS = ("p0", "p1", "p2", "p3")
+_TENANTS = ("tA", "tB", "tC", "tD", "tE", "tF")
+
+
+def _apply_mutation(bids, op, rng):
+    bids = list(bids)
+    kind, payload = op
+    if kind == "join":
+        rack = f"rx{payload}"
+        if any(b.rack_id == rack for b in bids):
+            return bids
+        pdu = _PDUS[payload % len(_PDUS)]
+        tenant = _TENANTS[payload % len(_TENANTS)]
+        demand = (
+            StepBid(10.0 + payload, 0.2)
+            if payload % 2
+            else LinearBid(50.0 + payload, 0.04, 5.0, 0.35)
+        )
+        bids.append(RackBid(rack, pdu, tenant, demand, 120.0))
+    elif kind == "leave" and bids:
+        del bids[payload % len(bids)]
+    elif kind == "modify" and bids:
+        i = payload % len(bids)
+        old = bids[i]
+        bids[i] = RackBid(
+            old.rack_id, old.pdu_id, old.tenant_id,
+            LinearBid(30.0 + payload, 0.03, 3.0, 0.3), old.rack_cap_w,
+        )
+    elif kind == "drop_pdu":
+        pdu = _PDUS[payload % len(_PDUS)]
+        bids = [b for b in bids if b.pdu_id != pdu]
+    return bids
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["join", "leave", "modify", "drop_pdu", "noop"]),
+            st.integers(min_value=0, max_value=30),
+        ),
+        max_size=8,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_incremental_equals_from_scratch_after_any_mutations(ops):
+    builder = IncrementalFrameBuilder()
+    bids = _population()
+    _assert_frames_identical(builder.build(bids), BidFrame.from_bids(bids))
+    for op in ops:
+        bids = _apply_mutation(bids, op, None)
+        frame = builder.build(bids)
+        _assert_frames_identical(frame, BidFrame.from_bids(bids))
+        # Every dirty PDU names a real PDU of the old or new population.
+        assert set(builder.last_dirty) <= set(_PDUS) | {b.pdu_id for b in bids}
+
+
+# -- per-frame caches unlocked by frame reuse --------------------------
+
+
+class TestFrameCaches:
+    def test_price_grid_cached_per_frame(self):
+        frame = BidFrame.from_bids(_population())
+        engine = MarketClearing(params=MarketParameters(price_step=0.01))
+        first = engine.candidate_prices(frame)
+        second = engine.candidate_prices(frame)
+        assert second is first
+        # A different frame object computes its own grid.
+        other = BidFrame.from_bids(_population())
+        assert engine.candidate_prices(other) is not first
+        assert np.array_equal(engine.candidate_prices(other), first)
+
+    def test_pdu_slices_cached_per_frame(self):
+        frame = BidFrame.from_bids(_population())
+        assert frame.pdu_slices() is frame.pdu_slices()
+
+    def test_breakpoint_fast_path_matches_loop(self):
+        frame = BidFrame.from_bids(_population())
+        closed = np.flatnonzero(frame.kind == KIND_CLOSED)
+        fast = frame._select_breakpoints(closed)
+        expected = []
+        for i in closed:
+            expected.append(float(frame.q_min[int(i)]))
+            expected.append(float(frame.q_max[int(i)]))
+        assert np.array_equal(fast, np.asarray(expected))
+        # Mixed subsets (sampled rows present) take the generic loop.
+        mixed = frame._select_breakpoints(np.arange(len(frame)))
+        assert mixed.size >= fast.size
+
+
+# -- end-to-end: the incremental default changes no bytes --------------
+
+
+class TestEndToEnd:
+    def _trace_bytes(self, tmp_path, run_id, incremental):
+        scenario = build_testbed(seed=7)
+        out = tmp_path / str(run_id)
+        allocator = SpotDCAllocator(
+            params=MarketParameters(slot_seconds=scenario.slot_seconds),
+            incremental=incremental,
+        )
+        run_simulation(
+            scenario, slots=SLOTS, allocator=allocator,
+            telemetry=TelemetryConfig(out_dir=out, label="run"),
+        )
+        return (out / "run_trace.jsonl").read_bytes()
+
+    def test_incremental_matches_from_scratch_traces(self, tmp_path):
+        assert self._trace_bytes(tmp_path, "inc", True) == self._trace_bytes(
+            tmp_path, "scratch", False
+        )
